@@ -1,0 +1,143 @@
+//! Criterion benchmarks mirroring the paper's evaluation, at laptop-sized
+//! scales (the `src/bin/fig*` targets run the full-scale sweeps and print
+//! the tables; these benches give statistics-grade timings for the same
+//! configurations plus two ablations the paper does not have: counting
+//! engine and measure choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flipper_core::{mine_with_view, FlipperConfig, MinSupports, PruningConfig};
+use flipper_data::{CountingEngine, MultiLevelView};
+use flipper_datagen::quest::{generate, QuestParams};
+use flipper_datagen::surrogate::groceries;
+use flipper_measures::{Measure, Thresholds};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("flipper");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    g
+}
+
+/// Fig. 8(a) shape: variants across support profiles (quest, N = 10K).
+fn bench_fig8a(c: &mut Criterion) {
+    let data = generate(&QuestParams::default().with_transactions(10_000));
+    let view = MultiLevelView::build(&data.db, &data.taxonomy);
+    let profiles: [(&str, [f64; 4]); 3] = [
+        ("thr1", [0.05, 0.05, 0.05, 0.05]),
+        ("thr5", [0.01, 0.0005, 0.0001, 0.0001]),
+        ("thr10", [0.001, 0.0001, 0.00006, 0.00003]),
+    ];
+    let mut g = quick(c);
+    for (name, thetas) in profiles {
+        for pruning in PruningConfig::VARIANTS {
+            let cfg = FlipperConfig::new(
+                Thresholds::new(0.3, 0.1),
+                MinSupports::Fractions(thetas.to_vec()),
+            )
+            .with_pruning(pruning);
+            g.bench_with_input(
+                BenchmarkId::new("fig8a", format!("{name}/{}", pruning.name())),
+                &cfg,
+                |b, cfg| b.iter(|| mine_with_view(&data.taxonomy, &view, cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Fig. 8(c) shape: variants across transaction widths (quest, N = 5K).
+fn bench_fig8c(c: &mut Criterion) {
+    let mut g = quick(c);
+    for w in [5.0f64, 8.0] {
+        let data = generate(
+            &QuestParams::default()
+                .with_transactions(5_000)
+                .with_width(w),
+        );
+        let view = MultiLevelView::build(&data.db, &data.taxonomy);
+        for pruning in [PruningConfig::BASIC, PruningConfig::FULL] {
+            let cfg = flipper_bench::default_synthetic_config().with_pruning(pruning);
+            g.bench_with_input(
+                BenchmarkId::new("fig8c", format!("w{w}/{}", pruning.name())),
+                &cfg,
+                |b, cfg| b.iter(|| mine_with_view(&data.taxonomy, &view, cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Fig. 9 shape: naive flipping vs full Flipper on the GROCERIES surrogate.
+fn bench_fig9(c: &mut Criterion) {
+    let d = groceries(42);
+    let view = MultiLevelView::build(&d.db, &d.taxonomy);
+    let base = FlipperConfig::new(
+        Thresholds::new(d.thresholds.0, d.thresholds.1),
+        MinSupports::Fractions(d.min_support.clone()),
+    );
+    let mut g = quick(c);
+    for pruning in [PruningConfig::FLIPPING, PruningConfig::FULL] {
+        let cfg = base.clone().with_pruning(pruning);
+        g.bench_with_input(
+            BenchmarkId::new("fig9_groceries", pruning.name()),
+            &cfg,
+            |b, cfg| b.iter(|| mine_with_view(&d.taxonomy, &view, cfg)),
+        );
+    }
+    g.finish();
+}
+
+/// Ablation: counting engines (tidset vs scan) on the GROCERIES surrogate.
+fn bench_counting_engines(c: &mut Criterion) {
+    let d = groceries(42);
+    let view = MultiLevelView::build(&d.db, &d.taxonomy);
+    let base = FlipperConfig::new(
+        Thresholds::new(d.thresholds.0, d.thresholds.1),
+        MinSupports::Fractions(d.min_support.clone()),
+    );
+    let mut g = quick(c);
+    for (name, engine) in [
+        ("tidset", CountingEngine::Tidset),
+        ("scan", CountingEngine::Scan),
+    ] {
+        let cfg = base.clone().with_engine(engine);
+        g.bench_with_input(BenchmarkId::new("counting", name), &cfg, |b, cfg| {
+            b.iter(|| mine_with_view(&d.taxonomy, &view, cfg))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the five null-invariant measures under identical thresholds —
+/// validates the paper's claim that the framework is measure-agnostic in
+/// cost, not just in correctness.
+fn bench_measures(c: &mut Criterion) {
+    let d = groceries(42);
+    let view = MultiLevelView::build(&d.db, &d.taxonomy);
+    let base = FlipperConfig::new(
+        Thresholds::new(d.thresholds.0, d.thresholds.1),
+        MinSupports::Fractions(d.min_support.clone()),
+    );
+    let mut g = quick(c);
+    for measure in Measure::ALL {
+        let cfg = base.clone().with_measure(measure);
+        g.bench_with_input(
+            BenchmarkId::new("measure", format!("{measure}")),
+            &cfg,
+            |b, cfg| b.iter(|| mine_with_view(&d.taxonomy, &view, cfg)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig8a,
+    bench_fig8c,
+    bench_fig9,
+    bench_counting_engines,
+    bench_measures
+);
+criterion_main!(benches);

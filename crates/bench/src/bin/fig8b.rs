@@ -1,0 +1,38 @@
+//! Regenerates **Figure 8(b)**: mining time vs number of transactions
+//! (paper: 100K → 1M; linear for all variants, Flipper 15–20× faster).
+//!
+//! Run with: `cargo run --release -p flipper-bench --bin fig8b [--scale F]`
+//! (`--scale 1.0` sweeps 100K..1M as in the paper; default 0.1 sweeps
+//! 10K..100K).
+
+use flipper_bench::{default_synthetic_config, print_table, run_variants, scale_from_args};
+use flipper_datagen::quest::{generate, QuestParams};
+
+fn main() {
+    let scale = scale_from_args(0.1);
+    let sweep: Vec<usize> = [100_000usize, 250_000, 500_000, 750_000, 1_000_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale) as usize).max(1_000))
+        .collect();
+    let cfg = default_synthetic_config();
+
+    let mut rows = Vec::new();
+    for n in sweep {
+        eprintln!("N = {n} …");
+        let data = generate(&QuestParams::default().with_transactions(n));
+        for v in run_variants(&data.taxonomy, &data.db, &cfg) {
+            rows.push(vec![
+                n.to_string(),
+                v.variant.to_string(),
+                format!("{:.3}", v.elapsed.as_secs_f64()),
+                v.candidates.to_string(),
+                v.flips.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 8(b) — runtime vs number of transactions",
+        &["N", "variant", "time(s)", "candidates", "flips"],
+        &rows,
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Figure 8(c)**: mining time vs average transaction width
+//! `W = 5..10` (paper: BASIC degrades dramatically with density; full
+//! Flipper handles it gracefully — up to 300× faster).
+//!
+//! Run with: `cargo run --release -p flipper-bench --bin fig8c [--scale F]`
+
+use flipper_bench::{default_synthetic_config, print_table, run_variants, scale_from_args};
+use flipper_datagen::quest::{generate, QuestParams};
+
+fn main() {
+    let scale = scale_from_args(0.1);
+    let n = ((100_000.0 * scale) as usize).max(1_000);
+    let cfg = default_synthetic_config();
+
+    let mut rows = Vec::new();
+    for w in [5u32, 6, 7, 8, 9, 10] {
+        eprintln!("W = {w} (N = {n}) …");
+        let data = generate(
+            &QuestParams::default()
+                .with_transactions(n)
+                .with_width(w as f64),
+        );
+        for v in run_variants(&data.taxonomy, &data.db, &cfg) {
+            rows.push(vec![
+                w.to_string(),
+                v.variant.to_string(),
+                format!("{:.3}", v.elapsed.as_secs_f64()),
+                v.candidates.to_string(),
+                v.peak_resident.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Fig. 8(c) — runtime vs avg transaction width (N = {n})"),
+        &["W", "variant", "time(s)", "candidates", "peak_resident"],
+        &rows,
+    );
+}

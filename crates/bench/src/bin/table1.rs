@@ -1,0 +1,60 @@
+//! Regenerates **Table 1** of the paper: expectation-based correlation
+//! judgements flip sign with the total transaction count `N`, while the
+//! null-invariant Kulc value is unchanged.
+//!
+//! Run with: `cargo run -p flipper-bench --bin table1`
+
+use flipper_bench::print_table;
+use flipper_measures::expectation::{expectation_sign, expected_support, ExpectationSign};
+use flipper_measures::{CorrelationMeasure, Measure};
+
+fn sign(s: ExpectationSign) -> &'static str {
+    match s {
+        ExpectationSign::Positive => "positive",
+        ExpectationSign::Negative => "negative",
+        ExpectationSign::Independent => "independent",
+    }
+}
+
+fn main() {
+    // (label, sup_a, sup_b, sup_ab, N) — the paper's DB1/DB2 rows.
+    let cases = [
+        ("A,B / DB1", 1000u64, 1000u64, 400u64, 20_000u64),
+        ("A,B / DB2", 1000, 1000, 400, 2_000),
+        ("C,D / DB1", 200, 200, 4, 20_000),
+        ("C,D / DB2", 200, 200, 4, 2_000),
+    ];
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|&(label, a, b, ab, n)| {
+            vec![
+                label.to_string(),
+                a.to_string(),
+                b.to_string(),
+                ab.to_string(),
+                n.to_string(),
+                format!("{:.0}", expected_support(a, b, n)),
+                sign(expectation_sign(ab, a, b, n)).to_string(),
+                format!("{:.2}", Measure::Kulczynski.pair(ab, a, b)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1 — expectation-based correlation vs null-invariant Kulc",
+        &[
+            "itemset/db",
+            "sup(A)",
+            "sup(B)",
+            "sup(AB)",
+            "N",
+            "E[sup]",
+            "expectation says",
+            "Kulc",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe expectation-based judgement flips with N for identical supports;\n\
+         Kulc stays 0.40 / 0.02 — the paper's argument for null-invariant measures."
+    );
+}

@@ -1,0 +1,367 @@
+//! `flipper` — command-line interface for flipping-correlation mining.
+//!
+//! Subcommands:
+//!
+//! * `generate` — produce a dataset (quest / groceries / census / medline /
+//!   planted) in the text interchange format;
+//! * `mine` — mine flipping patterns from a dataset file;
+//! * `stats` — print dataset statistics.
+//!
+//! Run `flipper help` for the full usage text.
+
+use flipper_core::{mine, FlipperConfig, MinSupports, PruningConfig};
+use flipper_data::format::{read_dataset, write_dataset, Dataset};
+use flipper_data::CountingEngine;
+use flipper_measures::{Measure, Thresholds};
+use flipper_taxonomy::RebalancePolicy;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+flipper — mining flipping correlations from datasets with taxonomies
+(Barsky, Kim, Weninger, Han — PVLDB 5(4), 2011)
+
+USAGE:
+  flipper generate --kind <quest|groceries|census|medline|planted>
+                   [--out FILE] [--seed N] [--transactions N] [--width W]
+                   [--scale F]
+  flipper mine     --input FILE [--gamma F] [--epsilon F]
+                   [--minsup F1,F2,...] [--measure NAME]
+                   [--variant basic|flipping|tpg|full]
+                   [--engine tidset|scan|bitset] [--top K] [--max-k K]
+  flipper topk     --input FILE --k N [--minsup F1,F2,...]
+  flipper stats    --input FILE
+  flipper help
+
+EXAMPLES:
+  flipper generate --kind groceries --out groceries.txt
+  flipper mine --input groceries.txt --gamma 0.15 --epsilon 0.10 \\
+               --minsup 0.001,0.0005,0.0002
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `flipper help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?
+            .clone();
+        flags.insert(key.to_string(), value);
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&parse_flags(&args[1..])?),
+        Some("mine") => cmd_mine(&parse_flags(&args[1..])?),
+        Some("topk") => cmd_topk(&parse_flags(&args[1..])?),
+        Some("stats") => cmd_stats(&parse_flags(&args[1..])?),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+    }
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = flags.get("kind").ok_or("generate requires --kind")?;
+    let seed = get_usize(flags, "seed", 42)? as u64;
+    let ds: Dataset = match kind.as_str() {
+        "quest" => {
+            let params = flipper_datagen::quest::QuestParams::default()
+                .with_transactions(get_usize(flags, "transactions", 100_000)?)
+                .with_width(get_f64(flags, "width", 5.0)?)
+                .with_seed(seed);
+            let d = flipper_datagen::quest::generate(&params);
+            Dataset {
+                taxonomy: d.taxonomy,
+                db: d.db,
+            }
+        }
+        "groceries" => {
+            let d = flipper_datagen::surrogate::groceries(seed);
+            Dataset {
+                taxonomy: d.taxonomy,
+                db: d.db,
+            }
+        }
+        "census" => {
+            let d = flipper_datagen::surrogate::census(seed);
+            Dataset {
+                taxonomy: d.taxonomy,
+                db: d.db,
+            }
+        }
+        "medline" => {
+            let scale = get_f64(flags, "scale", 0.1)?;
+            let d = flipper_datagen::surrogate::medline(scale, seed);
+            Dataset {
+                taxonomy: d.taxonomy,
+                db: d.db,
+            }
+        }
+        "planted" => {
+            let d = flipper_datagen::planted::generate(&flipper_datagen::planted::PlantedParams {
+                seed,
+                ..Default::default()
+            });
+            Dataset {
+                taxonomy: d.taxonomy,
+                db: d.db,
+            }
+        }
+        other => return Err(format!("unknown dataset kind {other:?}")),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            write_dataset(&mut w, &ds).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} transactions / {} taxonomy nodes to {path}",
+                ds.db.len(),
+                ds.taxonomy.node_count()
+            );
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = BufWriter::new(stdout.lock());
+            write_dataset(&mut w, &ds).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn load(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let path = flags.get("input").ok_or("missing --input FILE")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_dataset(BufReader::new(file), RebalancePolicy::LeafCopy).map_err(|e| e.to_string())
+}
+
+fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(flags)?;
+    let gamma = get_f64(flags, "gamma", 0.3)?;
+    let epsilon = get_f64(flags, "epsilon", 0.1)?;
+    let minsup = match flags.get("minsup") {
+        None => MinSupports::default(),
+        Some(spec) => {
+            let fractions: Result<Vec<f64>, _> = spec.split(',').map(str::parse).collect();
+            MinSupports::Fractions(fractions.map_err(|_| format!("bad --minsup {spec:?}"))?)
+        }
+    };
+    let measure = match flags.get("measure") {
+        None => Measure::Kulczynski,
+        Some(name) => Measure::parse(name).ok_or_else(|| format!("unknown measure {name:?}"))?,
+    };
+    let pruning = match flags.get("variant").map(String::as_str) {
+        None | Some("full") => PruningConfig::FULL,
+        Some("basic") => PruningConfig::BASIC,
+        Some("flipping") => PruningConfig::FLIPPING,
+        Some("tpg") => PruningConfig::FLIPPING_TPG,
+        Some(other) => return Err(format!("unknown variant {other:?}")),
+    };
+    let engine = match flags.get("engine").map(String::as_str) {
+        None | Some("tidset") => CountingEngine::Tidset,
+        Some("scan") => CountingEngine::Scan,
+        Some("bitset") => CountingEngine::Bitset,
+        Some(other) => return Err(format!("unknown engine {other:?}")),
+    };
+    let mut cfg = FlipperConfig::new(Thresholds::new(gamma, epsilon), minsup)
+        .with_measure(measure)
+        .with_pruning(pruning)
+        .with_engine(engine);
+    if let Some(mk) = flags.get("max-k") {
+        cfg = cfg.with_max_k(mk.parse().map_err(|_| format!("bad --max-k {mk:?}"))?);
+    }
+
+    let result = mine(&ds.taxonomy, &ds.db, &cfg);
+    let top = get_usize(flags, "top", usize::MAX)?;
+    println!(
+        "{} flipping patterns (showing {})",
+        result.patterns.len(),
+        top.min(result.patterns.len())
+    );
+    for p in result.top_k_by_gap(top) {
+        println!("gap {:.3}:", p.flip_gap());
+        println!("{}\n", p.display(&ds.taxonomy));
+    }
+    println!(
+        "pos={} neg={}",
+        result.total_positive(),
+        result.total_negative()
+    );
+    println!("stats: {}", result.stats.summary());
+    Ok(())
+}
+
+fn cmd_topk(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(flags)?;
+    let k = get_usize(flags, "k", 10)?;
+    let minsup = match flags.get("minsup") {
+        None => MinSupports::default(),
+        Some(spec) => {
+            let fractions: Result<Vec<f64>, _> = spec.split(',').map(str::parse).collect();
+            MinSupports::Fractions(fractions.map_err(|_| format!("bad --minsup {spec:?}"))?)
+        }
+    };
+    let cfg = flipper_core::topk::TopKConfig {
+        k,
+        base: FlipperConfig {
+            min_support: minsup,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let r = flipper_core::topk::top_k(&ds.taxonomy, &ds.db, &cfg);
+    println!(
+        "top-{} most flipping patterns at auto-selected (γ, ε) = ({}, {}) after {} runs:",
+        r.patterns.len(),
+        r.thresholds.gamma,
+        r.thresholds.epsilon,
+        r.runs
+    );
+    for p in &r.patterns {
+        println!("gap {:.3}:", p.flip_gap());
+        println!("{}\n", p.display(&ds.taxonomy));
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(flags)?;
+    println!("{}", flipper_data::stats::DbStats::compute(&ds.db).report());
+    println!(
+        "taxonomy: {} nodes, height {}",
+        ds.taxonomy.node_count(),
+        ds.taxonomy.height()
+    );
+    for ls in flipper_data::stats::level_stats(&ds.db, &ds.taxonomy) {
+        println!(
+            "  level {}: {} nodes, mean rel support {:.5}, max {:.5}",
+            ls.level, ls.distinct_nodes, ls.mean_rel_support, ls.max_rel_support
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags_happy_path() {
+        let args: Vec<String> = ["--kind", "quest", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f["kind"], "quest");
+        assert_eq!(f["seed"], "7");
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values() {
+        let args: Vec<String> = ["kind", "quest"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn parse_flags_rejects_missing_value() {
+        let args: Vec<String> = ["--kind"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(run(&["help".to_string()]).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn generate_and_mine_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("flipper-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("planted.txt").to_string_lossy().to_string();
+        run(&[
+            "generate".into(),
+            "--kind".into(),
+            "planted".into(),
+            "--out".into(),
+            path.clone(),
+        ])
+        .unwrap();
+        run(&[
+            "mine".into(),
+            "--input".into(),
+            path.clone(),
+            "--gamma".into(),
+            "0.6".into(),
+            "--epsilon".into(),
+            "0.35".into(),
+            "--minsup".into(),
+            "0.001".into(),
+            "--top".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        run(&["stats".into(), "--input".into(), path]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mine_rejects_missing_input() {
+        let err = run(&["mine".into(), "--input".into(), "/nonexistent".into()]).unwrap_err();
+        assert!(err.contains("open"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kind() {
+        let err = run(&["generate".into(), "--kind".into(), "nope".into()]).unwrap_err();
+        assert!(err.contains("unknown dataset kind"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Cells of the two-dimensional search-space table `M` (Fig. 6 of the
+//! paper): each cell `Q(h,k)` holds the evaluated `(h,k)`-itemsets.
+
+use flipper_data::Itemset;
+use flipper_measures::Label;
+use std::collections::HashMap;
+
+/// Everything known about one evaluated `(h,k)`-itemset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItemsetInfo {
+    /// Support in the level-`h` projection.
+    pub support: u64,
+    /// Correlation value under the configured measure (0 for infrequent
+    /// itemsets whose correlation is never consulted).
+    pub corr: f64,
+    /// Label under Definition 1.
+    pub label: Label,
+    /// Whether the flipping chain from level 1 down to this itemset is
+    /// unbroken: every ancestor slice is frequent, correlated, and the
+    /// labels alternate. Level-1 itemsets are alive iff correlated.
+    pub chain_alive: bool,
+}
+
+/// One cell `Q(h,k)` of the search table.
+#[derive(Debug, Clone, Default)]
+pub struct Cell {
+    itemsets: HashMap<Itemset, ItemsetInfo>,
+}
+
+impl Cell {
+    /// Empty cell.
+    pub fn new() -> Self {
+        Cell::default()
+    }
+
+    /// Number of evaluated itemsets (frequent or not).
+    pub fn len(&self) -> usize {
+        self.itemsets.len()
+    }
+
+    /// Whether the cell holds no itemsets.
+    pub fn is_empty(&self) -> bool {
+        self.itemsets.is_empty()
+    }
+
+    /// Insert an evaluated itemset.
+    pub fn insert(&mut self, set: Itemset, info: ItemsetInfo) {
+        self.itemsets.insert(set, info);
+    }
+
+    /// Look up an itemset.
+    pub fn get(&self, set: &Itemset) -> Option<&ItemsetInfo> {
+        self.itemsets.get(set)
+    }
+
+    /// Iterate `(itemset, info)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Itemset, &ItemsetInfo)> {
+        self.itemsets.iter()
+    }
+
+    /// Iterate itemsets with `support ≥ θ` (label ≠ infrequent).
+    pub fn frequent(&self) -> impl Iterator<Item = (&Itemset, &ItemsetInfo)> {
+        self.itemsets
+            .iter()
+            .filter(|(_, i)| i.label != Label::Infrequent)
+    }
+
+    /// Iterate chain-alive itemsets — the ones extended vertically.
+    pub fn alive(&self) -> impl Iterator<Item = (&Itemset, &ItemsetInfo)> {
+        self.itemsets.iter().filter(|(_, i)| i.chain_alive)
+    }
+
+    /// Number of frequent itemsets.
+    pub fn frequent_count(&self) -> usize {
+        self.frequent().count()
+    }
+
+    /// Whether no itemset in this cell is labeled positive — the TPG
+    /// condition of Theorem 3. Vacuously true for empty cells.
+    pub fn all_non_positive(&self) -> bool {
+        self.itemsets.values().all(|i| i.label != Label::Positive)
+    }
+
+    /// Count of itemsets per label `(positive, negative, non-correlated,
+    /// infrequent)`.
+    pub fn label_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for info in self.itemsets.values() {
+            match info.label {
+                Label::Positive => counts.0 += 1,
+                Label::Negative => counts.1 += 1,
+                Label::NonCorrelated => counts.2 += 1,
+                Label::Infrequent => counts.3 += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flipper_taxonomy::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i as usize)
+    }
+
+    fn info(label: Label, alive: bool) -> ItemsetInfo {
+        ItemsetInfo {
+            support: 10,
+            corr: 0.5,
+            label,
+            chain_alive: alive,
+        }
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut c = Cell::new();
+        assert!(c.is_empty());
+        let s = Itemset::pair(n(1), n(2));
+        c.insert(s.clone(), info(Label::Positive, true));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&s).unwrap().label, Label::Positive);
+        assert!(c.get(&Itemset::pair(n(1), n(3))).is_none());
+    }
+
+    #[test]
+    fn filtered_iterators() {
+        let mut c = Cell::new();
+        c.insert(Itemset::pair(n(1), n(2)), info(Label::Positive, true));
+        c.insert(Itemset::pair(n(1), n(3)), info(Label::Negative, false));
+        c.insert(Itemset::pair(n(2), n(3)), info(Label::Infrequent, false));
+        c.insert(Itemset::pair(n(2), n(4)), info(Label::NonCorrelated, false));
+        assert_eq!(c.frequent_count(), 3);
+        assert_eq!(c.alive().count(), 1);
+        assert_eq!(c.label_counts(), (1, 1, 1, 1));
+        assert!(!c.all_non_positive());
+    }
+
+    #[test]
+    fn tpg_condition() {
+        let mut c = Cell::new();
+        assert!(c.all_non_positive(), "vacuously true when empty");
+        c.insert(Itemset::pair(n(1), n(2)), info(Label::Negative, true));
+        c.insert(Itemset::pair(n(1), n(3)), info(Label::Infrequent, false));
+        assert!(c.all_non_positive());
+        c.insert(Itemset::pair(n(2), n(3)), info(Label::Positive, true));
+        assert!(!c.all_non_positive());
+    }
+}

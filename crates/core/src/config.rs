@@ -1,0 +1,248 @@
+//! Miner configuration: measure, thresholds, per-level minimum supports and
+//! the pruning stack.
+
+use flipper_data::CountingEngine;
+use flipper_measures::{Measure, Thresholds};
+use serde::{Deserialize, Serialize};
+
+/// Per-level minimum support thresholds `θ_1 ≥ θ_2 ≥ … ≥ θ_H`.
+///
+/// The paper recommends non-increasing thresholds (deep levels hold many
+/// rare items). Values may be given as fractions of `N` or absolute counts;
+/// if fewer values than levels are supplied, the last value is repeated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MinSupports {
+    /// Relative thresholds, each in `(0, 1]`, one per level starting at 1.
+    Fractions(Vec<f64>),
+    /// Absolute transaction counts, one per level starting at 1.
+    Counts(Vec<u64>),
+}
+
+impl MinSupports {
+    /// A single fraction applied to every level.
+    pub fn uniform_fraction(f: f64) -> Self {
+        MinSupports::Fractions(vec![f])
+    }
+
+    /// Resolve to absolute counts for a database of `n` transactions and a
+    /// taxonomy of height `height`. Every count is at least 1.
+    ///
+    /// # Panics
+    /// Panics on empty specs or non-positive fractions.
+    pub fn resolve(&self, n: u64, height: usize) -> Vec<u64> {
+        let counts: Vec<u64> = match self {
+            MinSupports::Fractions(fs) => {
+                assert!(!fs.is_empty(), "at least one support threshold is required");
+                assert!(
+                    fs.iter().all(|&f| f > 0.0 && f <= 1.0),
+                    "fractions must be in (0,1]"
+                );
+                fs.iter()
+                    .map(|&f| ((f * n as f64).ceil() as u64).max(1))
+                    .collect()
+            }
+            MinSupports::Counts(cs) => {
+                assert!(!cs.is_empty(), "at least one support threshold is required");
+                cs.iter().map(|&c| c.max(1)).collect()
+            }
+        };
+        (0..height)
+            .map(|h| counts[h.min(counts.len() - 1)])
+            .collect()
+    }
+}
+
+impl Default for MinSupports {
+    /// The paper's default synthetic profile: θ₁=1%, θ₂=0.1%, θ₃=0.05%,
+    /// θ₄=0.01%.
+    fn default() -> Self {
+        MinSupports::Fractions(vec![0.01, 0.001, 0.0005, 0.0001])
+    }
+}
+
+/// Which pruning techniques are active — the four cumulative variants the
+/// paper benchmarks in Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruningConfig {
+    /// Flipping-based pruning (§4.2.2): only chain-alive itemsets are
+    /// extended vertically. Off = the BASIC level-wise Apriori baseline,
+    /// which mines all frequent itemsets per level and post-filters flips.
+    pub flipping: bool,
+    /// Termination of pattern growth (Theorem 3): cap the column bound when
+    /// two vertically adjacent cells are all-non-positive.
+    pub tpg: bool,
+    /// Single-item-based pruning (Theorem 2 / Corollary 2): ban minimal
+    /// support items whose per-cell max correlation stays below γ.
+    pub sibp: bool,
+}
+
+impl PruningConfig {
+    /// BASIC: support-only pruning (the paper's baseline).
+    pub const BASIC: PruningConfig = PruningConfig {
+        flipping: false,
+        tpg: false,
+        sibp: false,
+    };
+    /// FLIPPING: + flipping-based vertical pruning.
+    pub const FLIPPING: PruningConfig = PruningConfig {
+        flipping: true,
+        tpg: false,
+        sibp: false,
+    };
+    /// FLIPPING+TPG.
+    pub const FLIPPING_TPG: PruningConfig = PruningConfig {
+        flipping: true,
+        tpg: true,
+        sibp: false,
+    };
+    /// FLIPPING+TPG+SIBP — the full Flipper.
+    pub const FULL: PruningConfig = PruningConfig {
+        flipping: true,
+        tpg: true,
+        sibp: true,
+    };
+
+    /// The four cumulative variants in benchmark order.
+    pub const VARIANTS: [PruningConfig; 4] =
+        [Self::BASIC, Self::FLIPPING, Self::FLIPPING_TPG, Self::FULL];
+
+    /// Short display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match (self.flipping, self.tpg, self.sibp) {
+            (false, _, _) => "basic",
+            (true, false, _) => "flipping",
+            (true, true, false) => "flipping+tpg",
+            (true, true, true) => "flipping+tpg+sibp",
+        }
+    }
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig::FULL
+    }
+}
+
+/// Full miner configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlipperConfig {
+    /// Null-invariant correlation measure (default Kulczynski, as in the
+    /// paper's experiments).
+    pub measure: Measure,
+    /// Correlation thresholds `(γ, ε)`.
+    pub thresholds: Thresholds,
+    /// Per-level minimum supports.
+    pub min_support: MinSupports,
+    /// Active pruning techniques.
+    pub pruning: PruningConfig,
+    /// Support-counting engine.
+    pub engine: CountingEngine,
+    /// Optional hard cap on itemset size `k` (None = bounded only by the
+    /// data and pruning).
+    pub max_k: Option<usize>,
+}
+
+impl FlipperConfig {
+    /// Convenience constructor with the most common knobs.
+    pub fn new(thresholds: Thresholds, min_support: MinSupports) -> Self {
+        FlipperConfig {
+            thresholds,
+            min_support,
+            ..Default::default()
+        }
+    }
+
+    /// Replace the pruning stack.
+    pub fn with_pruning(mut self, pruning: PruningConfig) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Replace the measure.
+    pub fn with_measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Replace the counting engine.
+    pub fn with_engine(mut self, engine: CountingEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Cap the maximum itemset size.
+    pub fn with_max_k(mut self, max_k: usize) -> Self {
+        assert!(max_k >= 2, "itemsets have at least two items");
+        self.max_k = Some(max_k);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_repeats_last_threshold() {
+        let ms = MinSupports::Fractions(vec![0.5, 0.1]);
+        assert_eq!(ms.resolve(100, 4), vec![50, 10, 10, 10]);
+    }
+
+    #[test]
+    fn resolve_rounds_up_and_floors_at_one() {
+        let ms = MinSupports::Fractions(vec![0.015]);
+        assert_eq!(ms.resolve(1000, 1), vec![15]);
+        let ms = MinSupports::Fractions(vec![0.0001]);
+        assert_eq!(ms.resolve(100, 2), vec![1, 1]);
+        let ms = MinSupports::Counts(vec![0, 5]);
+        assert_eq!(ms.resolve(100, 3), vec![1, 5, 5]);
+    }
+
+    #[test]
+    fn default_matches_paper_profile() {
+        let ms = MinSupports::default();
+        assert_eq!(ms.resolve(100_000, 4), vec![1000, 100, 50, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_spec_panics() {
+        let _ = MinSupports::Fractions(vec![]).resolve(10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must be in")]
+    fn bad_fraction_panics() {
+        let _ = MinSupports::Fractions(vec![1.5]).resolve(10, 1);
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(PruningConfig::BASIC.name(), "basic");
+        assert_eq!(PruningConfig::FLIPPING.name(), "flipping");
+        assert_eq!(PruningConfig::FLIPPING_TPG.name(), "flipping+tpg");
+        assert_eq!(PruningConfig::FULL.name(), "flipping+tpg+sibp");
+        assert_eq!(PruningConfig::default(), PruningConfig::FULL);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.6, 0.2),
+            MinSupports::uniform_fraction(0.1),
+        )
+        .with_pruning(PruningConfig::BASIC)
+        .with_measure(flipper_measures::Measure::Cosine)
+        .with_engine(CountingEngine::Scan)
+        .with_max_k(3);
+        assert_eq!(cfg.pruning, PruningConfig::BASIC);
+        assert_eq!(cfg.measure, flipper_measures::Measure::Cosine);
+        assert_eq!(cfg.max_k, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn max_k_one_rejected() {
+        let _ = FlipperConfig::default().with_max_k(1);
+    }
+}

@@ -1,0 +1,847 @@
+//! The Flipper mining driver: a two-dimensional Apriori over the search
+//! table `M[h][k]` with the paper's four cumulative pruning stages.
+//!
+//! # Search order (paper §4.3.1, Fig. 7b)
+//!
+//! The top two rows are processed in zigzag —
+//! `Q(1,2) → Q(2,2) → Q(1,3) → Q(2,3) → …` — so the TPG condition
+//! (Theorem 3) can be checked as early as possible; the remaining rows are
+//! processed one at a time, left to right.
+//!
+//! # Candidate generation
+//!
+//! * Row 1 is mined by plain Apriori: all frequent level-1 itemsets (over
+//!   items from **distinct** level-1 categories, per Definition 2 — at
+//!   level 1 this means all distinct frequent nodes).
+//! * For rows `h ≥ 2` with flipping pruning on, a cell `Q(h,k)` receives the
+//!   **union** of
+//!   1. *vertical* candidates — children-combinations of the chain-alive
+//!      itemsets of `Q(h−1,k)` (§4.2.2: chain-broken itemsets are never
+//!      extended vertically), and
+//!   2. *horizontal* candidates — Apriori joins of the frequent itemsets of
+//!      `Q(h,k−1)` (§4.2.2: supersets of chain-broken itemsets must still be
+//!      counted).
+//!
+//!   The union is a completeness fix over a literal reading of the paper:
+//!   a viable superset's sub-itemsets need not be viable themselves
+//!   (correlation is not monotone), so the horizontal join alone can miss
+//!   viable candidates whose subsets were never counted; the vertical
+//!   children-combination of the (always present) viable parent recovers
+//!   them. `DESIGN.md` discusses this.
+//! * With flipping pruning off (BASIC), every row is mined independently by
+//!   plain Apriori and flips are recovered post-hoc — the paper's baseline.
+
+use crate::cell::{Cell, ItemsetInfo};
+use crate::config::FlipperConfig;
+use crate::results::{CellSummary, ChainLevel, FlippingPattern, MiningResult};
+use crate::stats::RunStats;
+use flipper_data::{Itemset, MultiLevelView, SupportCounter, TransactionDb};
+use flipper_measures::{CorrelationMeasure, Label, Thresholds};
+use flipper_taxonomy::{NodeId, Taxonomy};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Mine all flipping patterns from `db` under `tax` with configuration
+/// `cfg`. Convenience wrapper that builds the multi-level view internally;
+/// use [`mine_with_view`] to amortize the projection across runs.
+pub fn mine(tax: &Taxonomy, db: &TransactionDb, cfg: &FlipperConfig) -> MiningResult {
+    let view = MultiLevelView::build(db, tax);
+    mine_with_view(tax, &view, cfg)
+}
+
+/// Mine all flipping patterns using a prebuilt [`MultiLevelView`].
+pub fn mine_with_view(tax: &Taxonomy, view: &MultiLevelView, cfg: &FlipperConfig) -> MiningResult {
+    Miner::new(tax, view, cfg).run()
+}
+
+/// Per-row mutable state.
+struct RowState {
+    /// Evaluated cells of this row, keyed by itemset size `k`.
+    cells: HashMap<usize, Cell>,
+    /// Frequent 1-items at this level, ascending by node id.
+    freq_items: Vec<NodeId>,
+    /// Frequent 1-items sorted ascending by support (SIBP's list `L_h`).
+    by_support: Vec<NodeId>,
+    /// SIBP removal-candidate prefix `R_h(k)` per column.
+    removal_prefix: HashMap<usize, HashSet<NodeId>>,
+    /// SIBP-banned items: supersets of size > `ban_k` are pruned.
+    banned: HashMap<NodeId, usize>,
+    /// Total itemsets stored in this row (memory accounting).
+    stored: u64,
+}
+
+impl RowState {
+    fn is_banned(&self, item: NodeId, k: usize) -> bool {
+        self.banned.get(&item).is_some_and(|&ban_k| k > ban_k)
+    }
+}
+
+struct Miner<'a> {
+    tax: &'a Taxonomy,
+    cfg: &'a FlipperConfig,
+    counter: Box<dyn SupportCounter + 'a>,
+    /// Per-level absolute minimum supports (index `h-1`).
+    thetas: Vec<u64>,
+    /// Level-1 ancestor of every node (index = node id).
+    top_cat: Vec<NodeId>,
+    rows: Vec<RowState>,
+    stats: RunStats,
+    cells_out: Vec<CellSummary>,
+    /// Column bound: candidates with `k > k_cap` are never generated.
+    k_cap: usize,
+}
+
+impl<'a> Miner<'a> {
+    fn new(tax: &'a Taxonomy, view: &'a MultiLevelView, cfg: &'a FlipperConfig) -> Self {
+        assert_eq!(
+            view.height(),
+            tax.height(),
+            "view must be built from the same taxonomy"
+        );
+        let counter = cfg.engine.make(view);
+        let n = counter.num_transactions();
+        let height = tax.height();
+        let thetas = cfg.min_support.resolve(n, height);
+
+        let mut top_cat = vec![NodeId::ROOT; tax.node_count()];
+        for node in tax.node_ids().skip(1) {
+            top_cat[node.index()] = tax
+                .ancestor_at_level(node, 1)
+                .expect("non-root nodes have level-1 ancestors");
+        }
+
+        let mut rows = Vec::with_capacity(height);
+        for h in 1..=height {
+            let mut freq_items: Vec<NodeId> = counter
+                .present_items(h)
+                .iter()
+                .copied()
+                .filter(|&it| counter.item_support(h, it) >= thetas[h - 1])
+                .collect();
+            freq_items.sort_unstable();
+            let mut by_support = freq_items.clone();
+            by_support.sort_by_key(|&it| (counter.item_support(h, it), it));
+            rows.push(RowState {
+                cells: HashMap::new(),
+                freq_items,
+                by_support,
+                removal_prefix: HashMap::new(),
+                banned: HashMap::new(),
+                stored: 0,
+            });
+        }
+
+        // Column bound: distinct level-1 categories, the widest transaction,
+        // and the configured cap.
+        let cats = tax.nodes_at_level(1).map(|v| v.len()).unwrap_or(0);
+        let max_width = (0..view.num_transactions())
+            .map(|i| view.level(height).transaction(i).len())
+            .max()
+            .unwrap_or(0);
+        let mut k_cap = cats.min(max_width);
+        if let Some(mk) = cfg.max_k {
+            k_cap = k_cap.min(mk);
+        }
+
+        Miner {
+            tax,
+            cfg,
+            counter,
+            thetas,
+            top_cat,
+            rows,
+            stats: RunStats::default(),
+            cells_out: Vec::new(),
+            k_cap,
+        }
+    }
+
+    #[inline]
+    fn cat(&self, item: NodeId) -> NodeId {
+        self.top_cat[item.index()]
+    }
+
+    /// Parent itemset (generalization one level up). Items in candidates
+    /// descend from distinct categories, so parents never collide.
+    fn parent_set(&self, set: &Itemset) -> Itemset {
+        set.map(|it| {
+            self.tax
+                .parent(it)
+                .expect("items below level 1 have parents")
+        })
+    }
+
+    fn cell(&self, h: usize, k: usize) -> Option<&Cell> {
+        self.rows[h - 1].cells.get(&k)
+    }
+
+    // ---- candidate generation --------------------------------------------
+
+    /// All frequent-item pairs at level `h` from distinct categories,
+    /// subject to SIBP bans and (for flipping variants, `h ≥ 2`) to the
+    /// parent pair being chain-alive.
+    fn gen_pairs(&mut self, h: usize) -> Vec<Itemset> {
+        let row = &self.rows[h - 1];
+        let items = &row.freq_items;
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            if row.is_banned(x, 2) {
+                continue;
+            }
+            for &y in &items[i + 1..] {
+                if self.cat(x) == self.cat(y) {
+                    continue;
+                }
+                if row.is_banned(y, 2) {
+                    self.stats.pruned_by_sibp += 1;
+                    continue;
+                }
+                if self.cfg.pruning.flipping && h >= 2 {
+                    let parent = Itemset::pair(
+                        self.tax.parent(x).expect("below level 1"),
+                        self.tax.parent(y).expect("below level 1"),
+                    );
+                    let alive = self
+                        .cell(h - 1, 2)
+                        .and_then(|c| c.get(&parent))
+                        .is_some_and(|i| i.chain_alive);
+                    if !alive {
+                        continue;
+                    }
+                }
+                out.push(Itemset::pair(x, y));
+            }
+        }
+        out
+    }
+
+    /// Horizontal Apriori join over the frequent itemsets of `Q(h,k-1)`.
+    fn gen_horizontal(&mut self, h: usize, k: usize) -> Vec<Itemset> {
+        let Some(prev) = self.cell(h, k - 1) else {
+            return Vec::new();
+        };
+        let mut freq: Vec<&Itemset> = prev.frequent().map(|(s, _)| s).collect();
+        freq.sort_unstable();
+        let mut out = Vec::new();
+        // Join sets sharing their (k-2)-prefix; sorted order groups them.
+        let mut i = 0;
+        while i < freq.len() {
+            let prefix = &freq[i].items()[..k - 2];
+            let mut j = i;
+            while j < freq.len() && &freq[j].items()[..k - 2] == prefix {
+                j += 1;
+            }
+            for p in i..j {
+                for q in (p + 1)..j {
+                    let a = freq[p];
+                    let b = freq[q];
+                    let (la, lb) = (a.items()[k - 2], b.items()[k - 2]);
+                    if self.cat(la) == self.cat(lb) {
+                        continue;
+                    }
+                    let joined = a.apriori_join(b).expect("same prefix, distinct last items");
+                    out.push(joined);
+                }
+            }
+            i = j;
+        }
+        // Classic Apriori prune: every (k-1)-subset must be frequent in the
+        // previous cell. (Our cells can be unions wider than the pure join
+        // closure, so membership is checked explicitly.)
+        let prev = self.cell(h, k - 1).expect("checked above");
+        let mut kept = Vec::with_capacity(out.len());
+        let mut pruned = 0u64;
+        for cand in out {
+            let ok = cand
+                .subsets_k_minus_1()
+                .all(|s| prev.get(&s).is_some_and(|i| i.label != Label::Infrequent));
+            if ok {
+                kept.push(cand);
+            } else {
+                pruned += 1;
+            }
+        }
+        self.stats.pruned_by_support += pruned;
+        kept
+    }
+
+    /// Vertical candidates: children-combinations of chain-alive itemsets
+    /// of `Q(h-1,k)`, restricted to frequent level-`h` items.
+    fn gen_vertical(&mut self, h: usize, k: usize) -> Vec<Itemset> {
+        let Some(above) = self.cell(h - 1, k) else {
+            return Vec::new();
+        };
+        let row = &self.rows[h - 1];
+        let theta = self.thetas[h - 1];
+        let mut out = Vec::new();
+        let mut sibp_pruned = 0u64;
+        for (pset, _) in above.alive() {
+            // Per parent item: frequent, unbanned children at level h.
+            let lists: Vec<Vec<NodeId>> = pset
+                .items()
+                .iter()
+                .map(|&p| {
+                    self.tax
+                        .children(p)
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.counter.item_support(h, c) >= theta)
+                        .collect()
+                })
+                .collect();
+            if lists.iter().any(Vec::is_empty) {
+                continue;
+            }
+            // Cartesian product.
+            let mut combo = vec![0usize; k];
+            'outer: loop {
+                let items: Vec<NodeId> = combo
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| lists[i][c])
+                    .collect();
+                if items.iter().any(|&it| row.is_banned(it, k)) {
+                    sibp_pruned += 1;
+                } else {
+                    out.push(Itemset::new(items));
+                }
+                // Advance the odometer.
+                for i in (0..k).rev() {
+                    combo[i] += 1;
+                    if combo[i] < lists[i].len() {
+                        continue 'outer;
+                    }
+                    combo[i] = 0;
+                    if i == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        self.stats.pruned_by_sibp += sibp_pruned;
+        // Known-infrequent-subset prune: a (k-1)-subset *present* in
+        // Q(h,k-1) and labeled infrequent dooms the candidate. (Absent
+        // subsets carry no information — they may simply never have been
+        // candidates.)
+        if let Some(prev) = self.cell(h, k - 1) {
+            let mut kept = Vec::with_capacity(out.len());
+            let mut pruned = 0u64;
+            for cand in out {
+                let doomed = cand
+                    .subsets_k_minus_1()
+                    .any(|s| prev.get(&s).is_some_and(|i| i.label == Label::Infrequent));
+                if doomed {
+                    pruned += 1;
+                } else {
+                    kept.push(cand);
+                }
+            }
+            self.stats.pruned_by_support += pruned;
+            kept
+        } else {
+            out
+        }
+    }
+
+    fn gen_candidates(&mut self, h: usize, k: usize) -> Vec<Itemset> {
+        let mut cands = if k == 2 {
+            self.gen_pairs(h)
+        } else {
+            let mut c = self.gen_horizontal(h, k);
+            if self.cfg.pruning.flipping && h >= 2 {
+                c.extend(self.gen_vertical(h, k));
+            }
+            c
+        };
+        cands.sort_unstable();
+        cands.dedup();
+        cands
+    }
+
+    // ---- evaluation -------------------------------------------------------
+
+    /// Evaluate cell `Q(h,k)`: generate, count, label, compute chain
+    /// aliveness, record statistics.
+    fn eval_cell(&mut self, h: usize, k: usize) {
+        let candidates = self.gen_candidates(h, k);
+        self.stats.cells_evaluated += 1;
+        self.stats.candidates_generated += candidates.len() as u64;
+
+        let theta = self.thetas[h - 1];
+        let thresholds: Thresholds = self.cfg.thresholds;
+        let measure = self.cfg.measure;
+        let supports = self.counter.count_batch(h, &candidates);
+
+        let mut cell = Cell::new();
+        let mut max_corr: HashMap<NodeId, f64> = HashMap::new();
+        let (mut n_pos, mut n_neg, mut n_freq) = (0usize, 0usize, 0usize);
+        for (set, sup) in candidates.into_iter().zip(supports) {
+            let frequent = sup >= theta;
+            let (corr, label) = if frequent {
+                let item_sups: Vec<u64> = set
+                    .items()
+                    .iter()
+                    .map(|&it| self.counter.item_support(h, it))
+                    .collect();
+                let corr = measure.value(sup, &item_sups);
+                (corr, thresholds.label_frequent(corr))
+            } else {
+                (0.0, Label::Infrequent)
+            };
+            if frequent {
+                n_freq += 1;
+                match label {
+                    Label::Positive => n_pos += 1,
+                    Label::Negative => n_neg += 1,
+                    _ => {}
+                }
+            }
+            let chain_alive = label.is_correlated()
+                && (h == 1 || {
+                    let parent = self.parent_set(&set);
+                    self.cell(h - 1, k)
+                        .and_then(|c| c.get(&parent))
+                        .is_some_and(|pi| pi.chain_alive && pi.label.flips_to(label))
+                });
+            if self.cfg.pruning.sibp {
+                for &it in set.items() {
+                    let e = max_corr.entry(it).or_insert(0.0);
+                    if corr > *e {
+                        *e = corr;
+                    }
+                }
+            }
+            cell.insert(
+                set,
+                ItemsetInfo {
+                    support: sup,
+                    corr,
+                    label,
+                    chain_alive,
+                },
+            );
+        }
+
+        self.stats.frequent_found += n_freq as u64;
+        self.stats.positive_found += n_pos as u64;
+        self.stats.negative_found += n_neg as u64;
+        self.cells_out.push(CellSummary {
+            level: h,
+            k,
+            evaluated: cell.len(),
+            frequent: n_freq,
+            positive: n_pos,
+            negative: n_neg,
+            alive: cell.alive().count(),
+        });
+
+        let row = &mut self.rows[h - 1];
+        row.stored += cell.len() as u64;
+        self.stats.total_stored_itemsets += cell.len() as u64;
+        row.cells.insert(k, cell);
+        self.update_peak_resident(h);
+
+        if self.cfg.pruning.sibp {
+            self.sibp_after_cell(h, k, &max_corr);
+        }
+    }
+
+    /// Memory proxy: BASIC retains the whole table; the pruned variants
+    /// only ever need the previous row plus the current one (paper §5.2).
+    fn update_peak_resident(&mut self, h: usize) {
+        let resident: u64 = if self.cfg.pruning.flipping {
+            let prev = if h >= 2 { self.rows[h - 2].stored } else { 0 };
+            prev + self.rows[h - 1].stored
+        } else {
+            self.rows.iter().map(|r| r.stored).sum()
+        };
+        self.stats.peak_resident_itemsets = self.stats.peak_resident_itemsets.max(resident);
+    }
+
+    /// SIBP bookkeeping after a cell: compute the removal prefix `R_h(k)`
+    /// (maximal support-ascending prefix with per-cell max Corr < γ), then
+    /// ban items of `R_h(k)` whose generalization is in `R_{h-1}(k)`.
+    fn sibp_after_cell(&mut self, h: usize, k: usize, max_corr: &HashMap<NodeId, f64>) {
+        let gamma = self.cfg.thresholds.gamma;
+        let row = &self.rows[h - 1];
+        let mut prefix = HashSet::new();
+        for &item in &row.by_support {
+            let mc = max_corr.get(&item).copied().unwrap_or(0.0);
+            if mc < gamma {
+                prefix.insert(item);
+            } else {
+                break;
+            }
+        }
+        let banned_now: Vec<NodeId> = if h >= 2 {
+            let above = self.rows[h - 2].removal_prefix.get(&k);
+            prefix
+                .iter()
+                .copied()
+                .filter(|&it| {
+                    let parent = self.tax.parent(it).expect("below level 1");
+                    above.is_some_and(|r| r.contains(&parent))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let row = &mut self.rows[h - 1];
+        row.removal_prefix.insert(k, prefix);
+        for it in banned_now {
+            if row.banned.insert(it, k).is_none() {
+                self.stats.sibp_banned_items += 1;
+            }
+        }
+    }
+
+    // ---- driving loops ----------------------------------------------------
+
+    fn run(mut self) -> MiningResult {
+        let t0 = Instant::now();
+        let height = self.tax.height();
+        if height == 1 {
+            // A single level cannot flip; still mine row 1 so label counts
+            // (Table-4 style reporting) are available.
+            let mut k = 2;
+            while k <= self.k_cap {
+                self.eval_cell(1, k);
+                if self.cell(1, k).expect("just inserted").frequent_count() == 0 {
+                    break;
+                }
+                k += 1;
+            }
+            return self.finish(t0);
+        }
+
+        // Phase 1: zigzag over rows 1 and 2.
+        let mut row1_done = false;
+        let mut row2_done = false;
+        let mut k = 2;
+        while k <= self.k_cap && !(row1_done && row2_done) {
+            if !row1_done {
+                self.eval_cell(1, k);
+            }
+            if !row2_done {
+                self.eval_cell(2, k);
+            }
+            let c1_freq = self.cell(1, k).map_or(0, Cell::frequent_count);
+            let c2_freq = self.cell(2, k).map_or(0, Cell::frequent_count);
+            if self.cfg.pruning.tpg {
+                let np1 = self.cell(1, k).is_none_or(Cell::all_non_positive);
+                let np2 = self.cell(2, k).is_none_or(Cell::all_non_positive);
+                if np1 && np2 {
+                    // Theorem 3: no flipping pattern at any column ≥ k.
+                    self.stats.tpg_cap = k as u64;
+                    self.k_cap = k.saturating_sub(1).max(1);
+                    break;
+                }
+            }
+            if self.cfg.pruning.flipping {
+                // Row 1 cells are frequency-complete: no frequent k-itemset
+                // at level 1 ⇒ none larger ⇒ no flipping pattern beyond.
+                if c1_freq == 0 {
+                    break;
+                }
+                // Row 2 going silent does not by itself end the zigzag
+                // (vertical sources from row 1 may revive later columns).
+            } else {
+                row1_done = row1_done || c1_freq == 0;
+                row2_done = row2_done || c2_freq == 0;
+            }
+            k += 1;
+        }
+
+        // Phase 2: remaining rows, left to right.
+        for h in 3..=height {
+            // Largest column with vertical sources in the row above.
+            let alive_cols = self.rows[h - 2]
+                .cells
+                .iter()
+                .filter(|(_, c)| c.alive().next().is_some())
+                .map(|(&k, _)| k)
+                .max()
+                .unwrap_or(0);
+            let mut k = 2;
+            while k <= self.k_cap {
+                self.eval_cell(h, k);
+                let freq_here = self.cell(h, k).map_or(0, Cell::frequent_count);
+                if self.cfg.pruning.tpg {
+                    let np_above = self.cell(h - 1, k).is_none_or(Cell::all_non_positive);
+                    let np_here = self.cell(h, k).is_none_or(Cell::all_non_positive);
+                    if np_above && np_here {
+                        self.stats.tpg_cap = k as u64;
+                        self.k_cap = k.saturating_sub(1).max(1);
+                        break;
+                    }
+                }
+                if self.cfg.pruning.flipping {
+                    // No horizontal source left and no vertical source to
+                    // the right ⇒ all later cells of this row are empty.
+                    if freq_here == 0 && k >= alive_cols {
+                        break;
+                    }
+                } else if freq_here == 0 {
+                    break;
+                }
+                k += 1;
+            }
+        }
+        self.finish(t0)
+    }
+
+    fn finish(mut self, t0: Instant) -> MiningResult {
+        let patterns = self.extract_patterns();
+        self.stats.counter = self.counter.stats();
+        self.stats.elapsed = t0.elapsed();
+        let mut evaluated: Vec<(usize, Cell)> = Vec::new();
+        for (h, row) in self.rows.into_iter().enumerate() {
+            let mut ks: Vec<usize> = row.cells.keys().copied().collect();
+            ks.sort_unstable();
+            let mut cells = row.cells;
+            for k in ks {
+                let cell = cells.remove(&k).expect("key listed above");
+                evaluated.push((h + 1, cell));
+            }
+        }
+        MiningResult {
+            patterns,
+            stats: self.stats,
+            cells: self.cells_out,
+            evaluated,
+        }
+    }
+
+    /// Collect flipping patterns: chain-alive itemsets at the leaf level,
+    /// with their chains reconstructed from the stored cells.
+    fn extract_patterns(&self) -> Vec<FlippingPattern> {
+        let height = self.tax.height();
+        if height < 2 {
+            return Vec::new();
+        }
+        let mut patterns = Vec::new();
+        let leaf_row = &self.rows[height - 1];
+        let mut ks: Vec<usize> = leaf_row.cells.keys().copied().collect();
+        ks.sort_unstable();
+        for k in ks {
+            let cell = &leaf_row.cells[&k];
+            let mut alive: Vec<&Itemset> = cell.alive().map(|(s, _)| s).collect();
+            alive.sort_unstable();
+            for leaf_set in alive {
+                let mut chain = Vec::with_capacity(height);
+                let mut set = leaf_set.clone();
+                let mut ok = true;
+                for h in (1..=height).rev() {
+                    let info = match self.cell(h, k).and_then(|c| c.get(&set)) {
+                        Some(i) => i,
+                        None => {
+                            debug_assert!(false, "alive leaf itemset with missing ancestor cell");
+                            ok = false;
+                            break;
+                        }
+                    };
+                    chain.push(ChainLevel {
+                        level: h,
+                        itemset: set.clone(),
+                        support: info.support,
+                        corr: info.corr,
+                        label: info.label,
+                    });
+                    if h > 1 {
+                        set = self.parent_set(&set);
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                chain.reverse();
+                let p = FlippingPattern {
+                    leaf_itemset: leaf_set.clone(),
+                    chain,
+                };
+                debug_assert_eq!(p.validate(), Ok(()), "extracted pattern must be valid");
+                patterns.push(p);
+            }
+        }
+        patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MinSupports, PruningConfig};
+    use flipper_taxonomy::RebalancePolicy;
+
+    /// The paper's Fig. 4 toy dataset.
+    pub(crate) fn toy() -> (Taxonomy, TransactionDb) {
+        let tax = Taxonomy::from_edges(
+            [
+                ("a", ""),
+                ("b", ""),
+                ("a1", "a"),
+                ("a2", "a"),
+                ("b1", "b"),
+                ("b2", "b"),
+                ("a11", "a1"),
+                ("a12", "a1"),
+                ("a21", "a2"),
+                ("a22", "a2"),
+                ("b11", "b1"),
+                ("b12", "b1"),
+                ("b21", "b2"),
+                ("b22", "b2"),
+            ],
+            RebalancePolicy::RequireBalanced,
+        )
+        .unwrap();
+        let g = |s: &str| tax.node_by_name(s).unwrap();
+        let db = TransactionDb::new(vec![
+            vec![g("a11"), g("a22"), g("b11"), g("b22")],
+            vec![g("a11"), g("a21"), g("b11")],
+            vec![g("a12"), g("a21")],
+            vec![g("a12"), g("a22"), g("b21")],
+            vec![g("a12"), g("a22"), g("b21")],
+            vec![g("a12"), g("a21"), g("b22")],
+            vec![g("a21"), g("b12")],
+            vec![g("b12"), g("b21"), g("b22")],
+            vec![g("b12"), g("b21")],
+            vec![g("a22"), g("b12"), g("b22")],
+        ])
+        .unwrap();
+        (tax, db)
+    }
+
+    fn toy_config(pruning: PruningConfig) -> FlipperConfig {
+        FlipperConfig::new(Thresholds::new(0.6, 0.35), MinSupports::Counts(vec![1]))
+            .with_pruning(pruning)
+    }
+
+    #[test]
+    fn toy_example_finds_the_paper_pattern() {
+        let (tax, db) = toy();
+        for pruning in PruningConfig::VARIANTS {
+            let result = mine(&tax, &db, &toy_config(pruning));
+            let names: Vec<String> = result
+                .patterns
+                .iter()
+                .map(|p| p.leaf_itemset.display(&tax).to_string())
+                .collect();
+            assert_eq!(
+                names,
+                vec!["{a11, b11}".to_string()],
+                "variant {} found {names:?}",
+                pruning.name()
+            );
+            let p = &result.patterns[0];
+            assert_eq!(p.chain.len(), 3);
+            assert_eq!(p.chain[0].label, Label::Positive); // {a, b}
+            assert_eq!(p.chain[1].label, Label::Negative); // {a1, b1}
+            assert_eq!(p.chain[2].label, Label::Positive); // {a11, b11}
+            assert!((p.chain[0].corr - (7.0 / 8.0 + 7.0 / 9.0) / 2.0).abs() < 1e-12);
+            assert!((p.chain[1].corr - (2.0 / 6.0 + 2.0 / 6.0) / 2.0).abs() < 1e-12);
+            assert!((p.chain[2].corr - 1.0).abs() < 1e-12);
+            assert_eq!(p.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn basic_counts_more_candidates_than_pruned_variants() {
+        let (tax, db) = toy();
+        let basic = mine(&tax, &db, &toy_config(PruningConfig::BASIC));
+        let full = mine(&tax, &db, &toy_config(PruningConfig::FULL));
+        assert!(basic.stats.candidates_generated >= full.stats.candidates_generated);
+        assert_eq!(basic.patterns, full.patterns);
+    }
+
+    #[test]
+    fn support_threshold_prunes_pattern() {
+        // {a11, b11} has support 2 at the leaf level; θ₃ = 3 kills it.
+        let (tax, db) = toy();
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.6, 0.35),
+            MinSupports::Counts(vec![1, 1, 3]),
+        );
+        let result = mine(&tax, &db, &cfg);
+        assert!(result.patterns.is_empty());
+    }
+
+    #[test]
+    fn gamma_too_high_kills_chain() {
+        let (tax, db) = toy();
+        // Level-1 Kulc of {a,b} is ~0.826; γ=0.9 breaks the chain at the top.
+        let cfg = FlipperConfig::new(Thresholds::new(0.9, 0.35), MinSupports::Counts(vec![1]));
+        let result = mine(&tax, &db, &cfg);
+        assert!(result.patterns.is_empty());
+    }
+
+    #[test]
+    fn max_k_caps_columns() {
+        let (tax, db) = toy();
+        let cfg = toy_config(PruningConfig::BASIC).with_max_k(2);
+        let result = mine(&tax, &db, &cfg);
+        assert!(result.cells.iter().all(|c| c.k <= 2));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (tax, db) = toy();
+        let r = mine(&tax, &db, &toy_config(PruningConfig::FULL));
+        assert!(r.stats.cells_evaluated > 0);
+        assert!(r.stats.candidates_generated > 0);
+        assert!(r.stats.frequent_found > 0);
+        assert!(r.stats.peak_resident_itemsets > 0);
+        assert!(r.stats.elapsed.as_nanos() > 0);
+        assert_eq!(
+            r.stats.positive_found as usize,
+            r.cells.iter().map(|c| c.positive).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn single_level_taxonomy_yields_no_patterns() {
+        let tax = Taxonomy::from_edges(
+            [("x", ""), ("y", ""), ("z", "")],
+            RebalancePolicy::RequireBalanced,
+        )
+        .unwrap();
+        let x = tax.node_by_name("x").unwrap();
+        let y = tax.node_by_name("y").unwrap();
+        let z = tax.node_by_name("z").unwrap();
+        let db = TransactionDb::new(vec![vec![x, y], vec![x, y, z], vec![z]]).unwrap();
+        let r = mine(
+            &tax,
+            &db,
+            &FlipperConfig::new(Thresholds::new(0.5, 0.2), MinSupports::Counts(vec![1])),
+        );
+        assert!(r.patterns.is_empty());
+        assert!(
+            r.stats.cells_evaluated > 0,
+            "row 1 is still mined for label counts"
+        );
+    }
+
+    #[test]
+    fn same_category_pairs_are_never_candidates() {
+        let (tax, db) = toy();
+        let r = mine(&tax, &db, &toy_config(PruningConfig::BASIC));
+        // At level 2 the same-category pair {a1, a2} must not appear: check
+        // via cell summaries — level 2, k=2 has at most 4 cross pairs.
+        let c22 = r.cells.iter().find(|c| c.level == 2 && c.k == 2).unwrap();
+        assert!(
+            c22.evaluated <= 4,
+            "only cross-category level-2 pairs: {}",
+            c22.evaluated
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (tax, db) = toy();
+        let r1 = mine(&tax, &db, &toy_config(PruningConfig::FULL));
+        let r2 = mine(&tax, &db, &toy_config(PruningConfig::FULL));
+        assert_eq!(r1.patterns, r2.patterns);
+        assert_eq!(r1.stats.candidates_generated, r2.stats.candidates_generated);
+        assert_eq!(r1.cells, r2.cells);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests of miner-level invariants that hold for every input —
+//! complementing the brute-force differential tests in the integration
+//! crate with faster, structural checks.
+
+#![cfg(test)]
+
+use crate::config::{FlipperConfig, MinSupports, PruningConfig};
+use crate::miner::mine;
+use flipper_data::TransactionDb;
+use flipper_measures::{Label, Thresholds};
+use flipper_taxonomy::{NodeId, Taxonomy};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_input(
+    roots: usize,
+    fanout: usize,
+    height: usize,
+    n: usize,
+    seed: u64,
+) -> (Taxonomy, TransactionDb) {
+    let tax = Taxonomy::uniform(roots, fanout, height).unwrap();
+    let leaves = tax.leaves().to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<NodeId>> = (0..n)
+        .map(|_| {
+            let w = rng.gen_range(1..=4);
+            (0..w).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect()
+        })
+        .collect();
+    (tax, TransactionDb::new(rows).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every reported pattern validates (alternating, correlated chain of
+    /// consecutive levels ending at the leaf itemset).
+    #[test]
+    fn all_patterns_validate(seed in 0u64..2_000) {
+        let (tax, db) = random_input(2, 2, 3, 60, seed);
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.5, 0.25),
+            MinSupports::Counts(vec![1]),
+        );
+        let r = mine(&tax, &db, &cfg);
+        for p in &r.patterns {
+            prop_assert_eq!(p.validate(), Ok(()));
+            prop_assert_eq!(p.chain.len(), tax.height());
+        }
+    }
+
+    /// Cell summaries are internally consistent: per-label counts bound the
+    /// evaluated count, and alive itemsets are always correlated.
+    #[test]
+    fn cell_summaries_consistent(seed in 0u64..2_000) {
+        let (tax, db) = random_input(3, 2, 2, 50, seed);
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.6, 0.3),
+            MinSupports::Counts(vec![2, 1]),
+        );
+        let r = mine(&tax, &db, &cfg);
+        for c in &r.cells {
+            prop_assert!(c.positive + c.negative <= c.frequent);
+            prop_assert!(c.frequent <= c.evaluated);
+            prop_assert!(c.alive <= c.positive + c.negative);
+        }
+        for (_, cell) in &r.evaluated {
+            for (_, info) in cell.iter() {
+                if info.chain_alive {
+                    prop_assert!(info.label.is_correlated());
+                }
+                if info.label != Label::Infrequent {
+                    prop_assert!((0.0..=1.0).contains(&info.corr));
+                }
+            }
+        }
+    }
+
+    /// Monotonicity of the pruning stack: each additional technique never
+    /// *increases* generated candidates, and never changes the answer.
+    #[test]
+    fn pruning_stack_is_monotone_in_work(seed in 0u64..1_000) {
+        let (tax, db) = random_input(2, 2, 3, 80, seed);
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.5, 0.2),
+            MinSupports::Counts(vec![2, 1, 1]),
+        );
+        let runs: Vec<_> = PruningConfig::VARIANTS
+            .iter()
+            .map(|&p| mine(&tax, &db, &cfg.clone().with_pruning(p)))
+            .collect();
+        // Identical answers.
+        for w in runs.windows(2) {
+            prop_assert_eq!(&w[0].patterns, &w[1].patterns);
+        }
+        // BASIC does at least as much candidate work as the full stack.
+        prop_assert!(
+            runs[0].stats.candidates_generated >= runs[3].stats.candidates_generated
+        );
+        // TPG and SIBP never add work over plain flipping.
+        prop_assert!(runs[1].stats.candidates_generated >= runs[2].stats.candidates_generated);
+        prop_assert!(runs[2].stats.candidates_generated >= runs[3].stats.candidates_generated);
+    }
+
+    /// Raising minimum supports can only shrink the pattern set (flipping
+    /// patterns require frequency at every level).
+    #[test]
+    fn min_support_monotonicity(seed in 0u64..1_000, theta in 1u64..4) {
+        let (tax, db) = random_input(2, 2, 2, 60, seed);
+        let loose = FlipperConfig::new(
+            Thresholds::new(0.5, 0.25),
+            MinSupports::Counts(vec![theta]),
+        );
+        let tight = FlipperConfig::new(
+            Thresholds::new(0.5, 0.25),
+            MinSupports::Counts(vec![theta + 2]),
+        );
+        let many = mine(&tax, &db, &loose).patterns;
+        let few = mine(&tax, &db, &tight).patterns;
+        for p in &few {
+            prop_assert!(
+                many.iter().any(|q| q.leaf_itemset == p.leaf_itemset),
+                "tightening θ must not create new patterns"
+            );
+        }
+    }
+
+    /// Widening the (γ, ε) gap can only shrink the pattern set: a chain
+    /// that is positive at γ' ≥ γ and negative at ε' ≤ ε also qualifies at
+    /// the looser thresholds.
+    #[test]
+    fn threshold_gap_monotonicity(seed in 0u64..1_000) {
+        let (tax, db) = random_input(2, 2, 2, 60, seed);
+        let loose = FlipperConfig::new(
+            Thresholds::new(0.5, 0.3),
+            MinSupports::Counts(vec![1]),
+        );
+        let tight = FlipperConfig::new(
+            Thresholds::new(0.6, 0.2),
+            MinSupports::Counts(vec![1]),
+        );
+        let many = mine(&tax, &db, &loose).patterns;
+        let few = mine(&tax, &db, &tight).patterns;
+        for p in &few {
+            prop_assert!(
+                many.iter().any(|q| q.leaf_itemset == p.leaf_itemset),
+                "tightening (γ, ε) must not create new patterns"
+            );
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Dense bitmap support counting — a third engine for high-density data.
+//!
+//! Tid-lists win when items are sparse; when an item appears in a large
+//! fraction of transactions (common at shallow taxonomy levels, where a
+//! category may cover half the database), a packed bitmap with word-wise
+//! AND + popcount is both smaller and faster. [`BitsetCounter`] uses
+//! bitmaps for dense items and falls back to tid-lists for sparse ones.
+
+use crate::itemset::Itemset;
+use crate::projection::MultiLevelView;
+use crate::tidset::intersect_size_many;
+use flipper_taxonomy::NodeId;
+use std::collections::HashMap;
+
+/// A fixed-width packed bitmap over transaction ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap over `len` transactions.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from a sorted tid-list.
+    pub fn from_tids(tids: &[u32], len: usize) -> Self {
+        let mut b = Bitmap::zeros(len);
+        for &t in tids {
+            b.set(t as usize);
+        }
+        b
+    }
+
+    /// Number of transactions covered (bit capacity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Popcount of the AND of all `maps` (must share the same length).
+    pub fn and_count(maps: &[&Bitmap]) -> u64 {
+        let Some(first) = maps.first() else { return 0 };
+        debug_assert!(maps.iter().all(|m| m.len == first.len));
+        let mut n = 0u64;
+        for w in 0..first.words.len() {
+            let mut acc = first.words[w];
+            for m in &maps[1..] {
+                acc &= m.words[w];
+                if acc == 0 {
+                    break;
+                }
+            }
+            n += acc.count_ones() as u64;
+        }
+        n
+    }
+
+    /// Popcount of AND between a bitmap and a sorted tid-list (hybrid path).
+    pub fn and_tids_count(&self, tids: &[u32]) -> u64 {
+        tids.iter().filter(|&&t| self.get(t as usize)).count() as u64
+    }
+}
+
+/// Hybrid dense/sparse counting engine.
+///
+/// Items whose support exceeds `density_threshold × N` get a bitmap;
+/// everything else stays a tid-list. A candidate with at least one bitmap
+/// member is counted by filtering the *sparsest* tid-list through the
+/// bitmaps (or pure word-AND when all members are dense).
+pub struct BitsetCounter<'v> {
+    view: &'v MultiLevelView,
+    /// Bitmaps per level (index `h-1`), for dense items only.
+    bitmaps: Vec<HashMap<NodeId, Bitmap>>,
+    stats: crate::counting::CounterStats,
+}
+
+impl<'v> BitsetCounter<'v> {
+    /// Default density threshold: items covering ≥ 1/16 of transactions are
+    /// promoted to bitmaps.
+    pub const DEFAULT_DENSITY: f64 = 1.0 / 16.0;
+
+    /// Build the hybrid counter with the default density threshold.
+    pub fn new(view: &'v MultiLevelView) -> Self {
+        Self::with_density(view, Self::DEFAULT_DENSITY)
+    }
+
+    /// Build with an explicit density threshold in `[0, 1]`. A threshold of
+    /// 0 promotes every item; 1.0+ promotes none (degenerating to tid-lists).
+    pub fn with_density(view: &'v MultiLevelView, density: f64) -> Self {
+        assert!(density >= 0.0, "density threshold must be non-negative");
+        let n = view.num_transactions();
+        let cutoff = (density * n as f64) as u64;
+        let mut bitmaps = Vec::with_capacity(view.height());
+        for h in 1..=view.height() {
+            let lv = view.level(h);
+            let mut per_level = HashMap::new();
+            for &item in lv.present_items() {
+                if lv.item_support(item) >= cutoff.max(1) {
+                    per_level.insert(item, Bitmap::from_tids(lv.tidset(item), n));
+                }
+            }
+            bitmaps.push(per_level);
+        }
+        BitsetCounter {
+            view,
+            bitmaps,
+            stats: Default::default(),
+        }
+    }
+
+    /// How many items are bitmap-backed at level `h` (diagnostics).
+    pub fn dense_items(&self, h: usize) -> usize {
+        self.bitmaps[h - 1].len()
+    }
+}
+
+impl crate::counting::SupportCounter for BitsetCounter<'_> {
+    fn num_transactions(&self) -> u64 {
+        self.view.num_transactions() as u64
+    }
+
+    fn item_support(&self, h: usize, item: NodeId) -> u64 {
+        self.view.level(h).item_support(item)
+    }
+
+    fn present_items(&self, h: usize) -> &[NodeId] {
+        self.view.level(h).present_items()
+    }
+
+    fn count_batch(&mut self, h: usize, candidates: &[Itemset]) -> Vec<u64> {
+        let lv = self.view.level(h);
+        let maps = &self.bitmaps[h - 1];
+        self.stats.candidates_counted += candidates.len() as u64;
+        candidates
+            .iter()
+            .map(|c| {
+                self.stats.intersections += c.len().saturating_sub(1) as u64;
+                let mut dense: Vec<&Bitmap> = Vec::with_capacity(c.len());
+                let mut sparse: Vec<&[u32]> = Vec::new();
+                for &it in c.items() {
+                    match maps.get(&it) {
+                        Some(m) => dense.push(m),
+                        None => sparse.push(lv.tidset(it)),
+                    }
+                }
+                match (dense.is_empty(), sparse.is_empty()) {
+                    (true, _) => intersect_size_many(&sparse),
+                    (false, true) => Bitmap::and_count(&dense),
+                    (false, false) => {
+                        // Filter the smallest sparse list through everything.
+                        sparse.sort_by_key(|s| s.len());
+                        let base = sparse[0];
+                        base.iter()
+                            .filter(|&&t| {
+                                dense.iter().all(|m| m.get(t as usize))
+                                    && sparse[1..].iter().all(|s| s.binary_search(&t).is_ok())
+                            })
+                            .count() as u64
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn stats(&self) -> crate::counting::CounterStats {
+        self.stats
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "bitset"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::{SupportCounter, TidsetCounter};
+    use crate::transaction::TransactionDb;
+    use flipper_taxonomy::Taxonomy;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitmap_bounds_checked() {
+        let mut b = Bitmap::zeros(10);
+        b.set(10);
+    }
+
+    #[test]
+    fn bitmap_from_tids_roundtrip() {
+        let tids = vec![1u32, 5, 63, 64, 99];
+        let b = Bitmap::from_tids(&tids, 100);
+        assert_eq!(b.count_ones(), 5);
+        for &t in &tids {
+            assert!(b.get(t as usize));
+        }
+    }
+
+    #[test]
+    fn and_count_matches_manual() {
+        let a = Bitmap::from_tids(&[1, 2, 3, 70], 100);
+        let b = Bitmap::from_tids(&[2, 3, 70, 99], 100);
+        let c = Bitmap::from_tids(&[3, 70], 100);
+        assert_eq!(Bitmap::and_count(&[&a, &b]), 3);
+        assert_eq!(Bitmap::and_count(&[&a, &b, &c]), 2);
+        assert_eq!(Bitmap::and_count(&[]), 0);
+        assert_eq!(Bitmap::and_count(&[&a]), 4);
+    }
+
+    #[test]
+    fn and_tids_count_matches() {
+        let a = Bitmap::from_tids(&[1, 2, 3, 70], 100);
+        assert_eq!(a.and_tids_count(&[2, 50, 70]), 2);
+        assert_eq!(a.and_tids_count(&[]), 0);
+    }
+
+    fn random_setup(seed: u64) -> (Taxonomy, TransactionDb) {
+        let tax = Taxonomy::uniform(3, 3, 2).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<NodeId>> = (0..200)
+            .map(|_| {
+                let w = rng.gen_range(1..=6);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        (tax, TransactionDb::new(rows).unwrap())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// The hybrid engine agrees with the tid-list engine for every
+        /// density threshold (all-dense, mixed, all-sparse paths).
+        #[test]
+        fn bitset_agrees_with_tidset(seed in 0u64..1000, density in 0.0f64..1.2) {
+            let (tax, db) = random_setup(seed);
+            let view = MultiLevelView::build(&db, &tax);
+            let mut tc = TidsetCounter::new(&view);
+            let mut bc = BitsetCounter::with_density(&view, density);
+            for h in 1..=2 {
+                let nodes = tax.nodes_at_level(h).unwrap();
+                let mut cands = Vec::new();
+                for i in 0..nodes.len() {
+                    for j in (i + 1)..nodes.len() {
+                        cands.push(Itemset::pair(nodes[i], nodes[j]));
+                    }
+                }
+                // A triple too, exercising >2-way intersections.
+                if nodes.len() >= 3 {
+                    cands.push(Itemset::new(vec![nodes[0], nodes[1], nodes[2]]));
+                }
+                prop_assert_eq!(tc.count_batch(h, &cands), bc.count_batch(h, &cands));
+            }
+        }
+    }
+
+    #[test]
+    fn density_zero_promotes_everything() {
+        let (tax, db) = random_setup(1);
+        let view = MultiLevelView::build(&db, &tax);
+        let bc = BitsetCounter::with_density(&view, 0.0);
+        assert_eq!(bc.dense_items(1), view.level(1).present_items().len());
+        let bc = BitsetCounter::with_density(&view, 2.0);
+        assert_eq!(bc.dense_items(1), 0);
+    }
+
+    #[test]
+    fn engine_name_and_stats() {
+        let (tax, db) = random_setup(2);
+        let view = MultiLevelView::build(&db, &tax);
+        let mut bc = BitsetCounter::new(&view);
+        assert_eq!(bc.engine_name(), "bitset");
+        let nodes = tax.nodes_at_level(1).unwrap();
+        bc.count_batch(1, &[Itemset::pair(nodes[0], nodes[1])]);
+        assert_eq!(bc.stats().candidates_counted, 1);
+        assert_eq!(bc.num_transactions(), 200);
+    }
+}

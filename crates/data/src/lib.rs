@@ -1,0 +1,52 @@
+//! # flipper-data
+//!
+//! Transaction databases, multi-level taxonomy projections and support
+//! counting for flipping-correlation mining (Barsky et al., PVLDB 5(4),
+//! 2011).
+//!
+//! The mining algorithm evaluates `(h, k)`-itemsets: `k`-itemsets whose
+//! items have been generalized to taxonomy level `h`. This crate supplies
+//! everything below the algorithm:
+//!
+//! * [`Itemset`] — canonical sorted itemsets with Apriori joins;
+//! * [`TransactionDb`] — validated, canonicalized transactions over leaves;
+//! * [`MultiLevelView`] — the database projected to every abstraction level,
+//!   with per-item supports and tid-lists;
+//! * [`SupportCounter`] — batch support oracles: vertical
+//!   [`TidsetCounter`] and scan-based [`ScanCounter`];
+//! * [`mod@format`] — a text interchange format bundling taxonomy + data;
+//! * [`stats`] — dataset statistics.
+//!
+//! ```
+//! use flipper_taxonomy::{Taxonomy, RebalancePolicy};
+//! use flipper_data::{TransactionDb, MultiLevelView, TidsetCounter, SupportCounter, Itemset};
+//!
+//! let tax = Taxonomy::from_edges(
+//!     [("drinks", ""), ("food", ""), ("beer", "drinks"), ("bread", "food")],
+//!     RebalancePolicy::RequireBalanced).unwrap();
+//! let beer = tax.node_by_name("beer").unwrap();
+//! let bread = tax.node_by_name("bread").unwrap();
+//! let db = TransactionDb::new(vec![vec![beer, bread], vec![beer]]).unwrap();
+//!
+//! let view = MultiLevelView::build(&db, &tax);
+//! let mut counter = TidsetCounter::new(&view);
+//! let sup = counter.count_batch(2, &[Itemset::pair(beer, bread)]);
+//! assert_eq!(sup, vec![1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+mod counting;
+pub mod format;
+mod itemset;
+mod projection;
+pub mod stats;
+pub mod tidset;
+mod transaction;
+
+pub use bitset::{Bitmap, BitsetCounter};
+pub use counting::{CounterStats, CountingEngine, ScanCounter, SupportCounter, TidsetCounter};
+pub use itemset::Itemset;
+pub use projection::{LevelView, MultiLevelView};
+pub use transaction::{DataError, TransactionDb};

@@ -1,0 +1,307 @@
+//! Multi-level views of a transaction database through a taxonomy.
+//!
+//! An `(h, k)`-itemset is evaluated against the database in which every item
+//! has been replaced by its level-`h` generalization (paper §2.2, Fig. 4).
+//! [`MultiLevelView`] materializes that projection once per level, together
+//! with per-item supports and tid-lists, so the miner can evaluate any cell
+//! of the search table without touching the raw data again.
+
+use crate::transaction::TransactionDb;
+use flipper_taxonomy::{NodeId, Taxonomy};
+
+/// The projection of a database to one abstraction level.
+#[derive(Debug, Clone)]
+pub struct LevelView {
+    /// The abstraction level (1 = most general, `H` = leaves).
+    pub level: usize,
+    /// Projected transactions: items replaced by level-`level` ancestors,
+    /// re-sorted and deduplicated (generalization can merge siblings).
+    txns: Vec<Vec<NodeId>>,
+    /// Support of each node present at this level (indexed by node id;
+    /// absent nodes have support 0).
+    item_support: Vec<u64>,
+    /// Sorted transaction-id list per node id (empty for absent nodes).
+    tidsets: Vec<Vec<u32>>,
+    /// Nodes with non-zero support at this level, ascending by id.
+    present: Vec<NodeId>,
+}
+
+impl LevelView {
+    /// Projected transactions at this level.
+    pub fn transactions(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.txns.iter().map(Vec::as_slice)
+    }
+
+    /// Projected transaction by index.
+    #[inline]
+    pub fn transaction(&self, idx: usize) -> &[NodeId] {
+        &self.txns[idx]
+    }
+
+    /// Number of transactions (same at every level).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the view holds no transactions (never true for views built
+    /// from a valid database).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Support of a single node at this level.
+    #[inline]
+    pub fn item_support(&self, item: NodeId) -> u64 {
+        self.item_support.get(item.index()).copied().unwrap_or(0)
+    }
+
+    /// Sorted tid-list of a node (empty slice if absent).
+    #[inline]
+    pub fn tidset(&self, item: NodeId) -> &[u32] {
+        self.tidsets
+            .get(item.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Nodes with non-zero support at this level, ascending by id.
+    #[inline]
+    pub fn present_items(&self) -> &[NodeId] {
+        &self.present
+    }
+}
+
+/// Projections of one database to every level of a taxonomy.
+#[derive(Debug, Clone)]
+pub struct MultiLevelView {
+    levels: Vec<LevelView>, // levels[h-1] is level h
+    num_transactions: usize,
+}
+
+impl MultiLevelView {
+    /// Project `db` through `tax` at every level `1..=height`.
+    ///
+    /// The leaf level reuses the transactions as-is; shallower levels map
+    /// each item to its ancestor and deduplicate.
+    pub fn build(db: &TransactionDb, tax: &Taxonomy) -> Self {
+        let height = tax.height();
+        let node_count = tax.node_count();
+
+        // anc[node][h-1] = ancestor of `node` at level h (for h <= level(node)).
+        // Computed once by walking parents; ids are level-ordered so a
+        // node's parent entry is already filled when we reach it.
+        let mut levels: Vec<LevelView> = Vec::with_capacity(height);
+        for h in 1..=height {
+            let mut txns: Vec<Vec<NodeId>> = Vec::with_capacity(db.len());
+            let mut item_support = vec![0u64; node_count];
+            let mut tidsets: Vec<Vec<u32>> = vec![Vec::new(); node_count];
+            for (tid, txn) in db.iter().enumerate() {
+                let projected: Vec<NodeId> = if h == height {
+                    txn.to_vec()
+                } else {
+                    let mut v: Vec<NodeId> = txn
+                        .iter()
+                        .map(|&it| {
+                            tax.ancestor_at_level(it, h)
+                                .expect("leaf items always have ancestors at every level")
+                        })
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                for &it in &projected {
+                    item_support[it.index()] += 1;
+                    tidsets[it.index()].push(tid as u32);
+                }
+                txns.push(projected);
+            }
+            let present: Vec<NodeId> = (0..node_count)
+                .filter(|&i| item_support[i] > 0)
+                .map(NodeId::from_index)
+                .collect();
+            levels.push(LevelView {
+                level: h,
+                txns,
+                item_support,
+                tidsets,
+                present,
+            });
+        }
+        MultiLevelView {
+            levels,
+            num_transactions: db.len(),
+        }
+    }
+
+    /// The view at abstraction level `h` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `h` is 0 or exceeds the taxonomy height.
+    #[inline]
+    pub fn level(&self, h: usize) -> &LevelView {
+        assert!(
+            h >= 1 && h <= self.levels.len(),
+            "level {h} out of range 1..={}",
+            self.levels.len()
+        );
+        &self.levels[h - 1]
+    }
+
+    /// Number of abstraction levels (= taxonomy height).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of transactions.
+    #[inline]
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flipper_taxonomy::RebalancePolicy;
+
+    /// The Fig. 4 toy taxonomy and database.
+    pub(crate) fn toy() -> (Taxonomy, TransactionDb) {
+        let tax = Taxonomy::from_edges(
+            [
+                ("a", ""),
+                ("b", ""),
+                ("a1", "a"),
+                ("a2", "a"),
+                ("b1", "b"),
+                ("b2", "b"),
+                ("a11", "a1"),
+                ("a12", "a1"),
+                ("a21", "a2"),
+                ("a22", "a2"),
+                ("b11", "b1"),
+                ("b12", "b1"),
+                ("b21", "b2"),
+                ("b22", "b2"),
+            ],
+            RebalancePolicy::RequireBalanced,
+        )
+        .unwrap();
+        let g = |s: &str| tax.node_by_name(s).unwrap();
+        let rows = vec![
+            vec![g("a11"), g("a22"), g("b11"), g("b22")],
+            vec![g("a11"), g("a21"), g("b11")],
+            vec![g("a12"), g("a21")],
+            vec![g("a12"), g("a22"), g("b21")],
+            vec![g("a12"), g("a22"), g("b21")],
+            vec![g("a12"), g("a21"), g("b22")],
+            vec![g("a21"), g("b12")],
+            vec![g("b12"), g("b21"), g("b22")],
+            vec![g("b12"), g("b21")],
+            vec![g("a22"), g("b12"), g("b22")],
+        ];
+        let db = TransactionDb::new(rows).unwrap();
+        db.validate_against(&tax).unwrap();
+        (tax, db)
+    }
+
+    #[test]
+    fn leaf_level_is_identity() {
+        let (tax, db) = toy();
+        let mlv = MultiLevelView::build(&db, &tax);
+        assert_eq!(mlv.height(), 3);
+        assert_eq!(mlv.num_transactions(), 10);
+        for (i, txn) in db.iter().enumerate() {
+            assert_eq!(mlv.level(3).transaction(i), txn);
+        }
+    }
+
+    #[test]
+    fn level1_projection_matches_paper_figure() {
+        let (tax, db) = toy();
+        let mlv = MultiLevelView::build(&db, &tax);
+        let a = tax.node_by_name("a").unwrap();
+        let b = tax.node_by_name("b").unwrap();
+        let v1 = mlv.level(1);
+        // Fig. 4 right column: D3 = {a}, D8/D9 = {b}, everything else {a, b}.
+        assert_eq!(v1.transaction(2), &[a]);
+        assert_eq!(v1.transaction(7), &[b]);
+        assert_eq!(v1.transaction(8), &[b]);
+        assert_eq!(v1.transaction(0), &[a, b]);
+        // Supports from the figure: a appears in D1–D7 and D10 (8 rows);
+        // b appears everywhere except D3 (9 rows).
+        assert_eq!(v1.item_support(a), 8);
+        assert_eq!(v1.item_support(b), 9);
+    }
+
+    #[test]
+    fn level2_projection_merges_siblings() {
+        let (tax, db) = toy();
+        let mlv = MultiLevelView::build(&db, &tax);
+        let a1 = tax.node_by_name("a1").unwrap();
+        let a2 = tax.node_by_name("a2").unwrap();
+        let v2 = mlv.level(2);
+        // D2 = {a11, a21, b11} → {a1, a2, b1}: 3 distinct level-2 items.
+        assert_eq!(v2.transaction(1).len(), 3);
+        assert!(v2.transaction(1).contains(&a1));
+        assert!(v2.transaction(1).contains(&a2));
+        // Supports from Fig. 4 middle column.
+        assert_eq!(v2.item_support(a1), 6); // D1-D6
+        assert_eq!(v2.item_support(a2), 8); // D1-D7, D10
+    }
+
+    #[test]
+    fn tidsets_agree_with_supports() {
+        let (tax, db) = toy();
+        let mlv = MultiLevelView::build(&db, &tax);
+        for h in 1..=3 {
+            let v = mlv.level(h);
+            for &item in v.present_items() {
+                let tids = v.tidset(item);
+                assert_eq!(
+                    tids.len() as u64,
+                    v.item_support(item),
+                    "level {h} item {item}"
+                );
+                assert!(
+                    tids.windows(2).all(|w| w[0] < w[1]),
+                    "tidset must be sorted unique"
+                );
+                for &tid in tids {
+                    assert!(v.transaction(tid as usize).contains(&item));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absent_item_has_zero_support_and_empty_tidset() {
+        let (tax, db) = toy();
+        let mlv = MultiLevelView::build(&db, &tax);
+        let a11 = tax.node_by_name("a11").unwrap();
+        // a11 is a leaf; at level 1 only categories are present.
+        assert_eq!(mlv.level(1).item_support(a11), 0);
+        assert!(mlv.level(1).tidset(a11).is_empty());
+        assert!(!mlv.level(1).present_items().contains(&a11));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_zero_panics() {
+        let (tax, db) = toy();
+        let mlv = MultiLevelView::build(&db, &tax);
+        let _ = mlv.level(0);
+    }
+
+    #[test]
+    fn present_items_sorted_and_exact() {
+        let (tax, db) = toy();
+        let mlv = MultiLevelView::build(&db, &tax);
+        let v1 = mlv.level(1);
+        let names: Vec<&str> = v1.present_items().iter().map(|&n| tax.name(n)).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

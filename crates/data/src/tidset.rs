@@ -1,0 +1,174 @@
+//! Sorted transaction-id lists and fast intersections — the vertical
+//! counting primitive.
+
+/// Size of the intersection of two sorted, duplicate-free tid lists.
+///
+/// Uses a linear merge when the lists are of comparable length and galloping
+/// (exponential + binary search) when one list is much shorter — the common
+/// case when a rare item is intersected with a popular one.
+pub fn intersect_size(a: &[u32], b: &[u32]) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0;
+    }
+    // Galloping pays off when the length ratio is large.
+    if long.len() / short.len() >= 8 {
+        gallop_intersect_size(short, long)
+    } else {
+        merge_intersect_size(short, long)
+    }
+}
+
+/// Intersection of two sorted tid lists, materialized.
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn merge_intersect_size(a: &[u32], b: &[u32]) -> u64 {
+    let (mut i, mut j, mut n) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+fn gallop_intersect_size(short: &[u32], long: &[u32]) -> u64 {
+    let mut n = 0u64;
+    let mut base = 0usize;
+    for &x in short {
+        if base >= long.len() {
+            break;
+        }
+        // Exponential probe: find an index whose value is >= x.
+        let mut step = 1;
+        let mut hi = base + 1;
+        while hi < long.len() && long[hi] < x {
+            hi += step;
+            step *= 2;
+        }
+        let end = (hi + 1).min(long.len());
+        // First position in [base, end) with value >= x.
+        let pos = base + long[base..end].partition_point(|&v| v < x);
+        if pos < long.len() && long[pos] == x {
+            n += 1;
+            base = pos + 1;
+        } else {
+            base = pos;
+        }
+    }
+    n
+}
+
+/// Size of the intersection of `k ≥ 1` sorted tid lists.
+///
+/// Lists are processed shortest-first so the running intersection shrinks as
+/// fast as possible; returns early once it empties.
+pub fn intersect_size_many(lists: &[&[u32]]) -> u64 {
+    match lists.len() {
+        0 => 0,
+        1 => lists[0].len() as u64,
+        2 => intersect_size(lists[0], lists[1]),
+        _ => {
+            let mut order: Vec<usize> = (0..lists.len()).collect();
+            order.sort_by_key(|&i| lists[i].len());
+            let mut acc = intersect(lists[order[0]], lists[order[1]]);
+            for &i in &order[2..] {
+                if acc.is_empty() {
+                    return 0;
+                }
+                acc = intersect(&acc, lists[i]);
+            }
+            acc.len() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_intersections() {
+        assert_eq!(intersect_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(intersect_size(&[], &[1, 2]), 0);
+        assert_eq!(intersect_size(&[1, 2], &[]), 0);
+        assert_eq!(intersect_size(&[1, 2, 3], &[1, 2, 3]), 3);
+        assert_eq!(intersect(&[1, 3, 5], &[3, 4, 5]), vec![3, 5]);
+    }
+
+    #[test]
+    fn galloping_path_is_exercised() {
+        // short:long ratio >= 8 triggers galloping.
+        let long: Vec<u32> = (0..1000).collect();
+        let short = vec![0u32, 500, 999];
+        assert_eq!(intersect_size(&short, &long), 3);
+        let short = vec![1001u32, 1002];
+        assert_eq!(intersect_size(&short, &long), 0);
+    }
+
+    #[test]
+    fn many_way_intersection() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (0..100).step_by(2).collect();
+        let c: Vec<u32> = (0..100).step_by(3).collect();
+        // Multiples of 6 below 100: 0,6,...,96 → 17.
+        assert_eq!(intersect_size_many(&[&a, &b, &c]), 17);
+        assert_eq!(intersect_size_many(&[&a]), 100);
+        assert_eq!(intersect_size_many(&[]), 0);
+        // Early exit when the accumulator empties.
+        let d: Vec<u32> = vec![1000];
+        assert_eq!(intersect_size_many(&[&a, &d, &b, &c]), 0);
+    }
+
+    fn sorted_set() -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::btree_set(0u32..300, 0..80)
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+    }
+
+    proptest! {
+        #[test]
+        fn intersect_size_matches_naive(a in sorted_set(), b in sorted_set()) {
+            let naive = a.iter().filter(|x| b.contains(x)).count() as u64;
+            prop_assert_eq!(intersect_size(&a, &b), naive);
+            prop_assert_eq!(intersect_size(&b, &a), naive);
+            prop_assert_eq!(intersect(&a, &b).len() as u64, naive);
+        }
+
+        #[test]
+        fn gallop_matches_merge(a in sorted_set(), b in sorted_set()) {
+            prop_assert_eq!(
+                super::gallop_intersect_size(&a, &b),
+                super::merge_intersect_size(&a, &b)
+            );
+        }
+
+        #[test]
+        fn many_matches_pairwise(a in sorted_set(), b in sorted_set(), c in sorted_set()) {
+            let ab = intersect(&a, &b);
+            let expect = intersect(&ab, &c).len() as u64;
+            prop_assert_eq!(intersect_size_many(&[&a, &b, &c]), expect);
+        }
+    }
+}

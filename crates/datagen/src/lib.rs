@@ -1,0 +1,19 @@
+//! # flipper-datagen
+//!
+//! Dataset generators for flipping-correlation mining experiments:
+//!
+//! * [`quest`] — a reimplementation of the Srikant–Agrawal synthetic
+//!   generator used by the paper's §5.1 performance study;
+//! * [`planted`] — datasets with provable ground-truth flipping patterns,
+//!   for correctness tests;
+//! * [`surrogate`] — stand-ins for the paper's GROCERIES / CENSUS / MEDLINE
+//!   datasets with the qualitative flips of Figs. 10–12 planted.
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+
+pub mod planted;
+pub mod quest;
+mod rng_util;
+pub mod surrogate;

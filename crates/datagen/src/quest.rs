@@ -1,0 +1,260 @@
+//! Reimplementation of the Srikant–Agrawal synthetic data generator for
+//! generalized association mining (VLDB '95), the generator behind the
+//! paper's §5.1 performance experiments.
+//!
+//! The original is a C binary ("IBM Quest") that is no longer distributed;
+//! this module reproduces its statistical structure: a uniform taxonomy, a
+//! table of *potentially frequent itemsets* whose items chain between
+//! consecutive patterns (correlation), exponentially distributed pattern
+//! weights, per-pattern corruption, and Poisson transaction widths.
+
+use crate::rng_util::{exp1, normal, poisson, sample_cumulative};
+use flipper_data::TransactionDb;
+use flipper_taxonomy::{NodeId, Taxonomy};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Parameters of the synthetic generator. Defaults reproduce the paper's
+/// §5.1 setting: `N = 100K`, `W = 5`, `|I| ≈ 1000` (10 roots × fanout 5 ×
+/// 4 levels = 1250 leaves), `H = 4`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuestParams {
+    /// Number of transactions `N`.
+    pub num_transactions: usize,
+    /// Average transaction width `W` (Poisson mean).
+    pub avg_width: f64,
+    /// Level-1 categories ("roots" in the original generator).
+    pub roots: usize,
+    /// Children per internal node.
+    pub fanout: usize,
+    /// Taxonomy height `H`.
+    pub levels: usize,
+    /// Number of potentially frequent itemsets (`|L|` in the original).
+    pub num_patterns: usize,
+    /// Average pattern size (Poisson mean, min 1).
+    pub avg_pattern_len: f64,
+    /// Fraction of items a pattern borrows from its predecessor.
+    pub correlation: f64,
+    /// Mean corruption level (items dropped from a pattern instance).
+    pub corruption_mean: f64,
+    /// Corruption standard deviation.
+    pub corruption_dev: f64,
+    /// PRNG seed — generation is fully deterministic given the parameters.
+    pub seed: u64,
+}
+
+impl Default for QuestParams {
+    fn default() -> Self {
+        QuestParams {
+            num_transactions: 100_000,
+            avg_width: 5.0,
+            roots: 10,
+            fanout: 5,
+            levels: 4,
+            num_patterns: 500,
+            avg_pattern_len: 2.5,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_dev: 0.1,
+            seed: 0xF11BBE4,
+        }
+    }
+}
+
+impl QuestParams {
+    /// Builder-style setter for the transaction count.
+    pub fn with_transactions(mut self, n: usize) -> Self {
+        self.num_transactions = n;
+        self
+    }
+
+    /// Builder-style setter for the average width.
+    pub fn with_width(mut self, w: f64) -> Self {
+        self.avg_width = w;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated dataset: the taxonomy, the transactions, and the pattern
+/// table used to produce them (useful for debugging experiments).
+#[derive(Debug, Clone)]
+pub struct QuestData {
+    /// The uniform taxonomy.
+    pub taxonomy: Taxonomy,
+    /// The generated transactions.
+    pub db: TransactionDb,
+    /// The potentially frequent itemsets that seeded the data.
+    pub seed_patterns: Vec<Vec<NodeId>>,
+}
+
+/// Run the generator.
+pub fn generate(params: &QuestParams) -> QuestData {
+    assert!(params.num_transactions > 0, "need at least one transaction");
+    assert!(params.avg_width >= 1.0, "average width must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&params.correlation),
+        "correlation must be in [0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let taxonomy = Taxonomy::uniform(params.roots, params.fanout, params.levels)
+        .expect("uniform taxonomy parameters are validated");
+    let leaves: Vec<NodeId> = taxonomy.leaves().to_vec();
+
+    // --- Pattern table -----------------------------------------------------
+    // Item popularity is skewed: exponential weights over leaves.
+    let mut leaf_cum = Vec::with_capacity(leaves.len());
+    let mut acc = 0.0;
+    for _ in &leaves {
+        acc += exp1(&mut rng);
+        leaf_cum.push(acc);
+    }
+
+    let mut patterns: Vec<Vec<NodeId>> = Vec::with_capacity(params.num_patterns);
+    let mut corruption: Vec<f64> = Vec::with_capacity(params.num_patterns);
+    let mut weights_cum: Vec<f64> = Vec::with_capacity(params.num_patterns);
+    let mut wacc = 0.0;
+    for p in 0..params.num_patterns {
+        let len = poisson(&mut rng, params.avg_pattern_len).max(1);
+        let mut items: Vec<NodeId> = Vec::with_capacity(len);
+        // Borrow a prefix from the previous pattern (the generator's
+        // "correlation between consecutive itemsets").
+        if p > 0 {
+            let prev = &patterns[p - 1];
+            let borrow = ((len as f64) * params.correlation).round() as usize;
+            items.extend(prev.iter().take(borrow.min(len)).copied());
+        }
+        while items.len() < len {
+            let it = leaves[sample_cumulative(&mut rng, &leaf_cum)];
+            if !items.contains(&it) {
+                items.push(it);
+            }
+        }
+        items.sort_unstable();
+        items.dedup();
+        patterns.push(items);
+        corruption
+            .push(normal(&mut rng, params.corruption_mean, params.corruption_dev).clamp(0.0, 1.0));
+        wacc += exp1(&mut rng);
+        weights_cum.push(wacc);
+    }
+
+    // --- Transactions ------------------------------------------------------
+    let mut rows: Vec<Vec<NodeId>> = Vec::with_capacity(params.num_transactions);
+    for _ in 0..params.num_transactions {
+        let width = poisson(&mut rng, params.avg_width).max(1);
+        let mut txn: Vec<NodeId> = Vec::with_capacity(width + 4);
+        let mut guard = 0;
+        while txn.len() < width && guard < width * 8 {
+            guard += 1;
+            let pi = sample_cumulative(&mut rng, &weights_cum);
+            let c = corruption[pi];
+            for &item in &patterns[pi] {
+                // Corrupt: drop each item with probability c.
+                if rng.gen::<f64>() >= c {
+                    txn.push(item);
+                }
+            }
+        }
+        txn.sort_unstable();
+        txn.dedup();
+        txn.truncate(width.max(1));
+        if txn.is_empty() {
+            txn.push(leaves[sample_cumulative(&mut rng, &leaf_cum)]);
+        }
+        rows.push(txn);
+    }
+
+    let db = TransactionDb::new(rows).expect("generator never emits empty rows");
+    QuestData {
+        taxonomy,
+        db,
+        seed_patterns: patterns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> QuestParams {
+        QuestParams {
+            num_transactions: 2_000,
+            avg_width: 5.0,
+            roots: 4,
+            fanout: 3,
+            levels: 3,
+            num_patterns: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shape_matches_parameters() {
+        let d = generate(&small());
+        assert_eq!(d.db.len(), 2_000);
+        assert_eq!(d.taxonomy.height(), 3);
+        assert_eq!(d.taxonomy.leaf_count(), 4 * 3 * 3);
+        d.db.validate_against(&d.taxonomy).unwrap();
+        let w = d.db.avg_width();
+        assert!((3.0..7.0).contains(&w), "avg width {w} should be near 5");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.db, b.db);
+        assert_eq!(a.seed_patterns, b.seed_patterns);
+        let c = generate(&small().with_seed(99));
+        assert_ne!(a.db, c.db, "different seeds give different data");
+    }
+
+    #[test]
+    fn item_popularity_is_skewed() {
+        let d = generate(&small());
+        let stats = flipper_data::stats::DbStats::compute(&d.db);
+        assert!(
+            stats.max_item_support >= stats.median_item_support * 3,
+            "exponential weights should produce a skewed support distribution \
+             (max {}, median {})",
+            stats.max_item_support,
+            stats.median_item_support
+        );
+    }
+
+    #[test]
+    fn patterns_recur_in_transactions() {
+        // The most-used seed patterns should appear together far more often
+        // than random chance: verify the first multi-item pattern co-occurs.
+        let d = generate(&small());
+        let multi = d
+            .seed_patterns
+            .iter()
+            .find(|p| p.len() >= 2)
+            .expect("a multi-item pattern");
+        let pair = [multi[0], multi[1]];
+        let co =
+            d.db.iter()
+                .filter(|t| pair.iter().all(|it| t.contains(it)))
+                .count();
+        assert!(co > 0, "seeded pairs must co-occur");
+    }
+
+    #[test]
+    fn width_parameter_scales_width() {
+        let narrow = generate(&small().with_width(3.0));
+        let wide = generate(&small().with_width(8.0));
+        assert!(wide.db.avg_width() > narrow.db.avg_width() + 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transaction")]
+    fn zero_transactions_rejected() {
+        let _ = generate(&small().with_transactions(0));
+    }
+}

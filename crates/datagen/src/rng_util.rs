@@ -1,0 +1,98 @@
+//! Small sampling helpers shared by the generators.
+
+use rand::Rng;
+
+/// Sample from a Poisson distribution with mean `lambda` (Knuth's method —
+/// fine for the small means used by transaction/pattern widths).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    assert!(lambda > 0.0, "poisson mean must be positive");
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Numerical guard for very unlucky streaks.
+        if k > (lambda * 20.0 + 50.0) as usize {
+            return k;
+        }
+    }
+}
+
+/// Sample from an exponential distribution with mean 1.
+pub fn exp1<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln()
+}
+
+/// Sample an approximately normal value via the Irwin–Hall sum of 12
+/// uniforms (good enough for the corruption-level noise of the generator).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, dev: f64) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    mean + dev * s
+}
+
+/// Weighted index sampling from cumulative weights (must be non-empty,
+/// strictly increasing, ending at the total).
+pub fn sample_cumulative<R: Rng + ?Sized>(rng: &mut R, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty weights");
+    let x = rng.gen_range(0.0..total);
+    cumulative
+        .partition_point(|&c| c <= x)
+        .min(cumulative.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 5.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp1(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "exp mean {mean}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 0.5, 0.1)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01);
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn cumulative_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Weights 1, 3 → cumulative [1, 4]; index 1 about 3× as likely.
+        let cum = [1.0, 4.0];
+        let n = 10_000;
+        let ones = (0..n)
+            .filter(|_| sample_cumulative(&mut rng, &cum) == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn poisson_zero_possible_with_small_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..200).any(|_| poisson(&mut rng, 0.5) == 0));
+    }
+}

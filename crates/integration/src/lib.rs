@@ -1,0 +1,6 @@
+//! Cross-crate integration tests and the repository's runnable examples.
+//!
+//! This crate intentionally exports nothing: its value is in `tests/`
+//! (differential, planted-ground-truth and surrogate checks) and in the
+//! `examples/` directory at the repository root, which its manifest wires
+//! into Cargo example targets.

@@ -1,0 +1,170 @@
+//! Differential tests: every pruning variant of Flipper must produce
+//! exactly the brute-force set of flipping patterns.
+//!
+//! This is the strongest correctness guarantee in the repository: the
+//! paper's pruning theorems are exercised against exhaustive enumeration on
+//! randomized databases, taxonomy shapes, thresholds and measures.
+
+use flipper_core::{mine, verify::brute_force, FlipperConfig, MinSupports, PruningConfig};
+use flipper_data::TransactionDb;
+use flipper_measures::{Measure, Thresholds};
+use flipper_taxonomy::{NodeId, Taxonomy};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Random database over a uniform taxonomy.
+fn random_db(tax: &Taxonomy, n: usize, max_w: usize, seed: u64) -> TransactionDb {
+    let leaves = tax.leaves();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<NodeId>> = (0..n)
+        .map(|_| {
+            let w = rng.gen_range(1..=max_w);
+            (0..w)
+                .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                .collect()
+        })
+        .collect();
+    TransactionDb::new(rows).expect("rows non-empty")
+}
+
+fn leaf_sets(patterns: &[flipper_core::FlippingPattern]) -> Vec<String> {
+    let mut v: Vec<String> = patterns
+        .iter()
+        .map(|p| format!("{}", p.leaf_itemset))
+        .collect();
+    v.sort();
+    v
+}
+
+fn check_all_variants(tax: &Taxonomy, db: &TransactionDb, cfg: &FlipperConfig) {
+    let expected = leaf_sets(&brute_force(tax, db, cfg));
+    for pruning in PruningConfig::VARIANTS {
+        let got = leaf_sets(&mine(tax, db, &cfg.clone().with_pruning(pruning)).patterns);
+        assert_eq!(
+            got,
+            expected,
+            "variant {} disagrees with brute force (measure {:?}, γ={}, ε={})",
+            pruning.name(),
+            cfg.measure,
+            cfg.thresholds.gamma,
+            cfg.thresholds.epsilon,
+        );
+    }
+}
+
+#[test]
+fn equivalence_small_grid() {
+    // A deterministic grid of shapes × thresholds; fast enough for CI.
+    for (roots, fanout, height) in [(2usize, 2usize, 2usize), (3, 2, 3), (2, 3, 2)] {
+        let tax = Taxonomy::uniform(roots, fanout, height).unwrap();
+        for seed in 0..4u64 {
+            let db = random_db(&tax, 60, 4, seed);
+            for (gamma, eps) in [(0.5, 0.2), (0.7, 0.4), (0.3, 0.1)] {
+                let cfg = FlipperConfig::new(
+                    Thresholds::new(gamma, eps),
+                    MinSupports::Counts(vec![2, 1, 1]),
+                );
+                check_all_variants(&tax, &db, &cfg);
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_all_measures() {
+    let tax = Taxonomy::uniform(3, 2, 3).unwrap();
+    let db = random_db(&tax, 80, 5, 99);
+    for measure in Measure::ALL {
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.55, 0.25),
+            MinSupports::Counts(vec![2, 1, 1]),
+        )
+        .with_measure(measure);
+        check_all_variants(&tax, &db, &cfg);
+    }
+}
+
+#[test]
+fn equivalence_with_scan_engine() {
+    let tax = Taxonomy::uniform(3, 2, 2).unwrap();
+    let db = random_db(&tax, 70, 4, 7);
+    let cfg = FlipperConfig::new(Thresholds::new(0.5, 0.2), MinSupports::Counts(vec![1]))
+        .with_engine(flipper_data::CountingEngine::Scan);
+    check_all_variants(&tax, &db, &cfg);
+}
+
+#[test]
+fn equivalence_with_higher_min_support() {
+    let tax = Taxonomy::uniform(3, 2, 3).unwrap();
+    for seed in 0..3u64 {
+        let db = random_db(&tax, 120, 5, 1000 + seed);
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.6, 0.3),
+            MinSupports::Fractions(vec![0.2, 0.1, 0.05]),
+        );
+        check_all_variants(&tax, &db, &cfg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Randomized equivalence: shapes, sizes, thresholds and seeds drawn by
+    /// proptest; every variant must match brute force exactly.
+    #[test]
+    fn equivalence_randomized(
+        roots in 2usize..4,
+        fanout in 1usize..3,
+        height in 2usize..4,
+        n in 20usize..100,
+        max_w in 2usize..6,
+        seed in 0u64..10_000,
+        gamma_pct in 35u32..85,
+        eps_gap_pct in 5u32..30,
+        theta in 1u64..4,
+    ) {
+        let tax = Taxonomy::uniform(roots, fanout, height).unwrap();
+        let db = random_db(&tax, n, max_w, seed);
+        let gamma = gamma_pct as f64 / 100.0;
+        let eps = gamma - (eps_gap_pct as f64 / 100.0);
+        prop_assume!(eps >= 0.0);
+        let cfg = FlipperConfig::new(
+            Thresholds::new(gamma, eps),
+            MinSupports::Counts(vec![theta * 2, theta, 1]),
+        );
+        let expected = leaf_sets(&brute_force(&tax, &db, &cfg));
+        for pruning in PruningConfig::VARIANTS {
+            let got = leaf_sets(&mine(&tax, &db, &cfg.clone().with_pruning(pruning)).patterns);
+            prop_assert_eq!(
+                &got, &expected,
+                "variant {} diverged (roots={}, fanout={}, height={}, seed={})",
+                pruning.name(), roots, fanout, height, seed
+            );
+        }
+    }
+
+    /// Chains reported by the miner carry the exact supports and
+    /// correlations a direct recount produces.
+    #[test]
+    fn reported_chains_are_exact(seed in 0u64..500) {
+        let tax = Taxonomy::uniform(2, 2, 3).unwrap();
+        let db = random_db(&tax, 50, 4, seed);
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.5, 0.25),
+            MinSupports::Counts(vec![1]),
+        );
+        let result = mine(&tax, &db, &cfg);
+        let view = flipper_data::MultiLevelView::build(&db, &tax);
+        for p in &result.patterns {
+            prop_assert_eq!(p.validate(), Ok(()));
+            for lv in &p.chain {
+                let recount = view
+                    .level(lv.level)
+                    .transactions()
+                    .filter(|t| lv.itemset.items().iter().all(|it| t.contains(it)))
+                    .count() as u64;
+                prop_assert_eq!(lv.support, recount);
+            }
+        }
+    }
+}

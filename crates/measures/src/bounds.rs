@@ -1,0 +1,219 @@
+//! The pruning-enabling properties of null-invariant measures (Section 3 of
+//! the paper): the correlation upper bound (Theorem 1) and the special
+//! single-item bound (Theorem 2).
+//!
+//! These functions are expressed against a *support oracle* — any closure
+//! mapping a set of item indices to its support — so they can be checked
+//! against real databases in tests and reused by the miner's sanity
+//! assertions.
+
+use crate::null_invariant::CorrelationMeasure;
+
+/// Correlation of the sub-itemset of `items` selected by `idxs`, where
+/// `oracle(S)` returns the support of the itemset `{items[i] : i ∈ S}`.
+///
+/// `idxs` must be non-empty.
+pub fn corr_of_subset<M, F>(measure: &M, oracle: &F, idxs: &[usize]) -> f64
+where
+    M: CorrelationMeasure + ?Sized,
+    F: Fn(&[usize]) -> u64,
+{
+    let sup = oracle(idxs);
+    let item_sups: Vec<u64> = idxs.iter().map(|&i| oracle(&[i])).collect();
+    measure.value(sup, &item_sups)
+}
+
+/// Theorem 1's right-hand side: `max` of the correlations of all
+/// `(k−1)`-sub-itemsets of the `k`-itemset `{0, …, k−1}`.
+///
+/// Returns `None` for `k < 2` (a 1-itemset has no non-empty strict subsets).
+pub fn max_subset_corr<M, F>(measure: &M, oracle: &F, k: usize) -> Option<f64>
+where
+    M: CorrelationMeasure + ?Sized,
+    F: Fn(&[usize]) -> u64,
+{
+    if k < 2 {
+        return None;
+    }
+    let mut best = f64::NEG_INFINITY;
+    for omit in 0..k {
+        let idxs: Vec<usize> = (0..k).filter(|&i| i != omit).collect();
+        best = best.max(corr_of_subset(measure, oracle, &idxs));
+    }
+    Some(best)
+}
+
+/// Check Theorem 1 on a concrete itemset: `Corr(A) ≤ max_{B ⊂ A, |B|=k−1}
+/// Corr(B)` (up to floating-point slack).
+pub fn theorem1_holds<M, F>(measure: &M, oracle: &F, k: usize) -> bool
+where
+    M: CorrelationMeasure + ?Sized,
+    F: Fn(&[usize]) -> u64,
+{
+    let full: Vec<usize> = (0..k).collect();
+    let corr = corr_of_subset(measure, oracle, &full);
+    match max_subset_corr(measure, oracle, k) {
+        Some(bound) => corr <= bound + 1e-9,
+        None => true,
+    }
+}
+
+/// Check Theorem 2 on a concrete itemset `A = {0, …, k−1}` with the special
+/// item at index 0:
+///
+/// if (1) every `(k−1)`-subset of `A` containing item 0 has correlation
+/// `< γ`, and (2) some other item's support is `≥ sup(item 0)`, then
+/// `Corr(A) < γ`.
+///
+/// Returns `true` when the implication holds (vacuously true if the premise
+/// fails).
+pub fn theorem2_holds<M, F>(measure: &M, oracle: &F, k: usize, gamma: f64) -> bool
+where
+    M: CorrelationMeasure + ?Sized,
+    F: Fn(&[usize]) -> u64,
+{
+    if k < 3 {
+        // With k=2 the only (k−1)-subset containing item 0 is {0} itself
+        // (corr 1); the theorem is about growing beyond pairs.
+        return true;
+    }
+    let sup0 = oracle(&[0]);
+    let cond2 = (1..k).any(|i| oracle(&[i]) >= sup0);
+    if !cond2 {
+        return true;
+    }
+    let all_below = (1..k).all(|omit| {
+        let idxs: Vec<usize> = (0..k).filter(|&i| i != omit).collect();
+        corr_of_subset(measure, oracle, &idxs) < gamma
+    });
+    if !all_below {
+        return true;
+    }
+    let full: Vec<usize> = (0..k).collect();
+    corr_of_subset(measure, oracle, &full) < gamma + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::null_invariant::Measure;
+    use proptest::prelude::*;
+
+    /// A tiny transaction database over `n_items` items, as bit masks.
+    #[derive(Debug, Clone)]
+    struct TinyDb {
+        txns: Vec<u32>,
+    }
+
+    impl TinyDb {
+        fn oracle(&self) -> impl Fn(&[usize]) -> u64 + '_ {
+            move |idxs: &[usize]| {
+                let mask: u32 = idxs.iter().map(|&i| 1u32 << i).fold(0, |a, b| a | b);
+                self.txns.iter().filter(|&&t| t & mask == mask).count() as u64
+            }
+        }
+    }
+
+    fn arb_db(n_items: usize) -> impl Strategy<Value = TinyDb> {
+        // Each transaction is a random subset of items; ensure each single
+        // item occurs at least once so conditional probabilities are defined.
+        let full = (1u32 << n_items) - 1;
+        proptest::collection::vec(1..=full, 1..40).prop_map(move |mut txns| {
+            for i in 0..n_items {
+                txns.push(1 << i); // guarantee non-zero item supports
+            }
+            TinyDb { txns }
+        })
+    }
+
+    proptest! {
+        /// Theorem 1 holds for every measure on random databases, for
+        /// itemsets of size 2..=4.
+        #[test]
+        fn theorem1_on_random_dbs(db in arb_db(4)) {
+            let oracle = db.oracle();
+            for m in Measure::ALL {
+                for k in 2..=4 {
+                    prop_assert!(
+                        theorem1_holds(&m, &oracle, k),
+                        "theorem 1 violated for {:?} k={}", m, k
+                    );
+                }
+            }
+        }
+
+        /// Theorem 2 holds for every measure on random databases and a grid
+        /// of γ values.
+        #[test]
+        fn theorem2_on_random_dbs(db in arb_db(4), gamma in 0.05f64..0.95) {
+            let oracle = db.oracle();
+            for m in Measure::ALL {
+                for k in 3..=4 {
+                    prop_assert!(
+                        theorem2_holds(&m, &oracle, k, gamma),
+                        "theorem 2 violated for {:?} k={} gamma={}", m, k, gamma
+                    );
+                }
+            }
+        }
+
+        /// Anti-monotone measures satisfy the stronger subset-dominance:
+        /// the full itemset's correlation never exceeds *any* subset's.
+        /// (Only All-Confidence qualifies — the harmonic-mean Coherence is
+        /// not anti-monotone; see `coherence_harmonic_not_anti_monotone`.)
+        #[test]
+        fn anti_monotone_dominated_by_every_subset(db in arb_db(4)) {
+            let oracle = db.oracle();
+            for m in Measure::ALL.into_iter().filter(|m| m.is_anti_monotone()) {
+                let full: Vec<usize> = (0..4).collect();
+                let c = corr_of_subset(&m, &oracle, &full);
+                for omit in 0..4 {
+                    let idxs: Vec<usize> = (0..4).filter(|&i| i != omit).collect();
+                    let cs = corr_of_subset(&m, &oracle, &idxs);
+                    prop_assert!(c <= cs + 1e-9, "{:?}: {} > subset {}", m, c, cs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_subset_corr_requires_pairs() {
+        let db = TinyDb {
+            txns: vec![0b11, 0b01, 0b10],
+        };
+        let oracle = db.oracle();
+        assert!(max_subset_corr(&Measure::Kulczynski, &oracle, 1).is_none());
+        assert!(max_subset_corr(&Measure::Kulczynski, &oracle, 2).is_some());
+    }
+
+    #[test]
+    fn corr_of_subset_matches_direct_computation() {
+        // txns over items {0,1}: three containing both, one containing only 0.
+        let db = TinyDb {
+            txns: vec![0b11, 0b11, 0b11, 0b01],
+        };
+        let oracle = db.oracle();
+        let corr = corr_of_subset(&Measure::Kulczynski, &oracle, &[0, 1]);
+        // sup(01)=3, sup(0)=4, sup(1)=3 → (3/4 + 3/3)/2 = 0.875.
+        assert!((corr - 0.875).abs() < 1e-12);
+    }
+
+    /// The Kulc-specific worked example from the proof of Theorem 1: the
+    /// mean of subset Kulc values dominates the full-set Kulc.
+    #[test]
+    fn kulc_mean_of_subsets_dominates() {
+        let db = TinyDb {
+            txns: vec![0b111, 0b111, 0b011, 0b101, 0b110, 0b001, 0b010, 0b100],
+        };
+        let oracle = db.oracle();
+        let k = 3;
+        let full: Vec<usize> = (0..k).collect();
+        let full_corr = corr_of_subset(&Measure::Kulczynski, &oracle, &full);
+        let mut sum = 0.0;
+        for omit in 0..k {
+            let idxs: Vec<usize> = (0..k).filter(|&i| i != omit).collect();
+            sum += corr_of_subset(&Measure::Kulczynski, &oracle, &idxs);
+        }
+        assert!(full_corr <= sum / k as f64 + 1e-9);
+    }
+}

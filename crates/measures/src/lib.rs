@@ -1,0 +1,40 @@
+//! # flipper-measures
+//!
+//! Correlation measures for itemset mining, implementing Section 2–3 of
+//! Barsky et al., *Mining Flipping Correlations from Large Datasets with
+//! Taxonomies* (PVLDB 5(4), 2011).
+//!
+//! The crate provides:
+//!
+//! * the five **null-invariant** measures of the paper's Table 2 behind the
+//!   [`CorrelationMeasure`] trait ([`Measure`] enum): All-Confidence,
+//!   Coherence, Cosine, Kulczynski and Max-Confidence — all generalized
+//!   means of the conditional probabilities `P(A|aᵢ) = sup(A)/sup(aᵢ)`;
+//! * **expectation-based** measures (Lift, χ², φ) in [`expectation`], kept
+//!   only to reproduce the paper's Table 1 demonstration of their
+//!   instability under varying database size;
+//! * correlation [`Label`]s and [`Thresholds`] implementing Definition 1;
+//! * the pruning bounds of Theorems 1 and 2 in [`bounds`], checkable against
+//!   arbitrary support oracles.
+//!
+//! ```
+//! use flipper_measures::{Measure, CorrelationMeasure, Thresholds, Label};
+//!
+//! let kulc = Measure::Kulczynski;
+//! // sup(AB)=400, sup(A)=sup(B)=1000  →  Kulc = 0.40, regardless of N.
+//! let corr = kulc.pair(400, 1000, 1000);
+//! assert!((corr - 0.40).abs() < 1e-12);
+//!
+//! let thresholds = Thresholds::new(0.3, 0.1);
+//! assert_eq!(thresholds.label(corr, true), Label::Positive);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod expectation;
+mod label;
+mod null_invariant;
+
+pub use label::{Label, Thresholds};
+pub use null_invariant::{jaccard_pair, CorrelationMeasure, Measure};

@@ -1,0 +1,182 @@
+//! Graphviz DOT export for taxonomies — handy for inspecting the hierarchies
+//! behind discovered flipping patterns.
+
+use crate::node::NodeId;
+use crate::tree::Taxonomy;
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name after `digraph`.
+    pub graph_name: String,
+    /// Include the artificial root node.
+    pub include_root: bool,
+    /// Highlight these nodes (filled style), e.g. the members of a pattern.
+    pub highlight: Vec<NodeId>,
+    /// Maximum level to render (`None` = all levels).
+    pub max_level: Option<usize>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            graph_name: "taxonomy".to_string(),
+            include_root: false,
+            highlight: Vec::new(),
+            max_level: None,
+        }
+    }
+}
+
+/// Render `tax` as a Graphviz DOT digraph.
+pub fn to_dot(tax: &Taxonomy, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_id(&opts.graph_name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    let max_level = opts.max_level.unwrap_or(tax.height());
+    for id in tax.node_ids() {
+        let lvl = tax.level_of(id);
+        if lvl > max_level || (id.is_root() && !opts.include_root) {
+            continue;
+        }
+        let mut attrs = format!("label=\"{}\"", escape(tax.name(id)));
+        if opts.highlight.contains(&id) {
+            attrs.push_str(", style=filled, fillcolor=lightblue");
+        }
+        if tax.is_synthetic(id) {
+            attrs.push_str(", style=dashed");
+        }
+        let _ = writeln!(out, "  {} [{}];", id, attrs);
+    }
+    for id in tax.node_ids() {
+        if tax.level_of(id) > max_level {
+            continue;
+        }
+        if let Some(p) = tax.parent(id) {
+            if p.is_root() && !opts.include_root {
+                continue;
+            }
+            let _ = writeln!(out, "  {} -> {};", p, id);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn sanitize_id(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "taxonomy".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RebalancePolicy;
+
+    fn tax() -> Taxonomy {
+        Taxonomy::from_edges(
+            [
+                ("drinks", ""),
+                ("beer", "drinks"),
+                ("wine \"red\"", "drinks"),
+            ],
+            RebalancePolicy::RequireBalanced,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let t = tax();
+        let dot = to_dot(&t, &DotOptions::default());
+        assert!(dot.starts_with("digraph taxonomy {"));
+        assert!(dot.contains("label=\"beer\""));
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let t = tax();
+        let dot = to_dot(&t, &DotOptions::default());
+        assert!(dot.contains("wine \\\"red\\\""));
+    }
+
+    #[test]
+    fn root_excluded_by_default_included_on_request() {
+        let t = tax();
+        let without = to_dot(&t, &DotOptions::default());
+        assert!(!without.contains("<root>"));
+        let with = to_dot(
+            &t,
+            &DotOptions {
+                include_root: true,
+                ..Default::default()
+            },
+        );
+        assert!(with.contains("<root>"));
+    }
+
+    #[test]
+    fn highlight_marks_nodes() {
+        let t = tax();
+        let beer = t.node_by_name("beer").unwrap();
+        let dot = to_dot(
+            &t,
+            &DotOptions {
+                highlight: vec![beer],
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("fillcolor=lightblue"));
+    }
+
+    #[test]
+    fn graph_name_sanitized() {
+        let t = tax();
+        let dot = to_dot(
+            &t,
+            &DotOptions {
+                graph_name: "9 weird name!".to_string(),
+                ..Default::default()
+            },
+        );
+        assert!(dot.starts_with("digraph g9_weird_name_ {"));
+    }
+
+    #[test]
+    fn max_level_limits_depth() {
+        let t = Taxonomy::uniform(2, 2, 3).unwrap();
+        let dot = to_dot(
+            &t,
+            &DotOptions {
+                max_level: Some(1),
+                ..Default::default()
+            },
+        );
+        // Only the two level-1 nodes, no edges between rendered nodes.
+        assert!(dot.contains("label=\"c0\""));
+        assert!(!dot.contains("label=\"c0.0\""));
+    }
+}

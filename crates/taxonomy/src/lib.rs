@@ -1,0 +1,128 @@
+//! # flipper-taxonomy
+//!
+//! Taxonomy (*is-a* hierarchy) trees for multi-level correlation mining, as
+//! used by the Flipper algorithm of Barsky et al., *Mining Flipping
+//! Correlations from Large Datasets with Taxonomies* (PVLDB 5(4), 2011).
+//!
+//! A taxonomy maps every leaf item of a transaction database to a chain of
+//! generalizations: `canned beer → beer → drinks`. Flipping-pattern mining
+//! contrasts correlations of the *same* itemset at every abstraction level,
+//! which requires a **balanced** tree — every leaf at the same depth. This
+//! crate provides:
+//!
+//! * an arena-backed [`Taxonomy`] with O(1) parent/children/level access and
+//!   ancestor queries;
+//! * a [`TaxonomyBuilder`] accepting arbitrary (possibly unbalanced) input
+//!   and the two rebalancing strategies of the paper's Fig. 3
+//!   ([`RebalancePolicy::LeafCopy`] and [`RebalancePolicy::Truncate`]);
+//! * traversal iterators and Graphviz [`dot`] export.
+//!
+//! ```
+//! use flipper_taxonomy::{Taxonomy, RebalancePolicy};
+//!
+//! let tax = Taxonomy::from_edges(
+//!     [("drinks", ""), ("food", ""),
+//!      ("beer", "drinks"), ("soda", "drinks"),
+//!      ("bread", "food"), ("cheese", "food")],
+//!     RebalancePolicy::RequireBalanced,
+//! ).unwrap();
+//!
+//! let beer = tax.node_by_name("beer").unwrap();
+//! let drinks = tax.node_by_name("drinks").unwrap();
+//! assert_eq!(tax.ancestor_at_level(beer, 1).unwrap(), drinks);
+//! assert_eq!(tax.height(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+pub mod dot;
+mod error;
+pub mod iter;
+mod node;
+mod restrict;
+mod tree;
+
+pub use builder::{RebalancePolicy, TaxonomyBuilder};
+pub use error::TaxonomyError;
+pub use node::NodeId;
+pub use tree::Taxonomy;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: uniform trees over the small parameter grid exercised by
+    /// the algorithm (1–3 roots, fanout 1–3, height 1–3).
+    fn arb_taxonomy() -> impl Strategy<Value = Taxonomy> {
+        (1usize..4, 1usize..4, 1usize..4)
+            .prop_map(|(roots, fanout, height)| Taxonomy::uniform(roots, fanout, height).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn ancestor_levels_are_consistent(tax in arb_taxonomy()) {
+            for &leaf in tax.leaves() {
+                for h in 1..=tax.height() {
+                    let anc = tax.ancestor_at_level(leaf, h).unwrap();
+                    prop_assert_eq!(tax.level_of(anc), h);
+                    if h < tax.height() {
+                        prop_assert!(tax.is_ancestor(anc, leaf));
+                    } else {
+                        prop_assert_eq!(anc, leaf);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn leaf_descendants_partition_leaves(tax in arb_taxonomy()) {
+            // Leaf descendants of level-1 nodes partition the leaf set.
+            let mut all: Vec<NodeId> = Vec::new();
+            for &cat in tax.nodes_at_level(1).unwrap() {
+                all.extend(tax.leaf_descendants(cat));
+            }
+            all.sort_unstable();
+            prop_assert_eq!(all.as_slice(), tax.leaves());
+        }
+
+        #[test]
+        fn lca_is_symmetric_and_ancestral(tax in arb_taxonomy()) {
+            let leaves = tax.leaves();
+            for &a in leaves.iter().take(4) {
+                for &b in leaves.iter().rev().take(4) {
+                    let l = tax.lca(a, b);
+                    prop_assert_eq!(l, tax.lca(b, a));
+                    prop_assert!(l == a || tax.is_ancestor(l, a));
+                    prop_assert!(l == b || tax.is_ancestor(l, b));
+                }
+            }
+        }
+
+        #[test]
+        fn distance_is_a_metric_on_sampled_nodes(tax in arb_taxonomy()) {
+            let nodes: Vec<NodeId> = tax.node_ids().skip(1).collect();
+            let sample: Vec<NodeId> = nodes.iter().copied().take(6).collect();
+            for &a in &sample {
+                prop_assert_eq!(tax.distance(a, a), 0);
+                for &b in &sample {
+                    prop_assert_eq!(tax.distance(a, b), tax.distance(b, a));
+                    for &c in &sample {
+                        prop_assert!(
+                            tax.distance(a, c) <= tax.distance(a, b) + tax.distance(b, c)
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn serde_roundtrip(tax in arb_taxonomy()) {
+            let json = serde_json::to_string(&tax).unwrap();
+            let back: Taxonomy = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&tax, &back);
+            prop_assert!(back.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Threshold tuning walkthrough (paper §5.1 guidance and §7 future work).
+//!
+//! The paper advises: pick γ first, then start ε just below γ and lower it
+//! until a satisfactory number of flipping patterns emerges; per-level
+//! minimum supports should decrease with depth. This example walks that
+//! procedure on the GROCERIES surrogate and also demonstrates the top-K
+//! "most flipping" ranking proposed in the paper's conclusions.
+//!
+//! Run with: `cargo run --example threshold_tuning`
+
+use flipper_core::{mine_with_view, FlipperConfig, MinSupports};
+use flipper_data::MultiLevelView;
+use flipper_datagen::surrogate::groceries;
+use flipper_measures::Thresholds;
+
+fn main() {
+    let data = groceries(42);
+    let view = MultiLevelView::build(&data.db, &data.taxonomy);
+
+    let gamma = 0.15;
+    println!("γ fixed at {gamma}; lowering ε (paper's tuning recipe):");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "ε", "flips", "candidates", "time(ms)"
+    );
+    for eps_pct in [14, 12, 10, 8, 6, 4, 2] {
+        let eps = eps_pct as f64 / 100.0;
+        let cfg = FlipperConfig::new(
+            Thresholds::new(gamma, eps),
+            MinSupports::Fractions(data.min_support.clone()),
+        );
+        let result = mine_with_view(&data.taxonomy, &view, &cfg);
+        println!(
+            "{:>8.2} {:>10} {:>12} {:>12.1}",
+            eps,
+            result.patterns.len(),
+            result.stats.candidates_generated,
+            result.stats.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+
+    // Per-level support guidance: decreasing thresholds matter because item
+    // supports shrink with depth.
+    println!("\nper-level item-support profile (mean relative support):");
+    for ls in flipper_data::stats::level_stats(&data.db, &data.taxonomy) {
+        println!(
+            "  level {}: {} nodes, mean support {:.4}, max {:.4}",
+            ls.level, ls.distinct_nodes, ls.mean_rel_support, ls.max_rel_support
+        );
+    }
+
+    // Top-K most-flipping ranking (the paper's §7 proposal) at the final ε.
+    let cfg = FlipperConfig::new(
+        Thresholds::new(gamma, 0.10),
+        MinSupports::Fractions(data.min_support.clone()),
+    );
+    let result = mine_with_view(&data.taxonomy, &view, &cfg);
+    println!("\ntop-3 patterns by flip gap at (γ, ε) = (0.15, 0.10):");
+    for p in result.top_k_by_gap(3) {
+        println!("gap {:.3}:\n{}\n", p.flip_gap(), p.display(&data.taxonomy));
+    }
+}
