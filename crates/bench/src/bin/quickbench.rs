@@ -1,0 +1,101 @@
+//! Dependency-free fallback for `benches/paper_benches.rs`: times the same
+//! configurations with the `std::time::Instant` harness in
+//! [`flipper_bench::timing`] and prints fixed-width tables.
+//!
+//! Scale with `--scale <f>` (default 0.2 so a full run stays interactive;
+//! 1.0 matches the criterion bench inputs) and sample count with
+//! `--samples <n>`.
+
+use flipper_bench::timing::{time_fn, Timing};
+use flipper_bench::{print_table, scale_from_args};
+use flipper_core::{mine_with_view, FlipperConfig, MinSupports, PruningConfig};
+use flipper_data::{CountingEngine, MultiLevelView};
+use flipper_datagen::quest::{generate, QuestParams};
+use flipper_datagen::surrogate::groceries;
+use flipper_measures::{Measure, Thresholds};
+
+fn samples_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--samples")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(5)
+        .max(1)
+}
+
+fn main() {
+    let scale = scale_from_args(0.2);
+    let samples = samples_from_args();
+    let warmup = 1;
+    let headers = ["config", "median_ms", "min_ms", "mean_ms"];
+
+    // Fig. 8(a) shape: variants across support profiles (quest).
+    let n = (10_000.0 * scale).max(500.0) as usize;
+    let data = generate(&QuestParams::default().with_transactions(n));
+    let view = MultiLevelView::build(&data.db, &data.taxonomy);
+    let profiles: [(&str, [f64; 4]); 3] = [
+        ("thr1", [0.05, 0.05, 0.05, 0.05]),
+        ("thr5", [0.01, 0.0005, 0.0001, 0.0001]),
+        ("thr10", [0.001, 0.0001, 0.00006, 0.00003]),
+    ];
+    let mut rows: Vec<Timing> = Vec::new();
+    for (name, thetas) in profiles {
+        for pruning in PruningConfig::VARIANTS {
+            let cfg = FlipperConfig::new(
+                Thresholds::new(0.3, 0.1),
+                MinSupports::Fractions(thetas.to_vec()),
+            )
+            .with_pruning(pruning);
+            rows.push(time_fn(
+                format!("{name}/{}", pruning.name()),
+                warmup,
+                samples,
+                || mine_with_view(&data.taxonomy, &view, &cfg),
+            ));
+        }
+    }
+    print_table(
+        &format!("fig8a shape (quest, N = {n})"),
+        &headers,
+        &rows.iter().map(Timing::cells).collect::<Vec<_>>(),
+    );
+
+    // Fig. 9 shape plus engine/measure ablations on the GROCERIES surrogate.
+    let d = groceries(42);
+    let view = MultiLevelView::build(&d.db, &d.taxonomy);
+    let base = FlipperConfig::new(
+        Thresholds::new(d.thresholds.0, d.thresholds.1),
+        MinSupports::Fractions(d.min_support.clone()),
+    );
+
+    let mut rows: Vec<Timing> = Vec::new();
+    for pruning in [PruningConfig::FLIPPING, PruningConfig::FULL] {
+        let cfg = base.clone().with_pruning(pruning);
+        rows.push(time_fn(
+            format!("fig9/{}", pruning.name()),
+            warmup,
+            samples,
+            || mine_with_view(&d.taxonomy, &view, &cfg),
+        ));
+    }
+    for (name, engine) in [
+        ("tidset", CountingEngine::Tidset),
+        ("scan", CountingEngine::Scan),
+    ] {
+        let cfg = base.clone().with_engine(engine);
+        rows.push(time_fn(format!("counting/{name}"), warmup, samples, || {
+            mine_with_view(&d.taxonomy, &view, &cfg)
+        }));
+    }
+    for measure in Measure::ALL {
+        let cfg = base.clone().with_measure(measure);
+        rows.push(time_fn(format!("measure/{measure}"), warmup, samples, || {
+            mine_with_view(&d.taxonomy, &view, &cfg)
+        }));
+    }
+    print_table(
+        "fig9 + ablations (GROCERIES surrogate)",
+        &headers,
+        &rows.iter().map(Timing::cells).collect::<Vec<_>>(),
+    );
+}

@@ -3,14 +3,14 @@
 
 use flipper_data::CountingEngine;
 use flipper_measures::{Measure, Thresholds};
-use serde::{Deserialize, Serialize};
 
 /// Per-level minimum support thresholds `θ_1 ≥ θ_2 ≥ … ≥ θ_H`.
 ///
 /// The paper recommends non-increasing thresholds (deep levels hold many
 /// rare items). Values may be given as fractions of `N` or absolute counts;
 /// if fewer values than levels are supplied, the last value is repeated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MinSupports {
     /// Relative thresholds, each in `(0, 1]`, one per level starting at 1.
     Fractions(Vec<f64>),
@@ -62,7 +62,8 @@ impl Default for MinSupports {
 
 /// Which pruning techniques are active — the four cumulative variants the
 /// paper benchmarks in Fig. 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PruningConfig {
     /// Flipping-based pruning (§4.2.2): only chain-alive itemsets are
     /// extended vertically. Off = the BASIC level-wise Apriori baseline,

@@ -1,16 +1,19 @@
 //! Property tests of miner-level invariants that hold for every input —
 //! complementing the brute-force differential tests in the integration
 //! crate with faster, structural checks.
+//!
+//! Ported from `proptest` to deterministic seed sweeps for the offline
+//! (dependency-free) build: each retired strategy drew scalar seeds, so a
+//! fixed range loop reproduces the same coverage reproducibly.
 
 #![cfg(test)]
 
 use crate::config::{FlipperConfig, MinSupports, PruningConfig};
 use crate::miner::mine;
+use flipper_data::rng::{Rng, Xoshiro256pp};
 use flipper_data::TransactionDb;
 use flipper_measures::{Label, Thresholds};
 use flipper_taxonomy::{NodeId, Taxonomy};
-use proptest::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn random_input(
     roots: usize,
@@ -21,7 +24,7 @@ fn random_input(
 ) -> (Taxonomy, TransactionDb) {
     let tax = Taxonomy::uniform(roots, fanout, height).unwrap();
     let leaves = tax.leaves().to_vec();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let rows: Vec<Vec<NodeId>> = (0..n)
         .map(|_| {
             let w = rng.gen_range(1..=4);
@@ -31,13 +34,11 @@ fn random_input(
     (tax, TransactionDb::new(rows).unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    /// Every reported pattern validates (alternating, correlated chain of
-    /// consecutive levels ending at the leaf itemset).
-    #[test]
-    fn all_patterns_validate(seed in 0u64..2_000) {
+/// Every reported pattern validates (alternating, correlated chain of
+/// consecutive levels ending at the leaf itemset).
+#[test]
+fn all_patterns_validate() {
+    for seed in 0..32u64 {
         let (tax, db) = random_input(2, 2, 3, 60, seed);
         let cfg = FlipperConfig::new(
             Thresholds::new(0.5, 0.25),
@@ -45,15 +46,17 @@ proptest! {
         );
         let r = mine(&tax, &db, &cfg);
         for p in &r.patterns {
-            prop_assert_eq!(p.validate(), Ok(()));
-            prop_assert_eq!(p.chain.len(), tax.height());
+            assert_eq!(p.validate(), Ok(()), "seed {seed}");
+            assert_eq!(p.chain.len(), tax.height(), "seed {seed}");
         }
     }
+}
 
-    /// Cell summaries are internally consistent: per-label counts bound the
-    /// evaluated count, and alive itemsets are always correlated.
-    #[test]
-    fn cell_summaries_consistent(seed in 0u64..2_000) {
+/// Cell summaries are internally consistent: per-label counts bound the
+/// evaluated count, and alive itemsets are always correlated.
+#[test]
+fn cell_summaries_consistent() {
+    for seed in 0..32u64 {
         let (tax, db) = random_input(3, 2, 2, 50, seed);
         let cfg = FlipperConfig::new(
             Thresholds::new(0.6, 0.3),
@@ -61,26 +64,28 @@ proptest! {
         );
         let r = mine(&tax, &db, &cfg);
         for c in &r.cells {
-            prop_assert!(c.positive + c.negative <= c.frequent);
-            prop_assert!(c.frequent <= c.evaluated);
-            prop_assert!(c.alive <= c.positive + c.negative);
+            assert!(c.positive + c.negative <= c.frequent, "seed {seed}");
+            assert!(c.frequent <= c.evaluated, "seed {seed}");
+            assert!(c.alive <= c.positive + c.negative, "seed {seed}");
         }
         for (_, cell) in &r.evaluated {
             for (_, info) in cell.iter() {
                 if info.chain_alive {
-                    prop_assert!(info.label.is_correlated());
+                    assert!(info.label.is_correlated(), "seed {seed}");
                 }
                 if info.label != Label::Infrequent {
-                    prop_assert!((0.0..=1.0).contains(&info.corr));
+                    assert!((0.0..=1.0).contains(&info.corr), "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Monotonicity of the pruning stack: each additional technique never
-    /// *increases* generated candidates, and never changes the answer.
-    #[test]
-    fn pruning_stack_is_monotone_in_work(seed in 0u64..1_000) {
+/// Monotonicity of the pruning stack: each additional technique never
+/// *increases* generated candidates, and never changes the answer.
+#[test]
+fn pruning_stack_is_monotone_in_work() {
+    for seed in 0..32u64 {
         let (tax, db) = random_input(2, 2, 3, 80, seed);
         let cfg = FlipperConfig::new(
             Thresholds::new(0.5, 0.2),
@@ -92,45 +97,58 @@ proptest! {
             .collect();
         // Identical answers.
         for w in runs.windows(2) {
-            prop_assert_eq!(&w[0].patterns, &w[1].patterns);
+            assert_eq!(&w[0].patterns, &w[1].patterns, "seed {seed}");
         }
         // BASIC does at least as much candidate work as the full stack.
-        prop_assert!(
-            runs[0].stats.candidates_generated >= runs[3].stats.candidates_generated
+        assert!(
+            runs[0].stats.candidates_generated >= runs[3].stats.candidates_generated,
+            "seed {seed}"
         );
         // TPG and SIBP never add work over plain flipping.
-        prop_assert!(runs[1].stats.candidates_generated >= runs[2].stats.candidates_generated);
-        prop_assert!(runs[2].stats.candidates_generated >= runs[3].stats.candidates_generated);
+        assert!(
+            runs[1].stats.candidates_generated >= runs[2].stats.candidates_generated,
+            "seed {seed}"
+        );
+        assert!(
+            runs[2].stats.candidates_generated >= runs[3].stats.candidates_generated,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Raising minimum supports can only shrink the pattern set (flipping
-    /// patterns require frequency at every level).
-    #[test]
-    fn min_support_monotonicity(seed in 0u64..1_000, theta in 1u64..4) {
+/// Raising minimum supports can only shrink the pattern set (flipping
+/// patterns require frequency at every level).
+#[test]
+fn min_support_monotonicity() {
+    for seed in 0..16u64 {
         let (tax, db) = random_input(2, 2, 2, 60, seed);
-        let loose = FlipperConfig::new(
-            Thresholds::new(0.5, 0.25),
-            MinSupports::Counts(vec![theta]),
-        );
-        let tight = FlipperConfig::new(
-            Thresholds::new(0.5, 0.25),
-            MinSupports::Counts(vec![theta + 2]),
-        );
-        let many = mine(&tax, &db, &loose).patterns;
-        let few = mine(&tax, &db, &tight).patterns;
-        for p in &few {
-            prop_assert!(
-                many.iter().any(|q| q.leaf_itemset == p.leaf_itemset),
-                "tightening θ must not create new patterns"
+        for theta in 1..4u64 {
+            let loose = FlipperConfig::new(
+                Thresholds::new(0.5, 0.25),
+                MinSupports::Counts(vec![theta]),
             );
+            let tight = FlipperConfig::new(
+                Thresholds::new(0.5, 0.25),
+                MinSupports::Counts(vec![theta + 2]),
+            );
+            let many = mine(&tax, &db, &loose).patterns;
+            let few = mine(&tax, &db, &tight).patterns;
+            for p in &few {
+                assert!(
+                    many.iter().any(|q| q.leaf_itemset == p.leaf_itemset),
+                    "tightening θ must not create new patterns (seed {seed}, θ {theta})"
+                );
+            }
         }
     }
+}
 
-    /// Widening the (γ, ε) gap can only shrink the pattern set: a chain
-    /// that is positive at γ' ≥ γ and negative at ε' ≤ ε also qualifies at
-    /// the looser thresholds.
-    #[test]
-    fn threshold_gap_monotonicity(seed in 0u64..1_000) {
+/// Widening the (γ, ε) gap can only shrink the pattern set: a chain
+/// that is positive at γ' ≥ γ and negative at ε' ≤ ε also qualifies at
+/// the looser thresholds.
+#[test]
+fn threshold_gap_monotonicity() {
+    for seed in 0..32u64 {
         let (tax, db) = random_input(2, 2, 2, 60, seed);
         let loose = FlipperConfig::new(
             Thresholds::new(0.5, 0.3),
@@ -143,9 +161,9 @@ proptest! {
         let many = mine(&tax, &db, &loose).patterns;
         let few = mine(&tax, &db, &tight).patterns;
         for p in &few {
-            prop_assert!(
+            assert!(
                 many.iter().any(|q| q.leaf_itemset == p.leaf_itemset),
-                "tightening (γ, ε) must not create new patterns"
+                "tightening (γ, ε) must not create new patterns (seed {seed})"
             );
         }
     }

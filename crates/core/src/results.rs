@@ -3,11 +3,11 @@
 use flipper_data::Itemset;
 use flipper_measures::Label;
 use flipper_taxonomy::Taxonomy;
-use serde::Serialize;
 use std::fmt;
 
 /// One level of a flipping pattern's correlation chain.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ChainLevel {
     /// Abstraction level (1 = most general).
     pub level: usize,
@@ -24,7 +24,8 @@ pub struct ChainLevel {
 /// A flipping correlation pattern (Definition 2): a leaf itemset whose
 /// generalization chain alternates between positive and negative correlation
 /// at every abstraction level.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct FlippingPattern {
     /// The leaf-level itemset (the chain's last entry repeats it).
     pub leaf_itemset: Itemset,
@@ -109,7 +110,8 @@ impl fmt::Display for DisplayPattern<'_> {
 }
 
 /// Summary of one evaluated search-table cell, for reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct CellSummary {
     /// Abstraction level.
     pub level: usize,

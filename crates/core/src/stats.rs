@@ -2,7 +2,6 @@
 //! performance figures.
 
 use flipper_data::CounterStats;
-use serde::Serialize;
 use std::time::Duration;
 
 /// Counters accumulated over a mining run.
@@ -12,7 +11,8 @@ use std::time::Duration;
 /// peak number of simultaneously stored itemsets (the paper's memory
 /// driver) — those carry the ratios between pruning variants on any
 /// machine.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct RunStats {
     /// Candidates generated before counting (after all generation-time
     /// filters).
@@ -45,10 +45,10 @@ pub struct RunStats {
     /// less).
     pub total_stored_itemsets: u64,
     /// Counting-engine statistics.
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     pub counter: CounterStats,
     /// Wall-clock duration of the mining run.
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     pub elapsed: Duration,
 }
 

@@ -206,9 +206,8 @@ impl CountingEngine {
 mod tests {
     use super::*;
     use crate::transaction::TransactionDb;
+    use crate::rng::{Rng, Xoshiro256pp};
     use flipper_taxonomy::{RebalancePolicy, Taxonomy};
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn toy() -> (Taxonomy, TransactionDb) {
         let tax = Taxonomy::from_edges(
@@ -332,7 +331,7 @@ mod tests {
     fn engines_agree_with_reference_on_random_dbs() {
         let tax = Taxonomy::uniform(3, 2, 3).unwrap();
         let leaves = tax.leaves().to_vec();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         for _ in 0..10 {
             let rows: Vec<Vec<NodeId>> = (0..50)
                 .map(|_| {
@@ -370,15 +369,20 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Support of any pair is bounded by the min of item supports, and
-        /// monotone under generalization (an ancestor pair's support
-        /// dominates the leaf pair's support).
-        #[test]
-        fn generalization_monotonicity(seed in 0u64..500) {
+    /// Support of any pair is bounded by the min of item supports, and
+    /// monotone under generalization (an ancestor pair's support
+    /// dominates the leaf pair's support).
+    ///
+    /// Ported from a 256-case proptest drawing `seed in 0u64..500`; a fixed
+    /// sweep of 256 seeds keeps the case count deterministically. (The
+    /// retired `prop_assume!(p0 != p1)` is now an assert: the first and last
+    /// leaves of a 2-root uniform taxonomy always sit under different roots.)
+    #[test]
+    fn generalization_monotonicity() {
+        for seed in 0..256u64 {
             let tax = Taxonomy::uniform(2, 2, 2).unwrap();
             let leaves = tax.leaves().to_vec();
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
             let rows: Vec<Vec<NodeId>> = (0..30)
                 .map(|_| {
                     let w = rng.gen_range(1..=4);
@@ -393,11 +397,11 @@ mod tests {
             let l1 = *leaves.last().unwrap();
             let p0 = tax.ancestor_at_level(l0, 1).unwrap();
             let p1 = tax.ancestor_at_level(l1, 1).unwrap();
-            prop_assume!(p0 != p1);
+            assert_ne!(p0, p1, "cross-root leaves must generalize differently");
             let leaf_sup = c.count_batch(2, &[Itemset::pair(l0, l1)])[0];
             let gen_sup = c.count_batch(1, &[Itemset::pair(p0, p1)])[0];
-            prop_assert!(gen_sup >= leaf_sup);
-            prop_assert!(leaf_sup <= view.level(2).item_support(l0));
+            assert!(gen_sup >= leaf_sup, "seed {seed}");
+            assert!(leaf_sup <= view.level(2).item_support(l0), "seed {seed}");
         }
     }
 }

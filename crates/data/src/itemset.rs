@@ -1,7 +1,6 @@
 //! Sorted, duplicate-free itemsets and the Apriori-style operations on them.
 
 use flipper_taxonomy::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of items (taxonomy nodes), stored sorted and duplicate-free.
@@ -9,7 +8,8 @@ use std::fmt;
 /// The sorted representation makes equality, hashing, subset tests and the
 /// Apriori prefix-join cheap, and gives every itemset a canonical form so
 /// result sets are deterministic.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Itemset(Vec<NodeId>);
 
 impl Itemset {

@@ -41,6 +41,7 @@ mod counting;
 pub mod format;
 mod itemset;
 mod projection;
+pub mod rng;
 pub mod stats;
 pub mod tidset;
 mod transaction;

@@ -107,7 +107,7 @@ pub fn intersect_size_many(lists: &[&[u32]]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, Xoshiro256pp};
 
     #[test]
     fn basic_intersections() {
@@ -142,33 +142,53 @@ mod tests {
         assert_eq!(intersect_size_many(&[&a, &d, &b, &c]), 0);
     }
 
-    fn sorted_set() -> impl Strategy<Value = Vec<u32>> {
-        proptest::collection::btree_set(0u32..300, 0..80)
-            .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+    /// A random sorted, duplicate-free tid list with up to 79 entries drawn
+    /// from `0..300` — the shape the retired proptest strategy produced.
+    fn sorted_set(rng: &mut Xoshiro256pp) -> Vec<u32> {
+        let len = rng.gen_range(0..80usize);
+        let mut set = std::collections::BTreeSet::new();
+        for _ in 0..len {
+            set.insert(rng.gen_range(0..300u32));
+        }
+        set.into_iter().collect()
     }
 
-    proptest! {
-        #[test]
-        fn intersect_size_matches_naive(a in sorted_set(), b in sorted_set()) {
+    #[test]
+    fn intersect_size_matches_naive() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xA11CE);
+        for _ in 0..256 {
+            let a = sorted_set(&mut rng);
+            let b = sorted_set(&mut rng);
             let naive = a.iter().filter(|x| b.contains(x)).count() as u64;
-            prop_assert_eq!(intersect_size(&a, &b), naive);
-            prop_assert_eq!(intersect_size(&b, &a), naive);
-            prop_assert_eq!(intersect(&a, &b).len() as u64, naive);
+            assert_eq!(intersect_size(&a, &b), naive);
+            assert_eq!(intersect_size(&b, &a), naive);
+            assert_eq!(intersect(&a, &b).len() as u64, naive);
         }
+    }
 
-        #[test]
-        fn gallop_matches_merge(a in sorted_set(), b in sorted_set()) {
-            prop_assert_eq!(
+    #[test]
+    fn gallop_matches_merge() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xB0B);
+        for _ in 0..256 {
+            let a = sorted_set(&mut rng);
+            let b = sorted_set(&mut rng);
+            assert_eq!(
                 super::gallop_intersect_size(&a, &b),
                 super::merge_intersect_size(&a, &b)
             );
         }
+    }
 
-        #[test]
-        fn many_matches_pairwise(a in sorted_set(), b in sorted_set(), c in sorted_set()) {
+    #[test]
+    fn many_matches_pairwise() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xCAFE);
+        for _ in 0..256 {
+            let a = sorted_set(&mut rng);
+            let b = sorted_set(&mut rng);
+            let c = sorted_set(&mut rng);
             let ab = intersect(&a, &b);
             let expect = intersect(&ab, &c).len() as u64;
-            prop_assert_eq!(intersect_size_many(&[&a, &b, &c]), expect);
+            assert_eq!(intersect_size_many(&[&a, &b, &c]), expect);
         }
     }
 }

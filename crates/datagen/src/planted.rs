@@ -18,7 +18,7 @@
 
 use flipper_data::TransactionDb;
 use flipper_taxonomy::{NodeId, Taxonomy};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use flipper_data::rng::{Rng, Xoshiro256pp};
 
 /// Parameters of the planted-pattern generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,7 +88,7 @@ pub fn generate(params: &PlantedParams) -> PlantedData {
     );
     let taxonomy = Taxonomy::uniform(params.roots, params.fanout, 3)
         .expect("uniform parameters validated above");
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(params.seed);
     let mut rows: Vec<Vec<NodeId>> = Vec::new();
     let mut planted_pairs = Vec::new();
 

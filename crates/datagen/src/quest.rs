@@ -11,7 +11,7 @@
 use crate::rng_util::{exp1, normal, poisson, sample_cumulative};
 use flipper_data::TransactionDb;
 use flipper_taxonomy::{NodeId, Taxonomy};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use flipper_data::rng::{Rng, Xoshiro256pp};
 
 /// Parameters of the synthetic generator. Defaults reproduce the paper's
 /// §5.1 setting: `N = 100K`, `W = 5`, `|I| ≈ 1000` (10 roots × fanout 5 ×
@@ -100,7 +100,7 @@ pub fn generate(params: &QuestParams) -> QuestData {
         (0.0..=1.0).contains(&params.correlation),
         "correlation must be in [0,1]"
     );
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(params.seed);
     let taxonomy = Taxonomy::uniform(params.roots, params.fanout, params.levels)
         .expect("uniform taxonomy parameters are validated");
     let leaves: Vec<NodeId> = taxonomy.leaves().to_vec();

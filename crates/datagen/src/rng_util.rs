@@ -1,10 +1,10 @@
 //! Small sampling helpers shared by the generators.
 
-use rand::Rng;
+use flipper_data::rng::Rng;
 
 /// Sample from a Poisson distribution with mean `lambda` (Knuth's method —
 /// fine for the small means used by transaction/pattern widths).
-pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
     assert!(lambda > 0.0, "poisson mean must be positive");
     let l = (-lambda).exp();
     let mut k = 0usize;
@@ -23,21 +23,21 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
 }
 
 /// Sample from an exponential distribution with mean 1.
-pub fn exp1<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn exp1<R: Rng>(rng: &mut R) -> f64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     -u.ln()
 }
 
 /// Sample an approximately normal value via the Irwin–Hall sum of 12
 /// uniforms (good enough for the corruption-level noise of the generator).
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, dev: f64) -> f64 {
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, dev: f64) -> f64 {
     let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
     mean + dev * s
 }
 
 /// Weighted index sampling from cumulative weights (must be non-empty,
 /// strictly increasing, ending at the total).
-pub fn sample_cumulative<R: Rng + ?Sized>(rng: &mut R, cumulative: &[f64]) -> usize {
+pub fn sample_cumulative<R: Rng>(rng: &mut R, cumulative: &[f64]) -> usize {
     let total = *cumulative.last().expect("non-empty weights");
     let x = rng.gen_range(0.0..total);
     cumulative
@@ -48,11 +48,11 @@ pub fn sample_cumulative<R: Rng + ?Sized>(rng: &mut R, cumulative: &[f64]) -> us
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use flipper_data::rng::Xoshiro256pp;
 
     #[test]
     fn poisson_mean_is_close() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| poisson(&mut rng, 5.0) as f64).sum::<f64>() / n as f64;
         assert!((mean - 5.0).abs() < 0.1, "poisson mean {mean}");
@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn exponential_mean_is_close() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| exp1(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.05, "exp mean {mean}");
@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn normal_mean_and_spread() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 20_000;
         let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 0.5, 0.1)).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
@@ -79,7 +79,7 @@ mod tests {
 
     #[test]
     fn cumulative_sampling_respects_weights() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         // Weights 1, 3 → cumulative [1, 4]; index 1 about 3× as likely.
         let cum = [1.0, 4.0];
         let n = 10_000;
@@ -92,7 +92,7 @@ mod tests {
 
     #[test]
     fn poisson_zero_possible_with_small_mean() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         assert!((0..200).any(|_| poisson(&mut rng, 0.5) == 0));
     }
 }

@@ -19,7 +19,7 @@
 
 use flipper_data::TransactionDb;
 use flipper_taxonomy::{NodeId, RebalancePolicy, Taxonomy, TaxonomyBuilder};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use flipper_data::rng::{Rng, Xoshiro256pp};
 
 /// A generated surrogate dataset with its ground-truth planted flips.
 #[derive(Debug, Clone)]
@@ -301,7 +301,7 @@ pub fn groceries(seed: u64) -> SurrogateData {
             "black olives",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let background = 9_800usize.saturating_sub(rows.len());
     for _ in 0..background {
         let w = rng.gen_range(1..=4);
@@ -387,7 +387,7 @@ pub fn census(seed: u64) -> SurrogateData {
     let female = g("sex:female#1");
     let male = g("sex:male#1");
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut rows: Vec<Vec<NodeId>> = Vec::new();
     let n = 32_000usize;
 
@@ -598,7 +598,7 @@ pub fn medline(scale: f64, seed: u64) -> SurrogateData {
             "cortisol",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let target = ((640_000.0 * scale).round() as usize).max(rows.len() + 1);
     let background = target - rows.len();
     for _ in 0..background {

@@ -8,14 +8,13 @@
 use flipper_core::{mine, verify::brute_force, FlipperConfig, MinSupports, PruningConfig};
 use flipper_data::TransactionDb;
 use flipper_measures::{Measure, Thresholds};
+use flipper_data::rng::{Rng, Xoshiro256pp};
 use flipper_taxonomy::{NodeId, Taxonomy};
-use proptest::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Random database over a uniform taxonomy.
 fn random_db(tax: &Taxonomy, n: usize, max_w: usize, seed: u64) -> TransactionDb {
     let leaves = tax.leaves();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let rows: Vec<Vec<NodeId>> = (0..n)
         .map(|_| {
             let w = rng.gen_range(1..=max_w);
@@ -106,28 +105,31 @@ fn equivalence_with_higher_min_support() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Randomized equivalence: shapes, sizes, thresholds and seeds drawn by
-    /// proptest; every variant must match brute force exactly.
-    #[test]
-    fn equivalence_randomized(
-        roots in 2usize..4,
-        fanout in 1usize..3,
-        height in 2usize..4,
-        n in 20usize..100,
-        max_w in 2usize..6,
-        seed in 0u64..10_000,
-        gamma_pct in 35u32..85,
-        eps_gap_pct in 5u32..30,
-        theta in 1u64..4,
-    ) {
-        let tax = Taxonomy::uniform(roots, fanout, height).unwrap();
-        let db = random_db(&tax, n, max_w, seed);
+/// Randomized equivalence: shapes, sizes, thresholds and seeds drawn by a
+/// fixed meta-RNG (ported from a 48-case proptest); every variant must match
+/// brute force exactly.
+#[test]
+fn equivalence_randomized() {
+    let mut meta = Xoshiro256pp::seed_from_u64(0xE901_44A7);
+    let mut cases = 0;
+    while cases < 48 {
+        let roots = meta.gen_range(2usize..4);
+        let fanout = meta.gen_range(1usize..3);
+        let height = meta.gen_range(2usize..4);
+        let n = meta.gen_range(20usize..100);
+        let max_w = meta.gen_range(2usize..6);
+        let seed = meta.gen_range(0u64..10_000);
+        let gamma_pct = meta.gen_range(35u32..85);
+        let eps_gap_pct = meta.gen_range(5u32..30);
+        let theta = meta.gen_range(1u64..4);
         let gamma = gamma_pct as f64 / 100.0;
         let eps = gamma - (eps_gap_pct as f64 / 100.0);
-        prop_assume!(eps >= 0.0);
+        if eps < 0.0 {
+            continue;
+        }
+        cases += 1;
+        let tax = Taxonomy::uniform(roots, fanout, height).unwrap();
+        let db = random_db(&tax, n, max_w, seed);
         let cfg = FlipperConfig::new(
             Thresholds::new(gamma, eps),
             MinSupports::Counts(vec![theta * 2, theta, 1]),
@@ -135,18 +137,25 @@ proptest! {
         let expected = leaf_sets(&brute_force(&tax, &db, &cfg));
         for pruning in PruningConfig::VARIANTS {
             let got = leaf_sets(&mine(&tax, &db, &cfg.clone().with_pruning(pruning)).patterns);
-            prop_assert_eq!(
-                &got, &expected,
+            assert_eq!(
+                got,
+                expected,
                 "variant {} diverged (roots={}, fanout={}, height={}, seed={})",
-                pruning.name(), roots, fanout, height, seed
+                pruning.name(),
+                roots,
+                fanout,
+                height,
+                seed
             );
         }
     }
+}
 
-    /// Chains reported by the miner carry the exact supports and
-    /// correlations a direct recount produces.
-    #[test]
-    fn reported_chains_are_exact(seed in 0u64..500) {
+/// Chains reported by the miner carry the exact supports and
+/// correlations a direct recount produces.
+#[test]
+fn reported_chains_are_exact() {
+    for seed in 0..64u64 {
         let tax = Taxonomy::uniform(2, 2, 3).unwrap();
         let db = random_db(&tax, 50, 4, seed);
         let cfg = FlipperConfig::new(
@@ -156,14 +165,14 @@ proptest! {
         let result = mine(&tax, &db, &cfg);
         let view = flipper_data::MultiLevelView::build(&db, &tax);
         for p in &result.patterns {
-            prop_assert_eq!(p.validate(), Ok(()));
+            assert_eq!(p.validate(), Ok(()), "seed {seed}");
             for lv in &p.chain {
                 let recount = view
                     .level(lv.level)
                     .transactions()
                     .filter(|t| lv.itemset.items().iter().all(|it| t.contains(it)))
                     .count() as u64;
-                prop_assert_eq!(lv.support, recount);
+                assert_eq!(lv.support, recount, "seed {seed}");
             }
         }
     }

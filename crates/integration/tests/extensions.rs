@@ -7,7 +7,7 @@ use flipper_data::CountingEngine;
 use flipper_datagen::planted::{self, PlantedParams};
 use flipper_measures::Thresholds;
 use flipper_taxonomy::{NodeId, Taxonomy};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use flipper_data::rng::{Rng, Xoshiro256pp};
 
 fn planted_cfg() -> FlipperConfig {
     let (g, e) = planted::recommended_thresholds();
@@ -107,7 +107,7 @@ fn restricted_levels_keep_bottom_flip() {
 fn bitset_engine_matches_tidset_in_mining() {
     let tax = Taxonomy::uniform(3, 2, 3).unwrap();
     let leaves = tax.leaves().to_vec();
-    let mut rng = StdRng::seed_from_u64(2024);
+    let mut rng = Xoshiro256pp::seed_from_u64(2024);
     for _ in 0..5 {
         let rows: Vec<Vec<NodeId>> = (0..150)
             .map(|_| {

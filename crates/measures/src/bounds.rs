@@ -97,7 +97,7 @@ where
 mod tests {
     use super::*;
     use crate::null_invariant::Measure;
-    use proptest::prelude::*;
+    use flipper_data::rng::{Rng, Xoshiro256pp};
 
     /// A tiny transaction database over `n_items` items, as bit masks.
     #[derive(Debug, Clone)]
@@ -114,55 +114,74 @@ mod tests {
         }
     }
 
-    fn arb_db(n_items: usize) -> impl Strategy<Value = TinyDb> {
-        // Each transaction is a random subset of items; ensure each single
-        // item occurs at least once so conditional probabilities are defined.
+    /// A random database over `n_items` items, as the retired proptest
+    /// strategy built it: 1–39 random non-empty transactions plus one
+    /// singleton per item so conditional probabilities are defined.
+    fn random_db(rng: &mut Xoshiro256pp, n_items: usize) -> TinyDb {
         let full = (1u32 << n_items) - 1;
-        proptest::collection::vec(1..=full, 1..40).prop_map(move |mut txns| {
-            for i in 0..n_items {
-                txns.push(1 << i); // guarantee non-zero item supports
-            }
-            TinyDb { txns }
-        })
+        let len = rng.gen_range(1..40usize);
+        let mut txns: Vec<u32> = (0..len).map(|_| rng.gen_range(1..=full)).collect();
+        for i in 0..n_items {
+            txns.push(1 << i); // guarantee non-zero item supports
+        }
+        TinyDb { txns }
     }
 
-    proptest! {
-        /// Theorem 1 holds for every measure on random databases, for
-        /// itemsets of size 2..=4.
-        #[test]
-        fn theorem1_on_random_dbs(db in arb_db(4)) {
+    /// Theorem 1 holds for every measure on random databases, for
+    /// itemsets of size 2..=4.
+    #[test]
+    fn theorem1_on_random_dbs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x7101);
+        for _ in 0..256 {
+            let db = random_db(&mut rng, 4);
             let oracle = db.oracle();
             for m in Measure::ALL {
                 for k in 2..=4 {
-                    prop_assert!(
+                    assert!(
                         theorem1_holds(&m, &oracle, k),
-                        "theorem 1 violated for {:?} k={}", m, k
+                        "theorem 1 violated for {:?} k={} db={:?}",
+                        m,
+                        k,
+                        db
                     );
                 }
             }
         }
+    }
 
-        /// Theorem 2 holds for every measure on random databases and a grid
-        /// of γ values.
-        #[test]
-        fn theorem2_on_random_dbs(db in arb_db(4), gamma in 0.05f64..0.95) {
+    /// Theorem 2 holds for every measure on random databases and a grid
+    /// of γ values.
+    #[test]
+    fn theorem2_on_random_dbs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x7102);
+        for _ in 0..256 {
+            let db = random_db(&mut rng, 4);
+            let gamma = rng.gen_range(0.05..0.95);
             let oracle = db.oracle();
             for m in Measure::ALL {
                 for k in 3..=4 {
-                    prop_assert!(
+                    assert!(
                         theorem2_holds(&m, &oracle, k, gamma),
-                        "theorem 2 violated for {:?} k={} gamma={}", m, k, gamma
+                        "theorem 2 violated for {:?} k={} gamma={} db={:?}",
+                        m,
+                        k,
+                        gamma,
+                        db
                     );
                 }
             }
         }
+    }
 
-        /// Anti-monotone measures satisfy the stronger subset-dominance:
-        /// the full itemset's correlation never exceeds *any* subset's.
-        /// (Only All-Confidence qualifies — the harmonic-mean Coherence is
-        /// not anti-monotone; see `coherence_harmonic_not_anti_monotone`.)
-        #[test]
-        fn anti_monotone_dominated_by_every_subset(db in arb_db(4)) {
+    /// Anti-monotone measures satisfy the stronger subset-dominance:
+    /// the full itemset's correlation never exceeds *any* subset's.
+    /// (Only All-Confidence qualifies — the harmonic-mean Coherence is
+    /// not anti-monotone; see `coherence_harmonic_not_anti_monotone`.)
+    #[test]
+    fn anti_monotone_dominated_by_every_subset() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x7103);
+        for _ in 0..256 {
+            let db = random_db(&mut rng, 4);
             let oracle = db.oracle();
             for m in Measure::ALL.into_iter().filter(|m| m.is_anti_monotone()) {
                 let full: Vec<usize> = (0..4).collect();
@@ -170,7 +189,7 @@ mod tests {
                 for omit in 0..4 {
                     let idxs: Vec<usize> = (0..4).filter(|&i| i != omit).collect();
                     let cs = corr_of_subset(&m, &oracle, &idxs);
-                    prop_assert!(c <= cs + 1e-9, "{:?}: {} > subset {}", m, c, cs);
+                    assert!(c <= cs + 1e-9, "{:?}: {} > subset {}", m, c, cs);
                 }
             }
         }

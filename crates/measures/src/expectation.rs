@@ -7,10 +7,10 @@
 //! want to compare; the mining algorithm itself only accepts null-invariant
 //! measures.
 
-use serde::{Deserialize, Serialize};
 
 /// Sign of an expectation-based correlation judgement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ExpectationSign {
     /// Observed support exceeds the independence expectation.
     Positive,

@@ -1,6 +1,5 @@
 //! Correlation labels and thresholds (Definition 1 of the paper).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The label an itemset receives once its support and correlation are known.
@@ -9,7 +8,8 @@ use std::fmt;
 /// `Corr ≥ γ`, **negative** if frequent and `Corr ≤ ε`, **non-correlated**
 /// if frequent but strictly between the thresholds, and **infrequent**
 /// otherwise (infrequent itemsets carry no correlation label at all).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Label {
     /// Frequent and `Corr ≥ γ`.
     Positive,
@@ -75,7 +75,8 @@ impl fmt::Display for Label {
 }
 
 /// The `(γ, ε)` correlation threshold pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Thresholds {
     /// Positive threshold γ: `Corr ≥ γ` ⇒ positive.
     pub gamma: f64,

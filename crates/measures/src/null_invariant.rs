@@ -17,7 +17,6 @@
 //! transaction count `N` — so transactions containing none of the items
 //! cannot disturb the score.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A correlation measure computable from the support of an itemset and the
@@ -53,7 +52,8 @@ pub trait CorrelationMeasure {
 
 /// The five null-invariant measures of Table 2, as a copyable enum so the
 /// mining configuration stays `Copy` and serializable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Measure {
     /// `min_i P(A|a_i)` — minimum of the conditional probabilities.
     AllConfidence,

