@@ -1,13 +1,16 @@
 //! Dependency-free fallback for `benches/paper_benches.rs`: times the same
 //! configurations with the `std::time::Instant` harness in
-//! [`flipper_bench::timing`] and prints fixed-width tables.
+//! [`flipper_bench::timing`] and prints fixed-width tables, plus the
+//! execution-layer grid (counting engine × worker threads).
 //!
 //! Scale with `--scale <f>` (default 0.2 so a full run stays interactive;
 //! 1.0 matches the criterion bench inputs) and sample count with
-//! `--samples <n>`.
+//! `--samples <n>`. `--smoke` runs a few-second engine × threads grid on a
+//! tiny dataset — the CI hook `scripts/verify.sh` uses it so a perf
+//! regression in any engine fails loudly instead of silently.
 
 use flipper_bench::timing::{time_fn, Timing};
-use flipper_bench::{print_table, scale_from_args};
+use flipper_bench::{flag_from_args, print_table, scale_from_args};
 use flipper_core::{mine_with_view, FlipperConfig, MinSupports, PruningConfig};
 use flipper_data::{CountingEngine, MultiLevelView};
 use flipper_datagen::quest::{generate, QuestParams};
@@ -23,7 +26,65 @@ fn samples_from_args() -> usize {
         .max(1)
 }
 
+/// The engine × threads grid on a quest dataset of `n` transactions:
+/// BASIC pruning with the thr10 support profile, where per-cell candidate
+/// batches are large enough that counting dominates and sharding pays.
+/// Prints per-engine 4-thread speedups after the table.
+fn exec_layer_grid(n: usize, warmup: usize, samples: usize) {
+    let data = generate(&QuestParams::default().with_transactions(n));
+    let view = MultiLevelView::build(&data.db, &data.taxonomy);
+    let base = FlipperConfig::new(
+        Thresholds::new(0.3, 0.1),
+        MinSupports::Fractions(vec![0.001, 0.0001, 0.00006, 0.00003]),
+    )
+    .with_pruning(PruningConfig::BASIC);
+
+    let engines = [
+        ("tidset", CountingEngine::Tidset),
+        ("bitset", CountingEngine::Bitset),
+        ("scan", CountingEngine::Scan),
+        ("auto", CountingEngine::Auto),
+    ];
+    let thread_grid = [1usize, 2, 4];
+    let mut rows: Vec<Timing> = Vec::new();
+    let mut speedups: Vec<String> = Vec::new();
+    for (name, engine) in engines {
+        let mut per_threads: Vec<(usize, Timing)> = Vec::new();
+        for threads in thread_grid {
+            let cfg = base.clone().with_engine(engine).with_threads(threads);
+            let t = time_fn(format!("{name}/t{threads}"), warmup, samples, || {
+                mine_with_view(&data.taxonomy, &view, &cfg)
+            });
+            per_threads.push((threads, t.clone()));
+            rows.push(t);
+        }
+        let t1 = per_threads[0].1.median.as_secs_f64();
+        let t4 = per_threads.last().expect("grid non-empty").1.median.as_secs_f64();
+        if t4 > 0.0 {
+            speedups.push(format!("{name}: {:.2}x", t1 / t4));
+        }
+    }
+    print_table(
+        &format!("execution layer: engine × threads (quest, N = {n}, basic/thr10)"),
+        &["config", "median_ms", "min_ms", "mean_ms"],
+        &rows.iter().map(Timing::cells).collect::<Vec<_>>(),
+    );
+    println!("  4-thread speedup over 1 thread: {}", speedups.join(", "));
+}
+
+/// Few-second CI smoke: the full engine × threads grid at toy scale. Any
+/// engine regressing by an order of magnitude shows up immediately in the
+/// printed medians; any mis-wired engine/thread combination panics the run.
+fn run_smoke() {
+    exec_layer_grid(300, 0, 1);
+    println!("\nquickbench --smoke PASSED");
+}
+
 fn main() {
+    if flag_from_args("--smoke") {
+        run_smoke();
+        return;
+    }
     let scale = scale_from_args(0.2);
     let samples = samples_from_args();
     let warmup = 1;
@@ -81,6 +142,8 @@ fn main() {
     for (name, engine) in [
         ("tidset", CountingEngine::Tidset),
         ("scan", CountingEngine::Scan),
+        ("bitset", CountingEngine::Bitset),
+        ("auto", CountingEngine::Auto),
     ] {
         let cfg = base.clone().with_engine(engine);
         rows.push(time_fn(format!("counting/{name}"), warmup, samples, || {
@@ -98,4 +161,8 @@ fn main() {
         &headers,
         &rows.iter().map(Timing::cells).collect::<Vec<_>>(),
     );
+
+    // The execution-layer grid the ROADMAP's scaling items track: engine ×
+    // threads on quest N = 1000.
+    exec_layer_grid(1000, warmup, samples);
 }

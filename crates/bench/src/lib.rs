@@ -147,6 +147,11 @@ pub fn scale_from_args(default_scale: f64) -> f64 {
         .unwrap_or(default_scale)
 }
 
+/// Whether a bare boolean flag (e.g. `--smoke`) was passed on the CLI.
+pub fn flag_from_args(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

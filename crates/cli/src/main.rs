@@ -29,7 +29,8 @@ USAGE:
   flipper mine     --input FILE [--gamma F] [--epsilon F]
                    [--minsup F1,F2,...] [--measure NAME]
                    [--variant basic|flipping|tpg|full]
-                   [--engine tidset|scan|bitset] [--top K] [--max-k K]
+                   [--engine tidset|scan|bitset|auto] [--top K] [--max-k K]
+                   [--threads N]   (0 = all cores, default 1)
   flipper topk     --input FILE --k N [--minsup F1,F2,...]
   flipper stats    --input FILE
   flipper help
@@ -200,16 +201,18 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
         Some("tpg") => PruningConfig::FLIPPING_TPG,
         Some(other) => return Err(format!("unknown variant {other:?}")),
     };
-    let engine = match flags.get("engine").map(String::as_str) {
-        None | Some("tidset") => CountingEngine::Tidset,
-        Some("scan") => CountingEngine::Scan,
-        Some("bitset") => CountingEngine::Bitset,
-        Some(other) => return Err(format!("unknown engine {other:?}")),
+    let engine = match flags.get("engine") {
+        None => CountingEngine::Tidset,
+        Some(name) => {
+            CountingEngine::parse(name).ok_or_else(|| format!("unknown engine {name:?}"))?
+        }
     };
+    let threads = get_usize(flags, "threads", 1)?;
     let mut cfg = FlipperConfig::new(Thresholds::new(gamma, epsilon), minsup)
         .with_measure(measure)
         .with_pruning(pruning)
-        .with_engine(engine);
+        .with_engine(engine)
+        .with_threads(threads);
     if let Some(mk) = flags.get("max-k") {
         cfg = cfg.with_max_k(mk.parse().map_err(|_| format!("bad --max-k {mk:?}"))?);
     }
@@ -349,7 +352,45 @@ mod tests {
             "3".into(),
         ])
         .unwrap();
+        // The execution-layer flags: auto engine selection + sharding.
+        run(&[
+            "mine".into(),
+            "--input".into(),
+            path.clone(),
+            "--engine".into(),
+            "auto".into(),
+            "--threads".into(),
+            "2".into(),
+            "--top".into(),
+            "1".into(),
+        ])
+        .unwrap();
         run(&["stats".into(), "--input".into(), path]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mine_rejects_unknown_engine() {
+        let dir = std::env::temp_dir().join(format!("flipper-cli-eng-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.txt").to_string_lossy().to_string();
+        run(&[
+            "generate".into(),
+            "--kind".into(),
+            "planted".into(),
+            "--out".into(),
+            path.clone(),
+        ])
+        .unwrap();
+        let err = run(&[
+            "mine".into(),
+            "--input".into(),
+            path,
+            "--engine".into(),
+            "warpdrive".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown engine"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -125,7 +125,7 @@ impl Default for PruningConfig {
 }
 
 /// Full miner configuration.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlipperConfig {
     /// Null-invariant correlation measure (default Kulczynski, as in the
     /// paper's experiments).
@@ -141,6 +141,26 @@ pub struct FlipperConfig {
     /// Optional hard cap on itemset size `k` (None = bounded only by the
     /// data and pruning).
     pub max_k: Option<usize>,
+    /// Worker threads for the sharded execution layer: candidate batches,
+    /// bootstrap replicates and brute-force verification. `1` = sequential
+    /// (the default), `0` = auto-detect the hardware parallelism, `n ≥ 2` =
+    /// exactly `n`. Results and statistics are bit-identical at every
+    /// setting.
+    pub threads: usize,
+}
+
+impl Default for FlipperConfig {
+    fn default() -> Self {
+        FlipperConfig {
+            measure: Measure::default(),
+            thresholds: Thresholds::default(),
+            min_support: MinSupports::default(),
+            pruning: PruningConfig::default(),
+            engine: CountingEngine::default(),
+            max_k: None,
+            threads: 1,
+        }
+    }
 }
 
 impl FlipperConfig {
@@ -175,6 +195,12 @@ impl FlipperConfig {
     pub fn with_max_k(mut self, max_k: usize) -> Self {
         assert!(max_k >= 2, "itemsets have at least two items");
         self.max_k = Some(max_k);
+        self
+    }
+
+    /// Set the worker-thread count (`0` = auto-detect, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -235,10 +261,17 @@ mod tests {
         .with_pruning(PruningConfig::BASIC)
         .with_measure(flipper_measures::Measure::Cosine)
         .with_engine(CountingEngine::Scan)
-        .with_max_k(3);
+        .with_max_k(3)
+        .with_threads(4);
         assert_eq!(cfg.pruning, PruningConfig::BASIC);
         assert_eq!(cfg.measure, flipper_measures::Measure::Cosine);
         assert_eq!(cfg.max_k, Some(3));
+        assert_eq!(cfg.threads, 4);
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(FlipperConfig::default().threads, 1);
     }
 
     #[test]

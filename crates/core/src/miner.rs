@@ -17,7 +17,10 @@
 //!   **union** of
 //!   1. *vertical* candidates — children-combinations of the chain-alive
 //!      itemsets of `Q(h−1,k)` (§4.2.2: chain-broken itemsets are never
-//!      extended vertically), and
+//!      extended vertically), generated through a tid index: only
+//!      combinations that actually co-occur in some transaction covering
+//!      the parent set are enumerated (any other combination has support
+//!      0 < θ, since θ ≥ 1 always), and
 //!   2. *horizontal* candidates — Apriori joins of the frequent itemsets of
 //!      `Q(h,k−1)` (§4.2.2: supersets of chain-broken itemsets must still be
 //!      counted).
@@ -30,11 +33,19 @@
 //!   them. `DESIGN.md` discusses this.
 //! * With flipping pruning off (BASIC), every row is mined independently by
 //!   plain Apriori and flips are recovered post-hoc — the paper's baseline.
+//!
+//! # Execution
+//!
+//! Support counting goes through the sharded execution layer
+//! ([`SupportCounter::count_batch_sharded`]): with `cfg.threads != 1` each
+//! cell's candidate batch is chunked over scoped worker threads. Results
+//! and statistics are bit-identical at every thread count.
 
 use crate::cell::{Cell, ItemsetInfo};
 use crate::config::FlipperConfig;
 use crate::results::{CellSummary, ChainLevel, FlippingPattern, MiningResult};
 use crate::stats::RunStats;
+use flipper_data::tidset::intersect_many;
 use flipper_data::{Itemset, MultiLevelView, SupportCounter, TransactionDb};
 use flipper_measures::{CorrelationMeasure, Label, Thresholds};
 use flipper_taxonomy::{NodeId, Taxonomy};
@@ -79,6 +90,9 @@ impl RowState {
 struct Miner<'a> {
     tax: &'a Taxonomy,
     cfg: &'a FlipperConfig,
+    view: &'a MultiLevelView,
+    /// Resolved worker-thread count for sharded counting (1 = sequential).
+    threads: usize,
     counter: Box<dyn SupportCounter + 'a>,
     /// Per-level absolute minimum supports (index `h-1`).
     thetas: Vec<u64>,
@@ -146,6 +160,8 @@ impl<'a> Miner<'a> {
         Miner {
             tax,
             cfg,
+            view,
+            threads: flipper_data::exec::effective_threads(cfg.threads),
             counter,
             thetas,
             top_cat,
@@ -178,12 +194,14 @@ impl<'a> Miner<'a> {
     // ---- candidate generation --------------------------------------------
 
     /// All frequent-item pairs at level `h` from distinct categories,
-    /// subject to SIBP bans and (for flipping variants, `h ≥ 2`) to the
-    /// parent pair being chain-alive.
+    /// subject to SIBP bans. Used for row 1 and for the BASIC variant;
+    /// flipping variants generate pairs at `h ≥ 2` vertically from
+    /// chain-alive parent pairs instead ([`Self::gen_vertical`]).
     fn gen_pairs(&mut self, h: usize) -> Vec<Itemset> {
         let row = &self.rows[h - 1];
         let items = &row.freq_items;
         let mut out = Vec::new();
+        let mut sibp_pruned = 0u64;
         for (i, &x) in items.iter().enumerate() {
             if row.is_banned(x, 2) {
                 continue;
@@ -193,25 +211,13 @@ impl<'a> Miner<'a> {
                     continue;
                 }
                 if row.is_banned(y, 2) {
-                    self.stats.pruned_by_sibp += 1;
+                    sibp_pruned += 1;
                     continue;
-                }
-                if self.cfg.pruning.flipping && h >= 2 {
-                    let parent = Itemset::pair(
-                        self.tax.parent(x).expect("below level 1"),
-                        self.tax.parent(y).expect("below level 1"),
-                    );
-                    let alive = self
-                        .cell(h - 1, 2)
-                        .and_then(|c| c.get(&parent))
-                        .is_some_and(|i| i.chain_alive);
-                    if !alive {
-                        continue;
-                    }
                 }
                 out.push(Itemset::pair(x, y));
             }
         }
+        self.stats.pruned_by_sibp += sibp_pruned;
         out
     }
 
@@ -265,19 +271,39 @@ impl<'a> Miner<'a> {
         kept
     }
 
-    /// Vertical candidates: children-combinations of chain-alive itemsets
-    /// of `Q(h-1,k)`, restricted to frequent level-`h` items.
+    /// Vertical candidates for `Q(h,k)` (`k ≥ 2`): combinations of
+    /// level-`h` children of the chain-alive itemsets of `Q(h-1,k)`,
+    /// restricted to frequent level-`h` items.
+    ///
+    /// Generated through a tid index instead of a blind cartesian product
+    /// of children lists: for each alive parent set, the parents'
+    /// level-`(h-1)` tid-lists are intersected and only children actually
+    /// present in a covering transaction are combined. A combination
+    /// occurring in no covering transaction has support 0 < θ (θ ≥ 1 by
+    /// [`crate::config::MinSupports::resolve`]), so it could never become
+    /// frequent — skipping it changes no labels, no chains and no patterns,
+    /// while the old cartesian product exploded exponentially in `k`
+    /// (fanoutᵏ combos per parent, almost all with zero support).
     fn gen_vertical(&mut self, h: usize, k: usize) -> Vec<Itemset> {
         let Some(above) = self.cell(h - 1, k) else {
             return Vec::new();
         };
         let row = &self.rows[h - 1];
         let theta = self.thetas[h - 1];
-        let mut out = Vec::new();
-        let mut sibp_pruned = 0u64;
+        let lv_above = self.view.level(h - 1);
+        let lv_here = self.view.level(h);
+        let mut out: Vec<Itemset> = Vec::new();
+        // Scratch: per parent-slot, the frequent children present in the
+        // current transaction; and the distinct combinations of the current
+        // parent (the same combination recurs in every transaction it
+        // occurs in, so deduping per parent bounds transient memory by the
+        // distinct-candidate count, not by Σ parent supports).
+        let mut slots: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        let mut per_parent: HashSet<Itemset> = HashSet::new();
         for (pset, _) in above.alive() {
-            // Per parent item: frequent, unbanned children at level h.
-            let lists: Vec<Vec<NodeId>> = pset
+            // Per parent slot, the frequent children — computed once per
+            // parent, not once per covering transaction.
+            let freq_children: Vec<Vec<NodeId>> = pset
                 .items()
                 .iter()
                 .map(|&p| {
@@ -285,39 +311,69 @@ impl<'a> Miner<'a> {
                         .children(p)
                         .iter()
                         .copied()
-                        .filter(|&c| self.counter.item_support(h, c) >= theta)
+                        .filter(|&c| lv_here.item_support(c) >= theta)
                         .collect()
                 })
                 .collect();
-            if lists.iter().any(Vec::is_empty) {
+            if freq_children.iter().any(Vec::is_empty) {
                 continue;
             }
-            // Cartesian product.
-            let mut combo = vec![0usize; k];
-            'outer: loop {
-                let items: Vec<NodeId> = combo
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &c)| lists[i][c])
-                    .collect();
-                if items.iter().any(|&it| row.is_banned(it, k)) {
-                    sibp_pruned += 1;
-                } else {
-                    out.push(Itemset::new(items));
-                }
-                // Advance the odometer.
-                for i in (0..k).rev() {
-                    combo[i] += 1;
-                    if combo[i] < lists[i].len() {
-                        continue 'outer;
+            let tid_lists: Vec<&[u32]> =
+                pset.items().iter().map(|&p| lv_above.tidset(p)).collect();
+            let tids = intersect_many(&tid_lists);
+            for &t in &tids {
+                let txn = lv_here.transaction(t as usize);
+                let mut ok = true;
+                for (slot, children) in slots.iter_mut().zip(&freq_children) {
+                    slot.clear();
+                    slot.extend(
+                        children
+                            .iter()
+                            .copied()
+                            .filter(|&c| txn.binary_search(&c).is_ok()),
+                    );
+                    if slot.is_empty() {
+                        ok = false;
+                        break;
                     }
-                    combo[i] = 0;
-                    if i == 0 {
-                        break 'outer;
+                }
+                if !ok {
+                    continue;
+                }
+                // Odometer over the (typically singleton) slot lists.
+                let mut combo = vec![0usize; k];
+                'outer: loop {
+                    let items: Vec<NodeId> = combo
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| slots[i][c])
+                        .collect();
+                    per_parent.insert(Itemset::new(items));
+                    for i in (0..k).rev() {
+                        combo[i] += 1;
+                        if combo[i] < slots[i].len() {
+                            continue 'outer;
+                        }
+                        combo[i] = 0;
+                        if i == 0 {
+                            break 'outer;
+                        }
                     }
                 }
             }
+            // Distinct parents yield distinct children-combinations, so
+            // draining per parent loses no cross-parent dedup; `out` is
+            // duplicate-free (in arbitrary hash order). The ban and prune
+            // passes below are order-independent, and the caller
+            // canonicalizes the final candidate union.
+            out.extend(per_parent.drain());
         }
+        let mut sibp_pruned = 0u64;
+        out.retain(|cand| {
+            let banned = cand.items().iter().any(|&it| row.is_banned(it, k));
+            sibp_pruned += u64::from(banned);
+            !banned
+        });
         self.stats.pruned_by_sibp += sibp_pruned;
         // Known-infrequent-subset prune: a (k-1)-subset *present* in
         // Q(h,k-1) and labeled infrequent dooms the candidate. (Absent
@@ -344,14 +400,20 @@ impl<'a> Miner<'a> {
     }
 
     fn gen_candidates(&mut self, h: usize, k: usize) -> Vec<Itemset> {
-        let mut cands = if k == 2 {
+        let mut cands = if self.cfg.pruning.flipping && h >= 2 {
+            // Vertical from chain-alive parents (the only source at k = 2),
+            // unioned with the horizontal Apriori join for wider cells.
+            let mut c = if k >= 3 {
+                self.gen_horizontal(h, k)
+            } else {
+                Vec::new()
+            };
+            c.extend(self.gen_vertical(h, k));
+            c
+        } else if k == 2 {
             self.gen_pairs(h)
         } else {
-            let mut c = self.gen_horizontal(h, k);
-            if self.cfg.pruning.flipping && h >= 2 {
-                c.extend(self.gen_vertical(h, k));
-            }
-            c
+            self.gen_horizontal(h, k)
         };
         cands.sort_unstable();
         cands.dedup();
@@ -370,7 +432,9 @@ impl<'a> Miner<'a> {
         let theta = self.thetas[h - 1];
         let thresholds: Thresholds = self.cfg.thresholds;
         let measure = self.cfg.measure;
-        let supports = self.counter.count_batch(h, &candidates);
+        let supports = self
+            .counter
+            .count_batch_sharded(h, &candidates, self.threads);
 
         let mut cell = Cell::new();
         let mut max_corr: HashMap<NodeId, f64> = HashMap::new();

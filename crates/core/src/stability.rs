@@ -6,10 +6,16 @@
 //! re-mine each replicate, and report how often each pattern reappears.
 //! (An extension beyond the paper, in the spirit of its §7 discussion of
 //! threshold sensitivity.)
+//!
+//! Replicates are embarrassingly parallel, so with `cfg.threads != 1` they
+//! are sharded over scoped workers ([`flipper_data::exec`]). Each replicate
+//! draws from its **own** seeded RNG stream derived from `(seed, round)` —
+//! never from a shared sequential stream — so the resampled databases, and
+//! therefore the whole report, are bit-identical at every thread count.
 
 use crate::config::FlipperConfig;
 use crate::miner::mine;
-use flipper_data::{Itemset, TransactionDb};
+use flipper_data::{exec, Itemset, TransactionDb};
 use flipper_taxonomy::{NodeId, Taxonomy};
 use std::collections::HashMap;
 
@@ -75,10 +81,21 @@ fn bootstrap_sample(db: &TransactionDb, rng: &mut XorShift64) -> TransactionDb {
     TransactionDb::new(rows).expect("resampled rows are non-empty")
 }
 
+/// The RNG stream of one replicate: one SplitMix64 step over
+/// `seed ^ round`, so streams are decorrelated and independent of which
+/// worker runs the round.
+fn replicate_rng(seed: u64, round: usize) -> XorShift64 {
+    let mut state = seed ^ (round as u64);
+    XorShift64::new(flipper_data::rng::splitmix64(&mut state))
+}
+
 /// Run the bootstrap: `rounds` replicates of `db`, mining each with `cfg`.
 ///
 /// Patterns appearing in *any* replicate or in the original are reported;
-/// stability is the replicate hit-rate.
+/// stability is the replicate hit-rate. With `cfg.threads != 1` the rounds
+/// run on a scoped worker pool, one replicate per worker at a time; each
+/// replicate's miner then runs sequentially so the machine is not
+/// oversubscribed.
 pub fn bootstrap_stability(
     tax: &Taxonomy,
     db: &TransactionDb,
@@ -88,13 +105,33 @@ pub fn bootstrap_stability(
 ) -> StabilityReport {
     assert!(rounds > 0, "at least one bootstrap round is required");
     let original = mine(tax, db, cfg);
+    let threads = exec::effective_threads(cfg.threads);
+    // Replicate-level parallelism subsumes batch-level parallelism.
+    let replicate_cfg = if threads > 1 {
+        cfg.clone().with_threads(1)
+    } else {
+        cfg.clone()
+    };
+    let per_round: Vec<Vec<Itemset>> = exec::map_chunks(threads, rounds, |range| {
+        range
+            .map(|round| {
+                let mut rng = replicate_rng(seed, round);
+                let sample = bootstrap_sample(db, &mut rng);
+                mine(tax, &sample, &replicate_cfg)
+                    .patterns
+                    .into_iter()
+                    .map(|p| p.leaf_itemset)
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<Vec<Itemset>>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut hits: HashMap<Itemset, usize> = HashMap::new();
-    let mut rng = XorShift64::new(seed);
-    for _ in 0..rounds {
-        let sample = bootstrap_sample(db, &mut rng);
-        let result = mine(tax, &sample, cfg);
-        for p in result.patterns {
-            *hits.entry(p.leaf_itemset).or_insert(0) += 1;
+    for sets in per_round {
+        for set in sets {
+            *hits.entry(set).or_insert(0) += 1;
         }
     }
     let original_sets: Vec<&Itemset> = original.patterns.iter().map(|p| &p.leaf_itemset).collect();
@@ -199,6 +236,30 @@ mod tests {
         let a = bootstrap_stability(&d.taxonomy, &d.db, &cfg(), 3, 5);
         let b = bootstrap_stability(&d.taxonomy, &d.db, &cfg(), 3, 5);
         assert_eq!(a.patterns, b.patterns);
+    }
+
+    /// The report is bit-identical at every thread count: replicate RNG
+    /// streams depend only on (seed, round), never on worker scheduling.
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let d = planted::generate(&PlantedParams {
+            background_txns: 150,
+            ..Default::default()
+        });
+        let sequential = bootstrap_stability(&d.taxonomy, &d.db, &cfg(), 6, 11);
+        for threads in [2usize, 4, 0] {
+            let parallel = bootstrap_stability(
+                &d.taxonomy,
+                &d.db,
+                &cfg().with_threads(threads),
+                6,
+                11,
+            );
+            assert_eq!(
+                parallel.patterns, sequential.patterns,
+                "threads={threads} diverged"
+            );
+        }
     }
 
     #[test]

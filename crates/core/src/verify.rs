@@ -2,18 +2,23 @@
 //!
 //! Enumerates every cross-category leaf itemset up to a size bound and
 //! checks Definition 2 directly against full database scans. Exponential —
-//! strictly for tests and tiny datasets.
+//! strictly for tests and tiny datasets. With `cfg.threads != 1` the
+//! enumeration shards over the first leaf of each combination, strided
+//! across workers for load balance ([`flipper_data::exec`]); the merged
+//! results are sorted by a total key, so the output is bit-identical at
+//! every thread count.
 
 use crate::config::FlipperConfig;
 use crate::results::{ChainLevel, FlippingPattern};
-use flipper_data::{Itemset, MultiLevelView, TransactionDb};
+use flipper_data::{exec, Itemset, MultiLevelView, TransactionDb};
 use flipper_measures::CorrelationMeasure;
 use flipper_taxonomy::{NodeId, Taxonomy};
 
 /// Find all flipping patterns by exhaustive enumeration.
 ///
-/// Honors `cfg.measure`, `cfg.thresholds`, `cfg.min_support` and
-/// `cfg.max_k`; ignores pruning and engine settings (it scans everything).
+/// Honors `cfg.measure`, `cfg.thresholds`, `cfg.min_support`, `cfg.max_k`
+/// and `cfg.threads`; ignores pruning and engine settings (it scans
+/// everything).
 pub fn brute_force(
     tax: &Taxonomy,
     db: &TransactionDb,
@@ -34,9 +39,14 @@ pub fn brute_force(
     if let Some(mk) = cfg.max_k {
         k_max = k_max.min(mk);
     }
+    if k_max < 2 {
+        // No itemset of size ≥ 2 can qualify; the enumeration below pushes
+        // a first leaf before recursing, so it must not run with k_max < 2
+        // (a direct `cfg.max_k = Some(0)` would otherwise enumerate the
+        // full powerset).
+        return Vec::new();
+    }
 
-    let mut patterns = Vec::new();
-    let mut combo: Vec<usize> = Vec::new();
     // Depth-first enumeration of index combinations of every size 2..=k_max.
     fn rec(
         leaves: &[NodeId],
@@ -58,7 +68,8 @@ pub fn brute_force(
         }
     }
 
-    let mut check = |idxs: &[usize]| {
+    // Evaluate one index combination; pushes the pattern if the chain flips.
+    let check = |idxs: &[usize], patterns: &mut Vec<FlippingPattern>| {
         let set = Itemset::from_sorted(idxs.iter().map(|&i| leaves[i]).collect());
         // Distinct level-1 ancestors.
         let mut cats: Vec<NodeId> = set
@@ -101,7 +112,32 @@ pub fn brute_force(
             });
         }
     };
-    rec(&leaves, &mut combo, 0, k_max, &mut check);
+
+    // Shard the enumeration over the first leaf of each combination. The
+    // subtree below first-leaf `i` shrinks steeply as `i` grows, so the
+    // indices are STRIDED across workers (worker `w` takes `i ≡ w mod W`)
+    // rather than split into contiguous ranges, which would leave nearly
+    // all the work in the first chunk. Worker-local results are merged and
+    // then sorted by a total key, so the output is identical for every
+    // thread count.
+    let workers = exec::effective_threads(cfg.threads).min(leaves.len()).max(1);
+    let per_chunk = exec::map_chunks(workers, workers, |range| {
+        let mut local = Vec::new();
+        let mut combo = Vec::with_capacity(k_max);
+        for w in range {
+            let mut i = w;
+            while i < leaves.len() {
+                combo.push(i);
+                rec(&leaves, &mut combo, i + 1, k_max, &mut |idxs| {
+                    check(idxs, &mut local)
+                });
+                combo.pop();
+                i += workers;
+            }
+        }
+        local
+    });
+    let mut patterns: Vec<FlippingPattern> = per_chunk.into_iter().flatten().collect();
 
     patterns.sort_by(|a, b| {
         (a.leaf_itemset.len(), &a.leaf_itemset).cmp(&(b.leaf_itemset.len(), &b.leaf_itemset))
@@ -165,6 +201,46 @@ mod tests {
         assert_eq!(pats.len(), 1);
         assert_eq!(pats[0].leaf_itemset.display(&tax).to_string(), "{a11, b11}");
         assert_eq!(pats[0].validate(), Ok(()));
+    }
+
+    /// A hand-built `max_k` below 2 (bypassing `with_max_k`'s assert) must
+    /// yield no patterns, not a full powerset enumeration.
+    #[test]
+    fn degenerate_max_k_yields_nothing() {
+        let tax = Taxonomy::uniform(2, 2, 2).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let db = TransactionDb::new(vec![vec![leaves[0], leaves[3]]; 4]).unwrap();
+        for mk in [0usize, 1] {
+            let cfg = FlipperConfig {
+                max_k: Some(mk),
+                ..FlipperConfig::new(Thresholds::new(0.5, 0.2), MinSupports::Counts(vec![1]))
+            };
+            assert!(brute_force(&tax, &db, &cfg).is_empty(), "max_k={mk}");
+        }
+    }
+
+    /// Sharded enumeration returns exactly the sequential result.
+    #[test]
+    fn brute_force_is_thread_invariant() {
+        use flipper_data::rng::{Rng, Xoshiro256pp};
+        let tax = Taxonomy::uniform(3, 2, 3).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
+        let rows: Vec<Vec<NodeId>> = (0..80)
+            .map(|_| {
+                let w = rng.gen_range(1..=5);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::new(rows).unwrap();
+        let cfg = FlipperConfig::new(Thresholds::new(0.5, 0.25), MinSupports::Counts(vec![1]));
+        let sequential = brute_force(&tax, &db, &cfg);
+        for threads in [2usize, 4, 0] {
+            let parallel = brute_force(&tax, &db, &cfg.clone().with_threads(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Density-driven per-level engine auto-selection.
+//!
+//! Vertical (tid-list) and horizontal (scan) counting trade off exactly
+//! along data density (cf. the disk-based counting concerns surveyed in the
+//! literature): intersecting tid-lists wins on sparse levels where lists are
+//! short, packed bitmaps win on dense levels where a list would enumerate a
+//! large fraction of all transactions, and a grouped sequential scan wins on
+//! tiny databases where one pass over the data costs less than assembling
+//! per-candidate intersection machinery. Taxonomy projections make this a
+//! *per-level* property — level 1 of a retail taxonomy can be two orders of
+//! magnitude denser than the leaves — so [`AutoCounter`] measures density
+//! per level once and dispatches every shard to the engine chosen for its
+//! level.
+//!
+//! Density at level `h` is the mean relative item support
+//!
+//! ```text
+//! density(h) = Σᵢ sup(i) / (|items(h)| · N)  =  avg-txn-width(h) / |items(h)|
+//! ```
+//!
+//! i.e. the fill ratio of the level's item × transaction incidence matrix.
+//! The selection rule (thresholds documented in the README):
+//!
+//! * `density ≥ 1/16` → [`BitsetCounter`] (dense bitmaps pay for themselves);
+//! * else `N ≤ 256` → [`ScanCounter`] (one pass over a tiny database is
+//!   cheaper than building per-candidate state; note a sparse level always
+//!   has `> 16` distinct items, since every projected transaction is
+//!   non-empty and so `density ≥ 1/|items|`);
+//! * else → [`TidsetCounter`].
+
+use crate::bitset::BitsetCounter;
+use crate::counting::{CounterStats, CountingEngine, ScanCounter, SupportCounter, TidsetCounter};
+use crate::itemset::Itemset;
+use crate::projection::MultiLevelView;
+use flipper_taxonomy::NodeId;
+
+/// Density at or above which a level is counted with bitmaps; equals the
+/// bitset engine's own per-item promotion threshold so a level chosen for
+/// bitmaps actually gets its items promoted.
+pub const AUTO_BITSET_DENSITY: f64 = BitsetCounter::DEFAULT_DENSITY;
+
+/// Sparse databases with at most this many transactions are counted by the
+/// grouped sequential scan.
+pub const AUTO_SCAN_MAX_TXNS: usize = 256;
+
+/// Fill ratio of the item × transaction incidence matrix at level `h`.
+pub fn level_density(view: &MultiLevelView, h: usize) -> f64 {
+    let lv = view.level(h);
+    let items = lv.present_items().len();
+    let n = view.num_transactions();
+    if items == 0 || n == 0 {
+        return 0.0;
+    }
+    let total: u64 = lv.present_items().iter().map(|&i| lv.item_support(i)).sum();
+    total as f64 / (items as f64 * n as f64)
+}
+
+/// Pick the concrete engine for one level from its measured density.
+fn choose(view: &MultiLevelView, h: usize) -> CountingEngine {
+    if level_density(view, h) >= AUTO_BITSET_DENSITY {
+        CountingEngine::Bitset
+    } else if view.num_transactions() <= AUTO_SCAN_MAX_TXNS {
+        CountingEngine::Scan
+    } else {
+        CountingEngine::Tidset
+    }
+}
+
+/// Per-level auto-selecting counter: measures density once at construction,
+/// then dispatches every (sharded) batch to the engine chosen for its level.
+///
+/// The delegates are used purely as shard cores ([`SupportCounter::count_shard`]
+/// is immutable); `AutoCounter` owns the single stats accumulator, so its
+/// reported [`CounterStats`] are the deterministic fold of all levels' work
+/// in batch order, exactly as for a single-engine run.
+pub struct AutoCounter<'v> {
+    view: &'v MultiLevelView,
+    /// Chosen engine per level (index `h-1`).
+    choices: Vec<CountingEngine>,
+    tidset: TidsetCounter<'v>,
+    scan: ScanCounter<'v>,
+    bitset: BitsetCounter<'v>,
+    stats: CounterStats,
+}
+
+impl<'v> AutoCounter<'v> {
+    /// Measure per-level density over `view` and build the delegates.
+    /// Bitmaps are constructed only for the levels that chose them.
+    pub fn new(view: &'v MultiLevelView) -> Self {
+        let choices: Vec<CountingEngine> =
+            (1..=view.height()).map(|h| choose(view, h)).collect();
+        let mask: Vec<bool> = choices
+            .iter()
+            .map(|&c| c == CountingEngine::Bitset)
+            .collect();
+        AutoCounter {
+            view,
+            tidset: TidsetCounter::new(view),
+            scan: ScanCounter::new(view),
+            bitset: BitsetCounter::with_density_at_levels(
+                view,
+                BitsetCounter::DEFAULT_DENSITY,
+                Some(&mask),
+            ),
+            choices,
+            stats: CounterStats::default(),
+        }
+    }
+
+    /// The engine selected for level `h` (diagnostics and bench reports).
+    pub fn chosen_engine(&self, h: usize) -> CountingEngine {
+        self.choices[h - 1]
+    }
+
+    /// Chosen engines for all levels, index `h-1`.
+    pub fn chosen_engines(&self) -> &[CountingEngine] {
+        &self.choices
+    }
+}
+
+impl SupportCounter for AutoCounter<'_> {
+    fn num_transactions(&self) -> u64 {
+        self.view.num_transactions() as u64
+    }
+
+    fn item_support(&self, h: usize, item: NodeId) -> u64 {
+        self.view.level(h).item_support(item)
+    }
+
+    fn present_items(&self, h: usize) -> &[NodeId] {
+        self.view.level(h).present_items()
+    }
+
+    fn count_shard(&self, h: usize, candidates: &[Itemset]) -> (Vec<u64>, CounterStats) {
+        match self.choices[h - 1] {
+            CountingEngine::Tidset => self.tidset.count_shard(h, candidates),
+            CountingEngine::Scan => self.scan.count_shard(h, candidates),
+            CountingEngine::Bitset => self.bitset.count_shard(h, candidates),
+            CountingEngine::Auto => unreachable!("auto never selects itself"),
+        }
+    }
+
+    fn batch_stats(&self, h: usize, candidates: &[Itemset]) -> CounterStats {
+        match self.choices[h - 1] {
+            CountingEngine::Tidset => self.tidset.batch_stats(h, candidates),
+            CountingEngine::Scan => self.scan.batch_stats(h, candidates),
+            CountingEngine::Bitset => self.bitset.batch_stats(h, candidates),
+            CountingEngine::Auto => unreachable!("auto never selects itself"),
+        }
+    }
+
+    /// Dispatch to the sharding strategy of the level's chosen engine:
+    /// candidate-chunked for tidset/bitset levels, transaction-chunked for
+    /// scan levels (a candidate-chunked scan would repeat the full pass per
+    /// worker). Stats fold into this counter's own accumulator either way.
+    fn count_batch_sharded(
+        &mut self,
+        h: usize,
+        candidates: &[Itemset],
+        threads: usize,
+    ) -> Vec<u64> {
+        match self.choices[h - 1] {
+            CountingEngine::Scan => {
+                let lv = self.view.level(h);
+                crate::counting::scan_sharded(self, lv, h, candidates, threads)
+            }
+            _ => crate::counting::candidate_sharded(self, h, candidates, threads),
+        }
+    }
+
+    fn merge_stats(&mut self, delta: &CounterStats) {
+        self.stats.merge(delta);
+    }
+
+    fn stats(&self) -> CounterStats {
+        self.stats
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "auto"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, Xoshiro256pp};
+    use crate::transaction::TransactionDb;
+    use flipper_taxonomy::Taxonomy;
+
+    /// Wide transactions over few leaves: dense at every level.
+    fn dense_setup() -> (Taxonomy, TransactionDb) {
+        let tax = Taxonomy::uniform(2, 2, 2).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let rows: Vec<Vec<NodeId>> = (0..100)
+            .map(|_| {
+                let w = rng.gen_range(3..=4usize);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        (tax, TransactionDb::new(rows).unwrap())
+    }
+
+    /// Narrow transactions over many leaves: sparse at the leaf level.
+    fn sparse_setup() -> (Taxonomy, TransactionDb) {
+        let tax = Taxonomy::uniform(3, 4, 3).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let rows: Vec<Vec<NodeId>> = (0..400)
+            .map(|_| {
+                let w = rng.gen_range(1..=3usize);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        (tax, TransactionDb::new(rows).unwrap())
+    }
+
+    #[test]
+    fn dense_levels_choose_bitset() {
+        let (tax, db) = dense_setup();
+        let view = MultiLevelView::build(&db, &tax);
+        let c = AutoCounter::new(&view);
+        // 4 leaves drawn 3-4 times per 100 txns: density far above 1/16.
+        assert!(level_density(&view, 1) >= AUTO_BITSET_DENSITY);
+        assert_eq!(c.chosen_engine(1), CountingEngine::Bitset);
+        assert_eq!(c.chosen_engine(2), CountingEngine::Bitset);
+    }
+
+    #[test]
+    fn sparse_large_levels_choose_tidset() {
+        let (tax, db) = sparse_setup();
+        let view = MultiLevelView::build(&db, &tax);
+        let c = AutoCounter::new(&view);
+        // 48 leaves over 400 narrow txns: leaf density ≪ 1/16, N > 256.
+        assert!(level_density(&view, 3) < AUTO_BITSET_DENSITY);
+        assert_eq!(c.chosen_engine(3), CountingEngine::Tidset);
+    }
+
+    #[test]
+    fn tiny_sparse_databases_choose_scan() {
+        // Singleton txns spread over 48 leaves: density 1/48 < 1/16 at the
+        // leaf level, and N = 200 ≤ 256 → one grouped pass wins.
+        let tax = Taxonomy::uniform(3, 4, 3).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let rows: Vec<Vec<NodeId>> = (0..200).map(|i| vec![leaves[i % leaves.len()]]).collect();
+        let db = TransactionDb::new(rows).unwrap();
+        let view = MultiLevelView::build(&db, &tax);
+        let c = AutoCounter::new(&view);
+        assert!(level_density(&view, 3) < AUTO_BITSET_DENSITY);
+        assert_eq!(c.chosen_engine(3), CountingEngine::Scan);
+        // Level 1 of the same data: 3 roots, density 1/3 → bitset.
+        assert_eq!(c.chosen_engine(1), CountingEngine::Bitset);
+    }
+
+    /// Auto agrees with every concrete engine on counts, at every level.
+    #[test]
+    fn auto_matches_concrete_engines() {
+        for (tax, db) in [dense_setup(), sparse_setup()] {
+            let view = MultiLevelView::build(&db, &tax);
+            for h in 1..=tax.height() {
+                let nodes = tax.nodes_at_level(h).unwrap();
+                let mut cands = Vec::new();
+                for i in 0..nodes.len() {
+                    for j in (i + 1)..nodes.len().min(i + 12) {
+                        cands.push(Itemset::pair(nodes[i], nodes[j]));
+                    }
+                }
+                let mut auto = AutoCounter::new(&view);
+                let got = auto.count_batch(h, &cands);
+                for engine in CountingEngine::CONCRETE {
+                    let mut c = engine.make(&view);
+                    assert_eq!(
+                        c.count_batch(h, &cands),
+                        got,
+                        "auto vs {} at level {h}",
+                        c.engine_name()
+                    );
+                }
+                assert_eq!(auto.stats().candidates_counted, cands.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_choice_accounts_db_scans() {
+        // Force a scan level and check the logical-pass accounting flows
+        // through AutoCounter's batch_stats.
+        let tax = Taxonomy::uniform(3, 4, 3).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let rows: Vec<Vec<NodeId>> = (0..200).map(|i| vec![leaves[i % leaves.len()]]).collect();
+        let db = TransactionDb::new(rows).unwrap();
+        let view = MultiLevelView::build(&db, &tax);
+        let mut auto = AutoCounter::new(&view);
+        assert_eq!(auto.chosen_engine(3), CountingEngine::Scan);
+        let cands = vec![Itemset::pair(leaves[0], leaves[1])];
+        auto.count_batch(3, &cands);
+        assert_eq!(auto.stats().db_scans, 1);
+        assert_eq!(auto.stats().candidates_counted, 1);
+    }
+
+    /// Sharded counting through AutoCounter matches sequential — counts and
+    /// stats — on a level that chose the scan engine (exercising the
+    /// transaction-chunked dispatch) as well as on bitset levels.
+    #[test]
+    fn auto_sharded_matches_sequential_on_scan_levels() {
+        let tax = Taxonomy::uniform(3, 4, 3).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let rows: Vec<Vec<NodeId>> = (0..200).map(|i| vec![leaves[i % leaves.len()]]).collect();
+        let db = TransactionDb::new(rows).unwrap();
+        let view = MultiLevelView::build(&db, &tax);
+        let mut cands = Vec::new();
+        for i in 0..leaves.len() {
+            for j in (i + 1)..leaves.len() {
+                cands.push(Itemset::pair(leaves[i], leaves[j]));
+            }
+        }
+        for h in [1usize, 3] {
+            let batch: Vec<Itemset> = if h == 3 {
+                cands.clone()
+            } else {
+                let roots = tax.nodes_at_level(1).unwrap().to_vec();
+                std::iter::repeat_n(Itemset::pair(roots[0], roots[1]), 100).collect()
+            };
+            let mut seq = AutoCounter::new(&view);
+            let expect = seq.count_batch(h, &batch);
+            for threads in [2usize, 5] {
+                let mut par = AutoCounter::new(&view);
+                let got = par.count_batch_sharded(h, &batch, threads);
+                assert_eq!(got, expect, "level {h} threads {threads}");
+                assert_eq!(par.stats(), seq.stats(), "level {h} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn density_is_fill_ratio() {
+        // 4 txns, 2 items, each item in 2 txns → density 4/(2·4) = 0.5.
+        let tax = Taxonomy::uniform(2, 1, 1).unwrap();
+        let roots = tax.nodes_at_level(1).unwrap().to_vec();
+        let db = TransactionDb::new(vec![
+            vec![roots[0]],
+            vec![roots[0]],
+            vec![roots[1]],
+            vec![roots[1]],
+        ])
+        .unwrap();
+        let view = MultiLevelView::build(&db, &tax);
+        assert!((level_density(&view, 1) - 0.5).abs() < 1e-12);
+    }
+}

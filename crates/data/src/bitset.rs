@@ -118,16 +118,33 @@ impl<'v> BitsetCounter<'v> {
     /// Build with an explicit density threshold in `[0, 1]`. A threshold of
     /// 0 promotes every item; 1.0+ promotes none (degenerating to tid-lists).
     pub fn with_density(view: &'v MultiLevelView, density: f64) -> Self {
+        Self::with_density_at_levels(view, density, None)
+    }
+
+    /// Build bitmaps only at the levels `h` where `level_mask[h - 1]` is
+    /// true (`None` = every level). Levels left out of the mask fall back to
+    /// pure tid-list counting; [`crate::AutoCounter`] uses this so a mostly
+    /// sparse dataset does not pay bitmap construction for every level.
+    pub fn with_density_at_levels(
+        view: &'v MultiLevelView,
+        density: f64,
+        level_mask: Option<&[bool]>,
+    ) -> Self {
         assert!(density >= 0.0, "density threshold must be non-negative");
+        if let Some(mask) = level_mask {
+            assert_eq!(mask.len(), view.height(), "one mask entry per level");
+        }
         let n = view.num_transactions();
         let cutoff = (density * n as f64) as u64;
         let mut bitmaps = Vec::with_capacity(view.height());
         for h in 1..=view.height() {
-            let lv = view.level(h);
             let mut per_level = HashMap::new();
-            for &item in lv.present_items() {
-                if lv.item_support(item) >= cutoff.max(1) {
-                    per_level.insert(item, Bitmap::from_tids(lv.tidset(item), n));
+            if level_mask.is_none_or(|m| m[h - 1]) {
+                let lv = view.level(h);
+                for &item in lv.present_items() {
+                    if lv.item_support(item) >= cutoff.max(1) {
+                        per_level.insert(item, Bitmap::from_tids(lv.tidset(item), n));
+                    }
                 }
             }
             bitmaps.push(per_level);
@@ -158,14 +175,21 @@ impl crate::counting::SupportCounter for BitsetCounter<'_> {
         self.view.level(h).present_items()
     }
 
-    fn count_batch(&mut self, h: usize, candidates: &[Itemset]) -> Vec<u64> {
+    fn count_shard(
+        &self,
+        h: usize,
+        candidates: &[Itemset],
+    ) -> (Vec<u64>, crate::counting::CounterStats) {
         let lv = self.view.level(h);
         let maps = &self.bitmaps[h - 1];
-        self.stats.candidates_counted += candidates.len() as u64;
-        candidates
+        let mut stats = crate::counting::CounterStats {
+            candidates_counted: candidates.len() as u64,
+            ..Default::default()
+        };
+        let counts = candidates
             .iter()
             .map(|c| {
-                self.stats.intersections += c.len().saturating_sub(1) as u64;
+                stats.intersections += c.len().saturating_sub(1) as u64;
                 let mut dense: Vec<&Bitmap> = Vec::with_capacity(c.len());
                 let mut sparse: Vec<&[u32]> = Vec::new();
                 for &it in c.items() {
@@ -190,7 +214,12 @@ impl crate::counting::SupportCounter for BitsetCounter<'_> {
                     }
                 }
             })
-            .collect()
+            .collect();
+        (counts, stats)
+    }
+
+    fn merge_stats(&mut self, delta: &crate::counting::CounterStats) {
+        self.stats.merge(delta);
     }
 
     fn stats(&self) -> crate::counting::CounterStats {

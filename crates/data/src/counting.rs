@@ -1,7 +1,7 @@
-//! Support-counting engines.
+//! Support-counting engines and the sharded execution layer over them.
 //!
 //! The miner asks one question per search-table cell: *what are the supports
-//! of this batch of candidate `(h,k)`-itemsets?* Two engines answer it:
+//! of this batch of candidate `(h,k)`-itemsets?* Three engines answer it:
 //!
 //! * [`TidsetCounter`] — vertical counting: per-item sorted tid-lists,
 //!   candidate support = size of the k-way intersection. The default; fast
@@ -10,11 +10,28 @@
 //!   (projected) transactions per batch, testing candidates grouped by their
 //!   first item. This models the paper's disk-scan counting and its scan
 //!   statistics.
+//! * [`crate::BitsetCounter`] — hybrid dense-bitmap / sparse-tidlist
+//!   counting for high-density levels.
 //!
-//! Both are deterministic and produce identical counts (property-tested);
-//! they differ only in complexity profile, which the ablation bench
-//! (`bench_counting`) measures.
+//! [`CountingEngine::Auto`] measures per-level density and picks one of the
+//! three per level (see [`crate::AutoCounter`]).
+//!
+//! All engines are deterministic and produce identical counts
+//! (property-tested); they differ only in complexity profile, which the
+//! benches measure.
+//!
+//! # Sharding
+//!
+//! Counting a batch is embarrassingly parallel across candidates, so the
+//! trait is split into an immutable, shard-friendly core
+//! ([`SupportCounter::count_shard`]) and an explicit stats fold
+//! ([`SupportCounter::merge_stats`] via [`CounterStats::merge`]).
+//! [`SupportCounter::count_batch_sharded`] chunks a batch over a scoped thread pool
+//! ([`crate::exec`]) and folds the per-shard stats **in shard order**, so a
+//! sharded run reports bit-identical counts *and stats* regardless of
+//! thread count.
 
+use crate::exec;
 use crate::itemset::Itemset;
 use crate::projection::MultiLevelView;
 use crate::tidset::intersect_size_many;
@@ -25,18 +42,37 @@ use std::collections::HashMap;
 /// hardware-independent costs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CounterStats {
-    /// Number of full passes over the (projected) database.
+    /// Number of logical passes over the (projected) database. Charged once
+    /// per non-empty batch by the scan engine, independent of sharding.
     pub db_scans: u64,
     /// Number of candidate-in-transaction subset tests (scan engine).
     pub subset_tests: u64,
-    /// Number of tid-list intersections (tidset engine).
+    /// Number of tid-list intersections (tidset/bitset engines).
     pub intersections: u64,
     /// Total candidates counted.
     pub candidates_counted: u64,
 }
 
+impl CounterStats {
+    /// Fold `other` into `self`. All counters are sums, so the merge is
+    /// associative and commutative with [`CounterStats::default`] as the
+    /// identity — sharded runs can fold per-shard stats in any grouping and
+    /// still report totals identical to a sequential run.
+    pub fn merge(&mut self, other: &CounterStats) {
+        self.db_scans += other.db_scans;
+        self.subset_tests += other.subset_tests;
+        self.intersections += other.intersections;
+        self.candidates_counted += other.candidates_counted;
+    }
+}
+
 /// A batch support oracle over one multi-level view.
-pub trait SupportCounter {
+///
+/// Implementors provide the immutable shard core ([`Self::count_shard`]) and
+/// a stats sink ([`Self::merge_stats`]); `count_batch` and the parallel
+/// [`Self::count_batch_sharded`] wrapper are derived from those. The `Sync` bound
+/// lets one counter serve many shards concurrently.
+pub trait SupportCounter: Sync {
     /// Number of transactions `N` (identical at every level).
     fn num_transactions(&self) -> u64;
 
@@ -46,15 +82,124 @@ pub trait SupportCounter {
     /// Nodes present (support > 0) at level `h`, ascending by id.
     fn present_items(&self, h: usize) -> &[NodeId];
 
-    /// Supports of `candidates` (each a sorted itemset of level-`h` nodes),
-    /// in input order.
-    fn count_batch(&mut self, h: usize, candidates: &[Itemset]) -> Vec<u64>;
+    /// Shard-friendly core: supports of `candidates` (each a sorted itemset
+    /// of level-`h` nodes) in input order, plus the per-candidate work stats
+    /// for exactly this shard. Immutable, so shards can run concurrently.
+    fn count_shard(&self, h: usize, candidates: &[Itemset]) -> (Vec<u64>, CounterStats);
+
+    /// Per-batch overhead stats charged once per batch regardless of how
+    /// many shards served it (e.g. the scan engine's one logical database
+    /// pass per non-empty batch).
+    fn batch_stats(&self, _h: usize, _candidates: &[Itemset]) -> CounterStats {
+        CounterStats::default()
+    }
+
+    /// Fold a stats delta into the accumulated totals.
+    fn merge_stats(&mut self, delta: &CounterStats);
+
+    /// Supports of `candidates`, in input order, accumulating stats.
+    fn count_batch(&mut self, h: usize, candidates: &[Itemset]) -> Vec<u64> {
+        let (counts, mut delta) = self.count_shard(h, candidates);
+        delta.merge(&self.batch_stats(h, candidates));
+        self.merge_stats(&delta);
+        counts
+    }
+
+    /// Count a batch sharded over `threads` scoped workers (`0` =
+    /// auto-detect, `1` = inline). Counts and stats are bit-identical to
+    /// [`Self::count_batch`] for every thread count.
+    ///
+    /// The default shards the **candidates** into contiguous chunks and
+    /// folds the per-shard stats in shard order — right for engines whose
+    /// per-candidate cost is independent (tidset, bitset). Engines with a
+    /// per-batch pass over the data override it (the scan engine shards
+    /// the **transactions** instead, so the pass is split rather than
+    /// duplicated per worker).
+    fn count_batch_sharded(
+        &mut self,
+        h: usize,
+        candidates: &[Itemset],
+        threads: usize,
+    ) -> Vec<u64> {
+        candidate_sharded(self, h, candidates, threads)
+    }
 
     /// Work statistics accumulated so far.
     fn stats(&self) -> CounterStats;
 
     /// Descriptive engine name for reports.
     fn engine_name(&self) -> &'static str;
+}
+
+/// Batches smaller than this are counted inline: spawning scoped workers
+/// costs more than counting a handful of candidates.
+pub const MIN_SHARD_CANDIDATES: usize = 64;
+
+/// Transaction-sharded scans over databases smaller than this run inline
+/// (tuned independently of the candidate-batch cutoff above).
+pub const MIN_SHARD_TXNS: usize = 64;
+
+/// The candidate-chunked sharding strategy backing the trait's default
+/// [`SupportCounter::count_batch_sharded`]; also reused by engines that
+/// dispatch per level ([`crate::AutoCounter`]).
+pub(crate) fn candidate_sharded<C: SupportCounter + ?Sized>(
+    counter: &mut C,
+    h: usize,
+    candidates: &[Itemset],
+    threads: usize,
+) -> Vec<u64> {
+    let threads = exec::effective_threads(threads);
+    if threads <= 1 || candidates.len() < MIN_SHARD_CANDIDATES {
+        return counter.count_batch(h, candidates);
+    }
+    let shards = {
+        let shared = &*counter;
+        exec::map_slice_chunks(threads, candidates, |chunk| shared.count_shard(h, chunk))
+    };
+    let mut counts = Vec::with_capacity(candidates.len());
+    let mut delta = CounterStats::default();
+    for (shard_counts, shard_stats) in shards {
+        counts.extend(shard_counts);
+        delta.merge(&shard_stats);
+    }
+    delta.merge(&counter.batch_stats(h, candidates));
+    counter.merge_stats(&delta);
+    counts
+}
+
+/// The transaction-chunked sharding strategy for grouped-scan counting over
+/// `lv`: one split pass instead of one full pass per worker. Per-range
+/// partial counts sum element-wise and subset tests sum across ranges, so
+/// counts and stats stay bit-identical to the sequential pass.
+pub(crate) fn scan_sharded<C: SupportCounter + ?Sized>(
+    counter: &mut C,
+    lv: &crate::projection::LevelView,
+    h: usize,
+    candidates: &[Itemset],
+    threads: usize,
+) -> Vec<u64> {
+    let threads = exec::effective_threads(threads);
+    if threads <= 1 || candidates.is_empty() || lv.len() < MIN_SHARD_TXNS {
+        return counter.count_batch(h, candidates);
+    }
+    let by_first = group_by_first(candidates);
+    let shards = exec::map_chunks(threads, lv.len(), |range| {
+        scan_txn_range(lv, candidates, &by_first, range)
+    });
+    let mut counts = vec![0u64; candidates.len()];
+    let mut delta = CounterStats {
+        candidates_counted: candidates.len() as u64,
+        ..CounterStats::default()
+    };
+    for (partial, subset_tests) in shards {
+        for (total, c) in counts.iter_mut().zip(partial) {
+            *total += c;
+        }
+        delta.subset_tests += subset_tests;
+    }
+    delta.merge(&counter.batch_stats(h, candidates));
+    counter.merge_stats(&delta);
+    counts
 }
 
 /// Vertical (tid-list intersection) counting engine.
@@ -86,17 +231,25 @@ impl SupportCounter for TidsetCounter<'_> {
         self.view.level(h).present_items()
     }
 
-    fn count_batch(&mut self, h: usize, candidates: &[Itemset]) -> Vec<u64> {
+    fn count_shard(&self, h: usize, candidates: &[Itemset]) -> (Vec<u64>, CounterStats) {
         let lv = self.view.level(h);
-        self.stats.candidates_counted += candidates.len() as u64;
-        candidates
+        let mut stats = CounterStats {
+            candidates_counted: candidates.len() as u64,
+            ..CounterStats::default()
+        };
+        let counts = candidates
             .iter()
             .map(|c| {
                 let lists: Vec<&[u32]> = c.items().iter().map(|&it| lv.tidset(it)).collect();
-                self.stats.intersections += lists.len().saturating_sub(1) as u64;
+                stats.intersections += lists.len().saturating_sub(1) as u64;
                 intersect_size_many(&lists)
             })
-            .collect()
+            .collect();
+        (counts, stats)
+    }
+
+    fn merge_stats(&mut self, delta: &CounterStats) {
+        self.stats.merge(delta);
     }
 
     fn stats(&self) -> CounterStats {
@@ -109,8 +262,8 @@ impl SupportCounter for TidsetCounter<'_> {
 }
 
 /// Horizontal (sequential scan) counting engine, modeling the paper's
-/// disk-resident counting: each batch costs one pass over the level's
-/// transactions.
+/// disk-resident counting: each batch costs one logical pass over the
+/// level's transactions.
 pub struct ScanCounter<'v> {
     view: &'v MultiLevelView,
     stats: CounterStats,
@@ -126,6 +279,43 @@ impl<'v> ScanCounter<'v> {
     }
 }
 
+/// Group candidate indices by first (smallest) item, so a transaction only
+/// tests candidates whose first item it actually contains.
+pub(crate) fn group_by_first(candidates: &[Itemset]) -> HashMap<NodeId, Vec<usize>> {
+    let mut by_first: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        let first = *c.items().first().expect("candidates must be non-empty");
+        by_first.entry(first).or_default().push(i);
+    }
+    by_first
+}
+
+/// The scan core over one transaction range: per-candidate counts within
+/// the range plus the number of subset tests performed.
+pub(crate) fn scan_txn_range(
+    lv: &crate::projection::LevelView,
+    candidates: &[Itemset],
+    by_first: &HashMap<NodeId, Vec<usize>>,
+    range: std::ops::Range<usize>,
+) -> (Vec<u64>, u64) {
+    let mut counts = vec![0u64; candidates.len()];
+    let mut subset_tests = 0u64;
+    for t in range {
+        let txn = lv.transaction(t);
+        for &item in txn {
+            if let Some(idxs) = by_first.get(&item) {
+                for &i in idxs {
+                    subset_tests += 1;
+                    if crate::itemset::is_sorted_subset(candidates[i].items(), txn) {
+                        counts[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+    (counts, subset_tests)
+}
+
 impl SupportCounter for ScanCounter<'_> {
     fn num_transactions(&self) -> u64 {
         self.view.num_transactions() as u64
@@ -139,35 +329,43 @@ impl SupportCounter for ScanCounter<'_> {
         self.view.level(h).present_items()
     }
 
-    fn count_batch(&mut self, h: usize, candidates: &[Itemset]) -> Vec<u64> {
+    fn count_shard(&self, h: usize, candidates: &[Itemset]) -> (Vec<u64>, CounterStats) {
         if candidates.is_empty() {
-            return Vec::new();
+            return (Vec::new(), CounterStats::default());
         }
         let lv = self.view.level(h);
-        self.stats.db_scans += 1;
-        self.stats.candidates_counted += candidates.len() as u64;
+        let by_first = group_by_first(candidates);
+        let (counts, subset_tests) = scan_txn_range(lv, candidates, &by_first, 0..lv.len());
+        let stats = CounterStats {
+            candidates_counted: candidates.len() as u64,
+            subset_tests,
+            ..CounterStats::default()
+        };
+        (counts, stats)
+    }
 
-        // Group candidate indices by first (smallest) item, so a transaction
-        // only tests candidates whose first item it actually contains.
-        let mut by_first: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, c) in candidates.iter().enumerate() {
-            let first = *c.items().first().expect("candidates must be non-empty");
-            by_first.entry(first).or_default().push(i);
+    fn batch_stats(&self, _h: usize, candidates: &[Itemset]) -> CounterStats {
+        CounterStats {
+            db_scans: u64::from(!candidates.is_empty()),
+            ..CounterStats::default()
         }
-        let mut counts = vec![0u64; candidates.len()];
-        for txn in lv.transactions() {
-            for &item in txn {
-                if let Some(idxs) = by_first.get(&item) {
-                    for &i in idxs {
-                        self.stats.subset_tests += 1;
-                        if crate::itemset::is_sorted_subset(candidates[i].items(), txn) {
-                            counts[i] += 1;
-                        }
-                    }
-                }
-            }
-        }
-        counts
+    }
+
+    /// The scan engine shards the **transactions**, not the candidates: a
+    /// candidate-chunked shard would repeat the full database pass once per
+    /// worker.
+    fn count_batch_sharded(
+        &mut self,
+        h: usize,
+        candidates: &[Itemset],
+        threads: usize,
+    ) -> Vec<u64> {
+        let lv = self.view.level(h);
+        scan_sharded(self, lv, h, candidates, threads)
+    }
+
+    fn merge_stats(&mut self, delta: &CounterStats) {
+        self.stats.merge(delta);
     }
 
     fn stats(&self) -> CounterStats {
@@ -189,6 +387,9 @@ pub enum CountingEngine {
     Scan,
     /// Hybrid dense-bitmap / sparse-tidlist engine (see [`crate::BitsetCounter`]).
     Bitset,
+    /// Per-level auto-selection among the three from measured density (see
+    /// [`crate::AutoCounter`]).
+    Auto,
 }
 
 impl CountingEngine {
@@ -198,15 +399,34 @@ impl CountingEngine {
             CountingEngine::Tidset => Box::new(TidsetCounter::new(view)),
             CountingEngine::Scan => Box::new(ScanCounter::new(view)),
             CountingEngine::Bitset => Box::new(crate::bitset::BitsetCounter::new(view)),
+            CountingEngine::Auto => Box::new(crate::auto::AutoCounter::new(view)),
         }
     }
+
+    /// Parse an engine name as used by CLIs and benches.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "tidset" => Some(CountingEngine::Tidset),
+            "scan" => Some(CountingEngine::Scan),
+            "bitset" => Some(CountingEngine::Bitset),
+            "auto" => Some(CountingEngine::Auto),
+            _ => None,
+        }
+    }
+
+    /// All concrete (non-auto) engines.
+    pub const CONCRETE: [CountingEngine; 3] = [
+        CountingEngine::Tidset,
+        CountingEngine::Scan,
+        CountingEngine::Bitset,
+    ];
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transaction::TransactionDb;
     use crate::rng::{Rng, Xoshiro256pp};
+    use crate::transaction::TransactionDb;
     use flipper_taxonomy::{RebalancePolicy, Taxonomy};
 
     fn toy() -> (Taxonomy, TransactionDb) {
@@ -248,7 +468,7 @@ mod tests {
     }
 
     #[test]
-    fn both_engines_count_the_toy_example() {
+    fn all_engines_count_the_toy_example() {
         let (tax, db) = toy();
         let view = MultiLevelView::build(&db, &tax);
         let g = |s: &str| tax.node_by_name(s).unwrap();
@@ -259,7 +479,12 @@ mod tests {
             (2, Itemset::pair(g("a1"), g("b1")), 2),
             (1, Itemset::pair(g("a"), g("b")), 7),
         ];
-        for engine in [CountingEngine::Tidset, CountingEngine::Scan] {
+        for engine in [
+            CountingEngine::Tidset,
+            CountingEngine::Scan,
+            CountingEngine::Bitset,
+            CountingEngine::Auto,
+        ] {
             let mut c = engine.make(&view);
             for (h, set, expect) in cases.iter() {
                 let got = c.count_batch(*h, std::slice::from_ref(set));
@@ -307,6 +532,110 @@ mod tests {
     }
 
     #[test]
+    fn counter_stats_merge_is_associative_with_identity() {
+        let a = CounterStats {
+            db_scans: 1,
+            subset_tests: 10,
+            intersections: 3,
+            candidates_counted: 7,
+        };
+        let b = CounterStats {
+            db_scans: 2,
+            subset_tests: 5,
+            intersections: 11,
+            candidates_counted: 13,
+        };
+        let c = CounterStats {
+            db_scans: 4,
+            subset_tests: 1,
+            intersections: 0,
+            candidates_counted: 2,
+        };
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // Identity.
+        let mut with_id = a;
+        with_id.merge(&CounterStats::default());
+        assert_eq!(with_id, a);
+        // Totals are sums.
+        assert_eq!(left.db_scans, 7);
+        assert_eq!(left.candidates_counted, 22);
+    }
+
+    /// Sharded counting is bit-identical to sequential counting — counts
+    /// AND stats — for every engine and thread count.
+    #[test]
+    fn sharded_counting_matches_sequential() {
+        let tax = Taxonomy::uniform(3, 3, 2).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = Xoshiro256pp::seed_from_u64(0x5AAD);
+        let rows: Vec<Vec<NodeId>> = (0..150)
+            .map(|_| {
+                let w = rng.gen_range(1..=6);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::new(rows).unwrap();
+        let view = MultiLevelView::build(&db, &tax);
+        // A batch well above MIN_SHARD_CANDIDATES.
+        let nodes = tax.nodes_at_level(2).unwrap();
+        let mut cands = Vec::new();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                cands.push(Itemset::pair(nodes[i], nodes[j]));
+            }
+        }
+        while cands.len() < 4 * MIN_SHARD_CANDIDATES {
+            let extra = cands.clone();
+            cands.extend(extra);
+        }
+        for engine in [
+            CountingEngine::Tidset,
+            CountingEngine::Scan,
+            CountingEngine::Bitset,
+            CountingEngine::Auto,
+        ] {
+            let mut seq = engine.make(&view);
+            let expect = seq.count_batch(2, &cands);
+            for threads in [2usize, 3, 7] {
+                let mut par = engine.make(&view);
+                let got = par.count_batch_sharded(2, &cands, threads);
+                assert_eq!(got, expect, "{} threads={threads}", par.engine_name());
+                assert_eq!(
+                    par.stats(),
+                    seq.stats(),
+                    "{} stats diverge at threads={threads}",
+                    par.engine_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_small_batches_fall_back_inline() {
+        let (tax, db) = toy();
+        let view = MultiLevelView::build(&db, &tax);
+        let g = |s: &str| tax.node_by_name(s).unwrap();
+        let batch = vec![Itemset::pair(g("a11"), g("b11"))];
+        let mut c = TidsetCounter::new(&view);
+        assert_eq!(c.count_batch_sharded(3, &batch, 8), vec![2]);
+        assert_eq!(c.stats().candidates_counted, 1);
+        let empty: Vec<Itemset> = Vec::new();
+        let mut sc = ScanCounter::new(&view);
+        assert!(sc.count_batch_sharded(3, &empty, 8).is_empty());
+        assert_eq!(sc.stats(), CounterStats::default());
+    }
+
+    #[test]
     fn item_queries_delegate_to_view() {
         let (tax, db) = toy();
         let view = MultiLevelView::build(&db, &tax);
@@ -318,14 +647,25 @@ mod tests {
     }
 
     #[test]
-    fn engine_names() {
+    fn engine_names_and_parse() {
         let (tax, db) = toy();
         let view = MultiLevelView::build(&db, &tax);
         assert_eq!(CountingEngine::Tidset.make(&view).engine_name(), "tidset");
         assert_eq!(CountingEngine::Scan.make(&view).engine_name(), "scan");
+        assert_eq!(CountingEngine::Bitset.make(&view).engine_name(), "bitset");
+        assert_eq!(CountingEngine::Auto.make(&view).engine_name(), "auto");
+        for (name, engine) in [
+            ("tidset", CountingEngine::Tidset),
+            ("scan", CountingEngine::Scan),
+            ("bitset", CountingEngine::Bitset),
+            ("auto", CountingEngine::Auto),
+        ] {
+            assert_eq!(CountingEngine::parse(name), Some(engine));
+        }
+        assert_eq!(CountingEngine::parse("nope"), None);
     }
 
-    /// Random DBs over a uniform taxonomy: both engines must agree with the
+    /// Random DBs over a uniform taxonomy: engines must agree with the
     /// naive reference count for random candidate itemsets at every level.
     #[test]
     fn engines_agree_with_reference_on_random_dbs() {

@@ -1,0 +1,185 @@
+//! Dependency-free parallel execution helpers.
+//!
+//! The counting stack (and everything above it — the miner's per-level
+//! candidate batches, the bootstrap stability replicates, the brute-force
+//! verifier) shards work over contiguous chunks handled by a
+//! [`std::thread::scope`] pool. No work-stealing, no channels, no external
+//! crates: each chunk is spawned on its own scoped worker and results are
+//! joined back **in chunk order**, so any fold over them is deterministic
+//! regardless of how the OS schedules the workers.
+//!
+//! The thread-count convention used across the workspace: `0` means
+//! "auto-detect" ([`available_threads`]), `1` means sequential (no threads
+//! are spawned), `n ≥ 2` means exactly `n` workers.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Hard ceiling on worker threads. More workers than this never helps these
+/// workloads, and the clamp protects against a runaway `--threads` request
+/// spawning unbounded OS threads per batch (thread-spawn failure would
+/// abort the scope).
+pub const MAX_THREADS: usize = 256;
+
+/// Resolve a `threads` knob: `0` = auto-detect, anything else is literal,
+/// clamped to [`MAX_THREADS`].
+pub fn effective_threads(requested: usize) -> usize {
+    let n = match requested {
+        0 => available_threads(),
+        n => n,
+    };
+    n.min(MAX_THREADS)
+}
+
+/// Split `0..n` into at most `chunks` contiguous ranges whose lengths differ
+/// by at most one. Returns fewer ranges when `n < chunks`; never returns an
+/// empty range.
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(n);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Run `f` over the chunk ranges of `0..n` and return one result per chunk,
+/// **in chunk order**. With one chunk (or `threads <= 1`) everything runs on
+/// the calling thread; otherwise the first chunk runs on the calling thread
+/// while the remaining chunks each get a scoped worker — exactly `threads`
+/// runnable threads, no oversubscription by the blocked caller.
+///
+/// # Panics
+/// Propagates panics from worker threads.
+pub fn map_chunks<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = effective_threads(threads);
+    let mut ranges = chunk_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let first = ranges.remove(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(move || f(r)))
+            .collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(f(first));
+        out.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exec worker panicked")),
+        );
+        out
+    })
+}
+
+/// Shard a slice into contiguous chunks and run `f` over each, returning one
+/// result per chunk in order. Convenience wrapper over [`map_chunks`].
+pub fn map_slice_chunks<'a, T, R, F>(threads: usize, items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    map_chunks(threads, items.len(), |r| f(&items[r]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 7, 64, 100] {
+            for c in [1usize, 2, 3, 4, 9, 200] {
+                let ranges = chunk_ranges(n, c);
+                assert!(ranges.len() <= c.max(1));
+                assert!(ranges.iter().all(|r| !r.is_empty()), "n={n} c={c}");
+                let total: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+                assert_eq!(total, n, "n={n} c={c}");
+                // Contiguous and in order.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                // Balanced within one item.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(ExactSizeIterator::len).min(),
+                    ranges.iter().map(ExactSizeIterator::len).max(),
+                ) {
+                    assert!(max - min <= 1, "n={n} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        for threads in [1usize, 2, 4, 7] {
+            let per_chunk = map_chunks(threads, 100, |r| r.collect::<Vec<usize>>());
+            let flat: Vec<usize> = per_chunk.into_iter().flatten().collect();
+            assert_eq!(flat, (0..100).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_slice_chunks_sums_match() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: u64 = items.iter().sum();
+        for threads in [1usize, 3, 8] {
+            let total: u64 = map_slice_chunks(threads, &items, |c| c.iter().sum::<u64>())
+                .into_iter()
+                .sum();
+            assert_eq!(total, expect);
+        }
+    }
+
+    #[test]
+    fn zero_items_is_fine() {
+        let r: Vec<u64> = map_chunks(4, 0, |_| unreachable!("no chunks for n=0"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_clamps() {
+        assert!(effective_threads(0) >= 1);
+        assert!(effective_threads(0) <= MAX_THREADS);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(6), 6);
+        assert_eq!(effective_threads(100_000), MAX_THREADS);
+    }
+
+    #[test]
+    #[should_panic(expected = "exec worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = map_chunks(2, 10, |r| {
+            if r.start > 0 {
+                panic!("boom");
+            }
+            r.len()
+        });
+    }
+}

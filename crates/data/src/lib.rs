@@ -13,7 +13,11 @@
 //! * [`MultiLevelView`] — the database projected to every abstraction level,
 //!   with per-item supports and tid-lists;
 //! * [`SupportCounter`] — batch support oracles: vertical
-//!   [`TidsetCounter`] and scan-based [`ScanCounter`];
+//!   [`TidsetCounter`], scan-based [`ScanCounter`], hybrid [`BitsetCounter`]
+//!   and the density-driven per-level [`AutoCounter`];
+//! * [`mod@exec`] — dependency-free scoped-thread sharding;
+//!   [`SupportCounter::count_batch_sharded`] counts a batch over a worker
+//!   pool with bit-identical counts and stats at every thread count;
 //! * [`mod@format`] — a text interchange format bundling taxonomy + data;
 //! * [`stats`] — dataset statistics.
 //!
@@ -36,8 +40,10 @@
 
 #![warn(missing_docs)]
 
+pub mod auto;
 pub mod bitset;
 mod counting;
+pub mod exec;
 pub mod format;
 mod itemset;
 mod projection;
@@ -46,8 +52,11 @@ pub mod stats;
 pub mod tidset;
 mod transaction;
 
+pub use auto::AutoCounter;
 pub use bitset::{Bitmap, BitsetCounter};
-pub use counting::{CounterStats, CountingEngine, ScanCounter, SupportCounter, TidsetCounter};
+pub use counting::{
+    CounterStats, CountingEngine, ScanCounter, SupportCounter, TidsetCounter, MIN_SHARD_CANDIDATES,
+};
 pub use itemset::Itemset;
 pub use projection::{LevelView, MultiLevelView};
 pub use transaction::{DataError, TransactionDb};

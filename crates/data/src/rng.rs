@@ -26,7 +26,7 @@ use std::ops::{Range, RangeInclusive};
 ///
 /// Used to expand a 64-bit seed into full generator state, following the
 /// xoshiro authors' recommendation (Blackman & Vigna).
-fn splitmix64(state: &mut u64) -> u64 {
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -80,6 +80,30 @@ fn gallop_intersect_size(short: &[u32], long: &[u32]) -> u64 {
     n
 }
 
+/// Intersection of `k ≥ 1` sorted tid lists, materialized.
+///
+/// Lists are processed shortest-first so the running intersection shrinks as
+/// fast as possible; returns early once it empties.
+pub fn intersect_many(lists: &[&[u32]]) -> Vec<u32> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].to_vec(),
+        2 => intersect(lists[0], lists[1]),
+        _ => {
+            let mut order: Vec<usize> = (0..lists.len()).collect();
+            order.sort_by_key(|&i| lists[i].len());
+            let mut acc = intersect(lists[order[0]], lists[order[1]]);
+            for &i in &order[2..] {
+                if acc.is_empty() {
+                    return acc;
+                }
+                acc = intersect(&acc, lists[i]);
+            }
+            acc
+        }
+    }
+}
+
 /// Size of the intersection of `k ≥ 1` sorted tid lists.
 ///
 /// Lists are processed shortest-first so the running intersection shrinks as
@@ -177,6 +201,22 @@ mod tests {
                 super::merge_intersect_size(&a, &b)
             );
         }
+    }
+
+    #[test]
+    fn intersect_many_matches_size_many() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xD00D);
+        for _ in 0..128 {
+            let a = sorted_set(&mut rng);
+            let b = sorted_set(&mut rng);
+            let c = sorted_set(&mut rng);
+            let lists: [&[u32]; 3] = [&a, &b, &c];
+            let m = intersect_many(&lists);
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            assert_eq!(m.len() as u64, intersect_size_many(&lists));
+        }
+        assert!(intersect_many(&[]).is_empty());
+        assert_eq!(intersect_many(&[&[1u32, 2, 3][..]]), vec![1, 2, 3]);
     }
 
     #[test]

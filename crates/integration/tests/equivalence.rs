@@ -151,6 +151,74 @@ fn equivalence_randomized() {
     }
 }
 
+/// Execution-layer differential sweep: `Auto`, `Tidset`, `Bitset` and
+/// `Scan`, each at 1 and 4 worker threads, must produce `MiningResult`s
+/// identical to the sequential tidset baseline — same patterns, same
+/// per-cell summaries, same run statistics — on both sparse and dense
+/// seeded datasets. Engine-independent counters must match exactly; the
+/// counting-engine stats themselves must additionally be thread-invariant
+/// within each engine.
+#[test]
+fn equivalence_engines_and_threads() {
+    use flipper_data::CountingEngine;
+    // (name, taxonomy, transactions, max width): a sparse shape (narrow
+    // txns over many leaves) and a dense one (wide txns over few leaves).
+    let sparse_tax = Taxonomy::uniform(3, 3, 3).unwrap();
+    let dense_tax = Taxonomy::uniform(2, 2, 2).unwrap();
+    let cases = [
+        ("sparse", &sparse_tax, 300usize, 3usize, 0x5EED_0001u64),
+        ("dense", &dense_tax, 200, 6, 0x5EED_0002u64),
+    ];
+    for (name, tax, n, max_w, seed) in cases {
+        let db = random_db(tax, n, max_w, seed);
+        let cfg = FlipperConfig::new(
+            Thresholds::new(0.5, 0.25),
+            MinSupports::Counts(vec![4, 2, 1]),
+        );
+        let baseline = mine(tax, &db, &cfg); // sequential tidset
+        for engine in [
+            CountingEngine::Auto,
+            CountingEngine::Tidset,
+            CountingEngine::Bitset,
+            CountingEngine::Scan,
+        ] {
+            let mut engine_counter_stats = None;
+            for threads in [1usize, 4] {
+                let r = mine(
+                    tax,
+                    &db,
+                    &cfg.clone().with_engine(engine).with_threads(threads),
+                );
+                let ctx = format!("{name} {engine:?} threads={threads}");
+                assert_eq!(r.patterns, baseline.patterns, "{ctx}: patterns");
+                assert_eq!(r.cells, baseline.cells, "{ctx}: cell summaries");
+                let (s, b) = (&r.stats, &baseline.stats);
+                assert_eq!(s.candidates_generated, b.candidates_generated, "{ctx}");
+                assert_eq!(s.frequent_found, b.frequent_found, "{ctx}");
+                assert_eq!(s.positive_found, b.positive_found, "{ctx}");
+                assert_eq!(s.negative_found, b.negative_found, "{ctx}");
+                assert_eq!(s.pruned_by_sibp, b.pruned_by_sibp, "{ctx}");
+                assert_eq!(s.pruned_by_support, b.pruned_by_support, "{ctx}");
+                assert_eq!(s.cells_evaluated, b.cells_evaluated, "{ctx}");
+                assert_eq!(s.tpg_cap, b.tpg_cap, "{ctx}");
+                assert_eq!(s.peak_resident_itemsets, b.peak_resident_itemsets, "{ctx}");
+                assert_eq!(s.counter.candidates_counted, b.counter.candidates_counted, "{ctx}");
+                // Counting-engine work stats are engine-specific but must
+                // not depend on the thread count.
+                match engine_counter_stats {
+                    None => engine_counter_stats = Some(s.counter),
+                    Some(expect) => {
+                        assert_eq!(s.counter, expect, "{ctx}: counter stats");
+                    }
+                }
+                if engine == CountingEngine::Tidset {
+                    assert_eq!(s.counter, b.counter, "{ctx}: tidset counter stats");
+                }
+            }
+        }
+    }
+}
+
 /// Chains reported by the miner carry the exact supports and
 /// correlations a direct recount produces.
 #[test]

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the workspace must build in release mode and pass the
-# full test suite offline (no network, no external crates).
+# full test suite offline (no network, no external crates). The execution
+# layer gets two extra gates: the engine/thread equivalence suite re-runs
+# under --release (optimized codegen has caught UB-adjacent bugs debug
+# builds miss), and a few-second `quickbench --smoke` runs the engine ×
+# threads grid so a mis-wired engine or a perf cliff fails loudly.
 #
 #   ./scripts/verify.sh
 #
@@ -16,6 +20,12 @@ cargo build --release
 
 echo "== tier-1: cargo test -q"
 cargo test -q
+
+echo "== execution layer: equivalence suite under --release"
+cargo test --release -q -p flipper-integration --test equivalence
+
+echo "== execution layer: quickbench --smoke (engine × threads grid)"
+cargo run --release -q --bin quickbench -- --smoke
 set +e
 
 echo "== advisory: cargo clippy --all-targets -- -D warnings (non-blocking)"
