@@ -12,10 +12,14 @@
 use flipper_bench::timing::{time_fn, Timing};
 use flipper_bench::{flag_from_args, print_table, scale_from_args};
 use flipper_core::{mine_with_view, FlipperConfig, MinSupports, PruningConfig};
+use flipper_data::format::{read_dataset, write_dataset};
 use flipper_data::{CountingEngine, MultiLevelView};
 use flipper_datagen::quest::{generate, QuestParams};
 use flipper_datagen::surrogate::groceries;
 use flipper_measures::{Measure, Thresholds};
+use flipper_store::{read_fbin, stream_view, to_fbin_bytes, FbinReader};
+use flipper_taxonomy::RebalancePolicy;
+use std::io::Cursor;
 
 fn samples_from_args() -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -59,7 +63,12 @@ fn exec_layer_grid(n: usize, warmup: usize, samples: usize) {
             rows.push(t);
         }
         let t1 = per_threads[0].1.median.as_secs_f64();
-        let t4 = per_threads.last().expect("grid non-empty").1.median.as_secs_f64();
+        let t4 = per_threads
+            .last()
+            .expect("grid non-empty")
+            .1
+            .median
+            .as_secs_f64();
         if t4 > 0.0 {
             speedups.push(format!("{name}: {:.2}x", t1 / t4));
         }
@@ -72,11 +81,55 @@ fn exec_layer_grid(n: usize, warmup: usize, samples: usize) {
     println!("  4-thread speedup over 1 thread: {}", speedups.join(", "));
 }
 
-/// Few-second CI smoke: the full engine × threads grid at toy scale. Any
-/// engine regressing by an order of magnitude shows up immediately in the
-/// printed medians; any mis-wired engine/thread combination panics the run.
+/// Storage/IO rows on a quest dataset of `n` transactions: text parse vs
+/// FBIN full load vs FBIN streamed ingestion (chunks → sharded projector),
+/// all from memory so only the format work is measured. Prints the encoded
+/// sizes and the FBIN-load speedup over the text parse.
+fn storage_io_rows(n: usize, warmup: usize, samples: usize) {
+    let ds = generate(&QuestParams::default().with_transactions(n)).into_dataset();
+    let mut text = Vec::new();
+    write_dataset(&mut text, &ds).expect("serialize text");
+    let fbin = to_fbin_bytes(&ds).expect("serialize fbin");
+
+    let t_text = time_fn("text-parse", warmup, samples, || {
+        read_dataset(Cursor::new(&text[..]), RebalancePolicy::LeafCopy).expect("parse text")
+    });
+    let t_load = time_fn("fbin-load", warmup, samples, || {
+        read_fbin(&fbin[..]).expect("load fbin")
+    });
+    // The loaded paths above stop at the Dataset; the streamed path goes all
+    // the way to a mining-ready view, so also time view construction on the
+    // loaded side for an apples-to-apples "ready to mine" comparison.
+    let t_load_view = time_fn("fbin-load+view", warmup, samples, || {
+        let ds = read_fbin(&fbin[..]).expect("load fbin");
+        MultiLevelView::build(&ds.db, &ds.taxonomy)
+    });
+    let t_stream = time_fn("fbin-stream+view/t1", warmup, samples, || {
+        stream_view(FbinReader::new(&fbin[..]).expect("open fbin"), 1).expect("stream fbin")
+    });
+    let rows = [t_text.clone(), t_load.clone(), t_load_view, t_stream];
+    print_table(
+        &format!(
+            "storage io (quest, N = {n}; text {} KiB, fbin {} KiB)",
+            text.len() / 1024,
+            fbin.len() / 1024
+        ),
+        &["config", "median_ms", "min_ms", "mean_ms"],
+        &rows.iter().map(Timing::cells).collect::<Vec<_>>(),
+    );
+    let (t, f) = (t_text.median.as_secs_f64(), t_load.median.as_secs_f64());
+    if f > 0.0 {
+        println!("  fbin load speedup over text parse: {:.2}x", t / f);
+    }
+}
+
+/// Few-second CI smoke: the full engine × threads grid plus the storage/IO
+/// rows at toy scale. Any engine regressing by an order of magnitude shows
+/// up immediately in the printed medians; any mis-wired engine/thread
+/// combination or broken format round-trip panics the run.
 fn run_smoke() {
     exec_layer_grid(300, 0, 1);
+    storage_io_rows(300, 0, 1);
     println!("\nquickbench --smoke PASSED");
 }
 
@@ -152,9 +205,12 @@ fn main() {
     }
     for measure in Measure::ALL {
         let cfg = base.clone().with_measure(measure);
-        rows.push(time_fn(format!("measure/{measure}"), warmup, samples, || {
-            mine_with_view(&d.taxonomy, &view, &cfg)
-        }));
+        rows.push(time_fn(
+            format!("measure/{measure}"),
+            warmup,
+            samples,
+            || mine_with_view(&d.taxonomy, &view, &cfg),
+        ));
     }
     print_table(
         "fig9 + ablations (GROCERIES surrogate)",
@@ -165,4 +221,7 @@ fn main() {
     // The execution-layer grid the ROADMAP's scaling items track: engine ×
     // threads on quest N = 1000.
     exec_layer_grid(1000, warmup, samples);
+
+    // Storage/IO: text parse vs FBIN load vs streamed ingestion, N = 1000.
+    storage_io_rows(1000, warmup, samples);
 }

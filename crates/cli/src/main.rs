@@ -3,19 +3,25 @@
 //! Subcommands:
 //!
 //! * `generate` — produce a dataset (quest / groceries / census / medline /
-//!   planted) in the text interchange format;
+//!   planted) in the text or FBIN binary format;
 //! * `mine` — mine flipping patterns from a dataset file;
+//! * `convert` — convert a dataset between the text and FBIN formats;
 //! * `stats` — print dataset statistics.
 //!
-//! Run `flipper help` for the full usage text.
+//! Every `--input` path is format-sniffed by magic bytes: FBIN files are
+//! read through the `flipper-store` binary reader (the `mine` subcommand
+//! streams them chunk by chunk, never materializing the raw database), text
+//! files through the line parser. Run `flipper help` for the full usage
+//! text.
 
-use flipper_core::{mine, FlipperConfig, MinSupports, PruningConfig};
+use flipper_core::{mine, mine_with_view, FlipperConfig, MinSupports, PruningConfig};
 use flipper_data::format::{read_dataset, write_dataset, Dataset};
 use flipper_data::CountingEngine;
 use flipper_measures::{Measure, Thresholds};
+use flipper_store::{stream_view, write_fbin, FbinReader};
 use flipper_taxonomy::RebalancePolicy;
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -24,20 +30,28 @@ flipper — mining flipping correlations from datasets with taxonomies
 
 USAGE:
   flipper generate --kind <quest|groceries|census|medline|planted>
-                   [--out FILE] [--seed N] [--transactions N] [--width W]
-                   [--scale F]
+                   [--out FILE] [--format text|fbin] [--seed N]
+                   [--transactions N] [--width W] [--scale F]
   flipper mine     --input FILE [--gamma F] [--epsilon F]
                    [--minsup F1,F2,...] [--measure NAME]
                    [--variant basic|flipping|tpg|full]
                    [--engine tidset|scan|bitset|auto] [--top K] [--max-k K]
                    [--threads N]   (0 = all cores, default 1)
+  flipper convert  --input FILE --out FILE [--to text|fbin]
   flipper topk     --input FILE --k N [--minsup F1,F2,...]
   flipper stats    --input FILE
   flipper help
 
+Input files are auto-detected by magic bytes: FBIN binary datasets (written
+by `generate --format fbin` or `convert --to fbin`) and the text interchange
+format both work everywhere an `--input` is accepted. `generate` and
+`convert` pick the output format from `--format`/`--to`, defaulting by the
+`.fbin` extension. `mine` ingests FBIN inputs chunk-by-chunk (streaming).
+
 EXAMPLES:
   flipper generate --kind groceries --out groceries.txt
-  flipper mine --input groceries.txt --gamma 0.15 --epsilon 0.10 \\
+  flipper convert --input groceries.txt --out groceries.fbin
+  flipper mine --input groceries.fbin --gamma 0.15 --epsilon 0.10 \\
                --minsup 0.001,0.0005,0.0002
 ";
 
@@ -75,6 +89,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&parse_flags(&args[1..])?),
         Some("mine") => cmd_mine(&parse_flags(&args[1..])?),
+        Some("convert") => cmd_convert(&parse_flags(&args[1..])?),
         Some("topk") => cmd_topk(&parse_flags(&args[1..])?),
         Some("stats") => cmd_stats(&parse_flags(&args[1..])?),
         Some("help") | None => {
@@ -103,6 +118,59 @@ fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Resu
     }
 }
 
+/// Output formats the writers understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileFormat {
+    Text,
+    Fbin,
+}
+
+/// Resolve the output format: an explicit `--<flag> text|fbin` wins,
+/// otherwise a `.fbin` output extension selects FBIN, otherwise text.
+fn output_format(
+    flags: &HashMap<String, String>,
+    flag: &str,
+    out: Option<&String>,
+) -> Result<FileFormat, String> {
+    match flags.get(flag).map(String::as_str) {
+        Some("text") => Ok(FileFormat::Text),
+        Some("fbin") => Ok(FileFormat::Fbin),
+        Some(other) => Err(format!("--{flag} expects text or fbin, got {other:?}")),
+        None => Ok(match out {
+            Some(path) if path.ends_with(".fbin") => FileFormat::Fbin,
+            _ => FileFormat::Text,
+        }),
+    }
+}
+
+/// Write `ds` to `out` (or stdout) in `format`.
+fn write_output(ds: &Dataset, out: Option<&String>, format: FileFormat) -> Result<(), String> {
+    let sink: Box<dyn Write> = match out {
+        Some(path) => {
+            Box::new(std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?)
+        }
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut w = BufWriter::new(sink);
+    match format {
+        FileFormat::Text => write_dataset(&mut w, ds).map_err(|e| e.to_string())?,
+        FileFormat::Fbin => write_fbin(&mut w, ds).map_err(|e| e.to_string())?,
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    if let Some(path) = out {
+        eprintln!(
+            "wrote {} transactions / {} taxonomy nodes to {path} ({})",
+            ds.db.len(),
+            ds.taxonomy.node_count(),
+            match format {
+                FileFormat::Text => "text",
+                FileFormat::Fbin => "fbin",
+            }
+        );
+    }
+    Ok(())
+}
+
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let kind = flags.get("kind").ok_or("generate requires --kind")?;
     let seed = get_usize(flags, "seed", 42)? as u64;
@@ -112,75 +180,79 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
                 .with_transactions(get_usize(flags, "transactions", 100_000)?)
                 .with_width(get_f64(flags, "width", 5.0)?)
                 .with_seed(seed);
-            let d = flipper_datagen::quest::generate(&params);
-            Dataset {
-                taxonomy: d.taxonomy,
-                db: d.db,
-            }
+            flipper_datagen::quest::generate(&params).into_dataset()
         }
-        "groceries" => {
-            let d = flipper_datagen::surrogate::groceries(seed);
-            Dataset {
-                taxonomy: d.taxonomy,
-                db: d.db,
-            }
-        }
-        "census" => {
-            let d = flipper_datagen::surrogate::census(seed);
-            Dataset {
-                taxonomy: d.taxonomy,
-                db: d.db,
-            }
-        }
+        "groceries" => flipper_datagen::surrogate::groceries(seed).into_dataset(),
+        "census" => flipper_datagen::surrogate::census(seed).into_dataset(),
         "medline" => {
             let scale = get_f64(flags, "scale", 0.1)?;
-            let d = flipper_datagen::surrogate::medline(scale, seed);
-            Dataset {
-                taxonomy: d.taxonomy,
-                db: d.db,
-            }
+            flipper_datagen::surrogate::medline(scale, seed).into_dataset()
         }
-        "planted" => {
-            let d = flipper_datagen::planted::generate(&flipper_datagen::planted::PlantedParams {
-                seed,
-                ..Default::default()
-            });
-            Dataset {
-                taxonomy: d.taxonomy,
-                db: d.db,
-            }
-        }
+        "planted" => flipper_datagen::planted::generate(&flipper_datagen::planted::PlantedParams {
+            seed,
+            ..Default::default()
+        })
+        .into_dataset(),
         other => return Err(format!("unknown dataset kind {other:?}")),
     };
-    match flags.get("out") {
-        Some(path) => {
-            let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-            let mut w = BufWriter::new(file);
-            write_dataset(&mut w, &ds).map_err(|e| e.to_string())?;
-            w.flush().map_err(|e| e.to_string())?;
-            eprintln!(
-                "wrote {} transactions / {} taxonomy nodes to {path}",
-                ds.db.len(),
-                ds.taxonomy.node_count()
-            );
-        }
-        None => {
-            let stdout = std::io::stdout();
-            let mut w = BufWriter::new(stdout.lock());
-            write_dataset(&mut w, &ds).map_err(|e| e.to_string())?;
-        }
-    }
-    Ok(())
+    let out = flags.get("out");
+    let format = output_format(flags, "format", out)?;
+    write_output(&ds, out, format)
 }
 
-fn load(flags: &HashMap<String, String>) -> Result<Dataset, String> {
-    let path = flags.get("input").ok_or("missing --input FILE")?;
+/// Sniff a dataset file's format by its magic bytes.
+fn detect_format(path: &str) -> Result<FileFormat, String> {
+    let mut file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match file.read(&mut prefix[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) => return Err(format!("read {path}: {e}")),
+        }
+    }
+    Ok(if flipper_store::is_fbin(&prefix[..filled]) {
+        FileFormat::Fbin
+    } else {
+        FileFormat::Text
+    })
+}
+
+fn input_path(flags: &HashMap<String, String>) -> Result<&String, String> {
+    flags
+        .get("input")
+        .ok_or_else(|| "missing --input FILE".to_string())
+}
+
+/// Load a full dataset from `path` as `format`.
+fn load_path(path: &str, format: FileFormat) -> Result<Dataset, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    read_dataset(BufReader::new(file), RebalancePolicy::LeafCopy).map_err(|e| e.to_string())
+    let reader = BufReader::new(file);
+    match format {
+        FileFormat::Fbin => flipper_store::read_fbin(reader).map_err(|e| e.to_string()),
+        FileFormat::Text => {
+            read_dataset(reader, RebalancePolicy::LeafCopy).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Load a full dataset from `--input`, auto-detecting text vs FBIN by magic
+/// bytes — so a binary file handed to a text-era script still loads instead
+/// of dying with a line-1 parse error (and vice versa).
+fn load(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let path = input_path(flags)?;
+    load_path(path, detect_format(path)?)
+}
+
+fn cmd_convert(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = Some(flags.get("out").ok_or("convert requires --out FILE")?);
+    let format = output_format(flags, "to", out)?;
+    let ds = load(flags)?;
+    write_output(&ds, out, format)
 }
 
 fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
-    let ds = load(flags)?;
     let gamma = get_f64(flags, "gamma", 0.3)?;
     let epsilon = get_f64(flags, "epsilon", 0.1)?;
     let minsup = match flags.get("minsup") {
@@ -217,7 +289,24 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg = cfg.with_max_k(mk.parse().map_err(|_| format!("bad --max-k {mk:?}"))?);
     }
 
-    let result = mine(&ds.taxonomy, &ds.db, &cfg);
+    let path = input_path(flags)?;
+    let (taxonomy, result) = match detect_format(path)? {
+        FileFormat::Fbin => {
+            // Streaming ingestion: decode chunk by chunk into the sharded
+            // multi-level projector; the raw database never materializes.
+            // Results are bit-identical to the full-load path.
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let reader = FbinReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+            let (tax, view) = stream_view(reader, threads).map_err(|e| e.to_string())?;
+            let result = mine_with_view(&tax, &view, &cfg);
+            (tax, result)
+        }
+        FileFormat::Text => {
+            let ds = load_path(path, FileFormat::Text)?;
+            let result = mine(&ds.taxonomy, &ds.db, &cfg);
+            (ds.taxonomy, result)
+        }
+    };
     let top = get_usize(flags, "top", usize::MAX)?;
     println!(
         "{} flipping patterns (showing {})",
@@ -226,7 +315,7 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     for p in result.top_k_by_gap(top) {
         println!("gap {:.3}:", p.flip_gap());
-        println!("{}\n", p.display(&ds.taxonomy));
+        println!("{}\n", p.display(&taxonomy));
     }
     println!(
         "pos={} neg={}",
@@ -367,6 +456,89 @@ mod tests {
         .unwrap();
         run(&["stats".into(), "--input".into(), path]).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fbin_generate_convert_mine_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("flipper-cli-fbin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fbin = dir.join("planted.fbin").to_string_lossy().to_string();
+        let text = dir.join("planted.txt").to_string_lossy().to_string();
+        let fbin2 = dir.join("back.fbin").to_string_lossy().to_string();
+        // generate picks FBIN from the extension.
+        run(&[
+            "generate".into(),
+            "--kind".into(),
+            "planted".into(),
+            "--out".into(),
+            fbin.clone(),
+        ])
+        .unwrap();
+        let bytes = std::fs::read(&fbin).unwrap();
+        assert!(flipper_store::is_fbin(&bytes));
+        // convert fbin -> text -> fbin round-trips the exact bytes.
+        run(&[
+            "convert".into(),
+            "--input".into(),
+            fbin.clone(),
+            "--out".into(),
+            text.clone(),
+        ])
+        .unwrap();
+        assert!(!flipper_store::is_fbin(&std::fs::read(&text).unwrap()));
+        run(&[
+            "convert".into(),
+            "--input".into(),
+            text.clone(),
+            "--out".into(),
+            fbin2.clone(),
+        ])
+        .unwrap();
+        assert_eq!(bytes, std::fs::read(&fbin2).unwrap());
+        // mine and stats accept the binary input transparently (mine takes
+        // the streaming path).
+        run(&[
+            "mine".into(),
+            "--input".into(),
+            fbin.clone(),
+            "--threads".into(),
+            "2".into(),
+            "--top".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        run(&["stats".into(), "--input".into(), fbin]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn convert_rejects_bad_target_format() {
+        let err = run(&[
+            "convert".into(),
+            "--input".into(),
+            "x".into(),
+            "--out".into(),
+            "y".into(),
+            "--to".into(),
+            "parquet".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("expects text or fbin"));
+    }
+
+    #[test]
+    fn text_parser_names_fbin_mixups() {
+        // Feeding FBIN bytes to the text parser directly (bypassing the
+        // CLI's auto-detection) must name the problem, not report a
+        // baffling line-1 parse error.
+        let d = flipper_datagen::planted::generate(&Default::default());
+        let bytes = flipper_store::to_fbin_bytes(&d.into_dataset()).unwrap();
+        let err =
+            read_dataset(std::io::Cursor::new(&bytes[..]), RebalancePolicy::LeafCopy).unwrap_err();
+        assert!(
+            err.to_string().contains("FBIN"),
+            "error should name the binary format: {err}"
+        );
     }
 
     #[test]

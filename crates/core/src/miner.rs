@@ -318,8 +318,7 @@ impl<'a> Miner<'a> {
             if freq_children.iter().any(Vec::is_empty) {
                 continue;
             }
-            let tid_lists: Vec<&[u32]> =
-                pset.items().iter().map(|&p| lv_above.tidset(p)).collect();
+            let tid_lists: Vec<&[u32]> = pset.items().iter().map(|&p| lv_above.tidset(p)).collect();
             let tids = intersect_many(&tid_lists);
             for &t in &tids {
                 let txn = lv_here.transaction(t as usize);

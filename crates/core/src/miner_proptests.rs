@@ -28,7 +28,9 @@ fn random_input(
     let rows: Vec<Vec<NodeId>> = (0..n)
         .map(|_| {
             let w = rng.gen_range(1..=4);
-            (0..w).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect()
+            (0..w)
+                .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                .collect()
         })
         .collect();
     (tax, TransactionDb::new(rows).unwrap())
@@ -40,10 +42,7 @@ fn random_input(
 fn all_patterns_validate() {
     for seed in 0..32u64 {
         let (tax, db) = random_input(2, 2, 3, 60, seed);
-        let cfg = FlipperConfig::new(
-            Thresholds::new(0.5, 0.25),
-            MinSupports::Counts(vec![1]),
-        );
+        let cfg = FlipperConfig::new(Thresholds::new(0.5, 0.25), MinSupports::Counts(vec![1]));
         let r = mine(&tax, &db, &cfg);
         for p in &r.patterns {
             assert_eq!(p.validate(), Ok(()), "seed {seed}");
@@ -58,10 +57,7 @@ fn all_patterns_validate() {
 fn cell_summaries_consistent() {
     for seed in 0..32u64 {
         let (tax, db) = random_input(3, 2, 2, 50, seed);
-        let cfg = FlipperConfig::new(
-            Thresholds::new(0.6, 0.3),
-            MinSupports::Counts(vec![2, 1]),
-        );
+        let cfg = FlipperConfig::new(Thresholds::new(0.6, 0.3), MinSupports::Counts(vec![2, 1]));
         let r = mine(&tax, &db, &cfg);
         for c in &r.cells {
             assert!(c.positive + c.negative <= c.frequent, "seed {seed}");
@@ -123,10 +119,8 @@ fn min_support_monotonicity() {
     for seed in 0..16u64 {
         let (tax, db) = random_input(2, 2, 2, 60, seed);
         for theta in 1..4u64 {
-            let loose = FlipperConfig::new(
-                Thresholds::new(0.5, 0.25),
-                MinSupports::Counts(vec![theta]),
-            );
+            let loose =
+                FlipperConfig::new(Thresholds::new(0.5, 0.25), MinSupports::Counts(vec![theta]));
             let tight = FlipperConfig::new(
                 Thresholds::new(0.5, 0.25),
                 MinSupports::Counts(vec![theta + 2]),
@@ -150,14 +144,8 @@ fn min_support_monotonicity() {
 fn threshold_gap_monotonicity() {
     for seed in 0..32u64 {
         let (tax, db) = random_input(2, 2, 2, 60, seed);
-        let loose = FlipperConfig::new(
-            Thresholds::new(0.5, 0.3),
-            MinSupports::Counts(vec![1]),
-        );
-        let tight = FlipperConfig::new(
-            Thresholds::new(0.6, 0.2),
-            MinSupports::Counts(vec![1]),
-        );
+        let loose = FlipperConfig::new(Thresholds::new(0.5, 0.3), MinSupports::Counts(vec![1]));
+        let tight = FlipperConfig::new(Thresholds::new(0.6, 0.2), MinSupports::Counts(vec![1]));
         let many = mine(&tax, &db, &loose).patterns;
         let few = mine(&tax, &db, &tight).patterns;
         for p in &few {

@@ -248,13 +248,8 @@ mod tests {
         });
         let sequential = bootstrap_stability(&d.taxonomy, &d.db, &cfg(), 6, 11);
         for threads in [2usize, 4, 0] {
-            let parallel = bootstrap_stability(
-                &d.taxonomy,
-                &d.db,
-                &cfg().with_threads(threads),
-                6,
-                11,
-            );
+            let parallel =
+                bootstrap_stability(&d.taxonomy, &d.db, &cfg().with_threads(threads), 6, 11);
             assert_eq!(
                 parallel.patterns, sequential.patterns,
                 "threads={threads} diverged"

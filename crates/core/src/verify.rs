@@ -120,7 +120,9 @@ pub fn brute_force(
     // all the work in the first chunk. Worker-local results are merged and
     // then sorted by a total key, so the output is identical for every
     // thread count.
-    let workers = exec::effective_threads(cfg.threads).min(leaves.len()).max(1);
+    let workers = exec::effective_threads(cfg.threads)
+        .min(leaves.len())
+        .max(1);
     let per_chunk = exec::map_chunks(workers, workers, |range| {
         let mut local = Vec::new();
         let mut combo = Vec::with_capacity(k_max);

@@ -87,8 +87,7 @@ impl<'v> AutoCounter<'v> {
     /// Measure per-level density over `view` and build the delegates.
     /// Bitmaps are constructed only for the levels that chose them.
     pub fn new(view: &'v MultiLevelView) -> Self {
-        let choices: Vec<CountingEngine> =
-            (1..=view.height()).map(|h| choose(view, h)).collect();
+        let choices: Vec<CountingEngine> = (1..=view.height()).map(|h| choose(view, h)).collect();
         let mask: Vec<bool> = choices
             .iter()
             .map(|&c| c == CountingEngine::Bitset)

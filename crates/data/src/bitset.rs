@@ -235,8 +235,8 @@ impl crate::counting::SupportCounter for BitsetCounter<'_> {
 mod tests {
     use super::*;
     use crate::counting::{SupportCounter, TidsetCounter};
-    use crate::transaction::TransactionDb;
     use crate::rng::{Rng, Xoshiro256pp};
+    use crate::transaction::TransactionDb;
     use flipper_taxonomy::Taxonomy;
 
     #[test]

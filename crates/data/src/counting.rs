@@ -726,7 +726,9 @@ mod tests {
             let rows: Vec<Vec<NodeId>> = (0..30)
                 .map(|_| {
                     let w = rng.gen_range(1..=4);
-                    (0..w).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect()
+                    (0..w)
+                        .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                        .collect()
                 })
                 .collect();
             let db = TransactionDb::new(rows).unwrap();

@@ -80,10 +80,7 @@ where
     let first = ranges.remove(0);
     let f = &f;
     std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| s.spawn(move || f(r)))
-            .collect();
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || f(r))).collect();
         let mut out = Vec::with_capacity(handles.len() + 1);
         out.push(f(first));
         out.extend(

@@ -17,7 +17,7 @@
 
 use crate::transaction::TransactionDb;
 use flipper_taxonomy::{NodeId, RebalancePolicy, Taxonomy, TaxonomyBuilder};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 /// Errors from parsing or writing the dataset format.
 #[derive(Debug)]
@@ -81,9 +81,37 @@ pub struct Dataset {
 /// `policy` (the CLI default is [`RebalancePolicy::LeafCopy`], matching the
 /// paper's experiments).
 pub fn read_dataset<R: BufRead>(
-    reader: R,
+    mut reader: R,
     policy: RebalancePolicy,
 ) -> Result<Dataset, FormatError> {
+    // The classic format mix-up: an FBIN binary dataset (see the
+    // `flipper-store` crate) handed to the text parser. Sniff the magic
+    // bytes before touching lines — binary content would otherwise surface
+    // as a baffling line-1 parse or UTF-8 error. A single `fill_buf` may
+    // legally return fewer than 4 bytes, so read the prefix explicitly and
+    // chain it back in front of the remaining stream.
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if prefix[..filled] == *b"FBIN" {
+        return Err(FormatError::Parse {
+            line: 1,
+            message: "this looks like an FBIN binary dataset (magic bytes \"FBIN\"), \
+                      not the text format; read it with the flipper-store FBIN \
+                      reader or convert it with `flipper convert`"
+                .to_string(),
+        });
+    }
+    let reader = std::io::Cursor::new(prefix)
+        .take(filled as u64)
+        .chain(reader);
     #[derive(PartialEq)]
     enum Section {
         Preamble,
@@ -177,7 +205,11 @@ pub fn read_dataset<R: BufRead>(
 
 /// Follow synthetic self-copies down to the leaf level (identity for
 /// ordinary leaves and internal nodes without copies).
-fn deepest_copy(tax: &Taxonomy, node: NodeId) -> NodeId {
+///
+/// Public because every dataset reader (the text parser here, the FBIN
+/// reader in `flipper-store`) must remap items written under their original
+/// names through exactly the same rule, or the formats would drift.
+pub fn deepest_copy(tax: &Taxonomy, node: NodeId) -> NodeId {
     let mut cur = node;
     loop {
         let next = tax
@@ -315,6 +347,28 @@ beer\tsnacks
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fbin_magic_is_sniffed_even_through_tiny_buffers() {
+        // FBIN-looking bytes produce the pointed mix-up error…
+        let fbin = b"FBIN\x01\x00\x00\x00\x01garbage";
+        for capacity in [1usize, 2, 64] {
+            let r = std::io::BufReader::with_capacity(capacity, &fbin[..]);
+            let err = read_dataset(r, RebalancePolicy::LeafCopy).unwrap_err();
+            assert!(
+                err.to_string().contains("FBIN"),
+                "capacity {capacity}: {err}"
+            );
+        }
+        // …while a real text dataset still parses through the same tiny
+        // buffer (the sniffed prefix is chained back in front).
+        let r = std::io::BufReader::with_capacity(1, SAMPLE.as_bytes());
+        let ds = read_dataset(r, RebalancePolicy::LeafCopy).unwrap();
+        assert_eq!(ds.db.len(), 3);
+        // Inputs shorter than the magic are ordinary (bad) text.
+        let err = read_dataset(std::io::Cursor::new(b"FB"), RebalancePolicy::LeafCopy).unwrap_err();
+        assert!(!err.to_string().contains("FBIN dataset"));
     }
 
     #[test]

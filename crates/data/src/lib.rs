@@ -47,7 +47,9 @@ pub mod exec;
 pub mod format;
 mod itemset;
 mod projection;
-pub mod rng;
+/// Seedable PRNG, re-exported from the `flipper-rng` micro-crate under its
+/// historical path so existing callers keep working unchanged.
+pub use flipper_rng as rng;
 pub mod stats;
 pub mod tidset;
 mod transaction;
@@ -58,5 +60,5 @@ pub use counting::{
     CounterStats, CountingEngine, ScanCounter, SupportCounter, TidsetCounter, MIN_SHARD_CANDIDATES,
 };
 pub use itemset::Itemset;
-pub use projection::{LevelView, MultiLevelView};
+pub use projection::{LevelView, MultiLevelView, MultiLevelViewBuilder};
 pub use transaction::{DataError, TransactionDb};

@@ -7,10 +7,11 @@
 //! of the search table without touching the raw data again.
 
 use crate::transaction::TransactionDb;
+use crate::{exec, DataError};
 use flipper_taxonomy::{NodeId, Taxonomy};
 
 /// The projection of a database to one abstraction level.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LevelView {
     /// The abstraction level (1 = most general, `H` = leaves).
     pub level: usize,
@@ -74,7 +75,7 @@ impl LevelView {
 }
 
 /// Projections of one database to every level of a taxonomy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MultiLevelView {
     levels: Vec<LevelView>, // levels[h-1] is level h
     num_transactions: usize,
@@ -84,56 +85,19 @@ impl MultiLevelView {
     /// Project `db` through `tax` at every level `1..=height`.
     ///
     /// The leaf level reuses the transactions as-is; shallower levels map
-    /// each item to its ancestor and deduplicate.
+    /// each item to its ancestor and deduplicate. Delegates to
+    /// [`MultiLevelViewBuilder`] (one chunk, sequential), so the full-load
+    /// and chunk-streamed paths can never drift apart.
+    ///
+    /// # Panics
+    /// Panics if the database is not valid for `tax` (items that are not
+    /// leaves at the taxonomy height).
     pub fn build(db: &TransactionDb, tax: &Taxonomy) -> Self {
-        let height = tax.height();
-        let node_count = tax.node_count();
-
-        // anc[node][h-1] = ancestor of `node` at level h (for h <= level(node)).
-        // Computed once by walking parents; ids are level-ordered so a
-        // node's parent entry is already filled when we reach it.
-        let mut levels: Vec<LevelView> = Vec::with_capacity(height);
-        for h in 1..=height {
-            let mut txns: Vec<Vec<NodeId>> = Vec::with_capacity(db.len());
-            let mut item_support = vec![0u64; node_count];
-            let mut tidsets: Vec<Vec<u32>> = vec![Vec::new(); node_count];
-            for (tid, txn) in db.iter().enumerate() {
-                let projected: Vec<NodeId> = if h == height {
-                    txn.to_vec()
-                } else {
-                    let mut v: Vec<NodeId> = txn
-                        .iter()
-                        .map(|&it| {
-                            tax.ancestor_at_level(it, h)
-                                .expect("leaf items always have ancestors at every level")
-                        })
-                        .collect();
-                    v.sort_unstable();
-                    v.dedup();
-                    v
-                };
-                for &it in &projected {
-                    item_support[it.index()] += 1;
-                    tidsets[it.index()].push(tid as u32);
-                }
-                txns.push(projected);
-            }
-            let present: Vec<NodeId> = (0..node_count)
-                .filter(|&i| item_support[i] > 0)
-                .map(NodeId::from_index)
-                .collect();
-            levels.push(LevelView {
-                level: h,
-                txns,
-                item_support,
-                tidsets,
-                present,
-            });
-        }
-        MultiLevelView {
-            levels,
-            num_transactions: db.len(),
-        }
+        let mut builder = MultiLevelViewBuilder::new(tax, 1);
+        builder
+            .push_chunk(db.rows())
+            .expect("TransactionDb rows are canonical leaf itemsets");
+        builder.finish().expect("TransactionDb is never empty")
     }
 
     /// The view at abstraction level `h` (1-based).
@@ -160,6 +124,146 @@ impl MultiLevelView {
     #[inline]
     pub fn num_transactions(&self) -> usize {
         self.num_transactions
+    }
+}
+
+/// Incremental, chunk-at-a-time construction of a [`MultiLevelView`] —
+/// the ingestion end of the streaming pipeline.
+///
+/// Feed transaction chunks (e.g. from an FBIN chunk reader) with
+/// [`MultiLevelViewBuilder::push_chunk`]; each chunk's rows are
+/// canonicalized, validated and projected to every abstraction level with
+/// the projection work sharded over [`mod@crate::exec`] scoped workers, then
+/// appended **in order**. The finished view is bit-identical to
+/// [`MultiLevelView::build`] over the concatenation of all chunks, at every
+/// thread count — so mining a streamed input produces exactly the results of
+/// mining a fully loaded one, without the raw database ever materializing.
+pub struct MultiLevelViewBuilder<'t> {
+    tax: &'t Taxonomy,
+    threads: usize,
+    levels: Vec<LevelView>,
+    num_transactions: usize,
+}
+
+impl<'t> MultiLevelViewBuilder<'t> {
+    /// Start a builder over `tax`, sharding per-chunk projection over
+    /// `threads` workers (`0` = auto-detect, `1` = sequential).
+    pub fn new(tax: &'t Taxonomy, threads: usize) -> Self {
+        let node_count = tax.node_count();
+        let levels = (1..=tax.height())
+            .map(|h| LevelView {
+                level: h,
+                txns: Vec::new(),
+                item_support: vec![0u64; node_count],
+                tidsets: vec![Vec::new(); node_count],
+                present: Vec::new(),
+            })
+            .collect();
+        MultiLevelViewBuilder {
+            tax,
+            threads,
+            levels,
+            num_transactions: 0,
+        }
+    }
+
+    /// Transactions ingested so far.
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// Ingest one chunk of transactions (leaf items, any order, duplicates
+    /// allowed — rows are canonicalized exactly like
+    /// [`TransactionDb::new`]).
+    ///
+    /// # Errors
+    /// Rejects empty rows and items that are not leaves of the taxonomy;
+    /// the reported transaction index is global across all pushed chunks.
+    pub fn push_chunk(&mut self, rows: &[Vec<NodeId>]) -> Result<(), DataError> {
+        let tax = self.tax;
+        let height = tax.height();
+        let base = self.num_transactions;
+        // Canonicalize + validate + project, sharded across the chunk. Each
+        // row is independent, and shard results are joined back in chunk
+        // order, so the outcome is identical at every thread count.
+        let shards = exec::map_chunks(self.threads, rows.len(), |range| {
+            let mut out: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(range.len());
+            for i in range {
+                let mut canonical = rows[i].clone();
+                canonical.sort_unstable();
+                canonical.dedup();
+                if canonical.is_empty() {
+                    return Err(DataError::EmptyTransaction { txn: base + i });
+                }
+                for &item in &canonical {
+                    if item.index() >= tax.node_count()
+                        || tax.level_of(item) != height
+                        || !tax.is_leaf(item)
+                    {
+                        return Err(DataError::NonLeafItem {
+                            txn: base + i,
+                            item,
+                        });
+                    }
+                }
+                let mut per_level: Vec<Vec<NodeId>> = Vec::with_capacity(height);
+                for h in 1..height {
+                    let mut v: Vec<NodeId> = canonical
+                        .iter()
+                        .map(|&it| {
+                            tax.ancestor_at_level(it, h)
+                                .expect("leaf items always have ancestors at every level")
+                        })
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    per_level.push(v);
+                }
+                per_level.push(canonical);
+                out.push(per_level);
+            }
+            Ok(out)
+        });
+        // Validate every shard before mutating any state: a rejected chunk
+        // must leave the builder exactly as it was (no partially ingested
+        // prefix), so callers can report the error and keep the view usable.
+        let shards = shards.into_iter().collect::<Result<Vec<_>, _>>()?;
+        for shard in shards {
+            for per_level in shard {
+                let tid = self.num_transactions as u32;
+                for (lv, projected) in self.levels.iter_mut().zip(per_level) {
+                    for &it in &projected {
+                        lv.item_support[it.index()] += 1;
+                        lv.tidsets[it.index()].push(tid);
+                    }
+                    lv.txns.push(projected);
+                }
+                self.num_transactions += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize the view.
+    ///
+    /// # Errors
+    /// Returns [`DataError::EmptyDatabase`] when no transactions were
+    /// ingested, mirroring [`TransactionDb::new`].
+    pub fn finish(mut self) -> Result<MultiLevelView, DataError> {
+        if self.num_transactions == 0 {
+            return Err(DataError::EmptyDatabase);
+        }
+        let node_count = self.tax.node_count();
+        for lv in &mut self.levels {
+            lv.present = (0..node_count)
+                .filter(|&i| lv.item_support[i] > 0)
+                .map(NodeId::from_index)
+                .collect();
+        }
+        Ok(MultiLevelView {
+            levels: self.levels,
+            num_transactions: self.num_transactions,
+        })
     }
 }
 
@@ -294,6 +398,66 @@ mod tests {
         let (tax, db) = toy();
         let mlv = MultiLevelView::build(&db, &tax);
         let _ = mlv.level(0);
+    }
+
+    #[test]
+    fn builder_chunked_matches_build() {
+        let (tax, db) = toy();
+        let full = MultiLevelView::build(&db, &tax);
+        let rows: Vec<Vec<NodeId>> = db.iter().map(<[NodeId]>::to_vec).collect();
+        for threads in [1usize, 3] {
+            for chunk_len in [1usize, 3, 10] {
+                let mut b = MultiLevelViewBuilder::new(&tax, threads);
+                for chunk in rows.chunks(chunk_len) {
+                    b.push_chunk(chunk).unwrap();
+                }
+                assert_eq!(
+                    b.finish().unwrap(),
+                    full,
+                    "threads={threads} chunk_len={chunk_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_chunks_atomically() {
+        let (tax, db) = toy();
+        let rows: Vec<Vec<NodeId>> = db.iter().map(<[NodeId]>::to_vec).collect();
+        let mut b = MultiLevelViewBuilder::new(&tax, 4);
+        b.push_chunk(&rows[..4]).unwrap();
+        // A chunk whose LAST row is invalid (an internal node): the valid
+        // prefix must NOT be ingested — the failed chunk leaves no trace.
+        let a1 = tax.node_by_name("a1").unwrap();
+        let mut bad = rows[4..].to_vec();
+        bad.push(vec![a1]);
+        let err = b.push_chunk(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            crate::DataError::NonLeafItem {
+                txn: 4 + bad.len() - 1,
+                item: a1
+            }
+        );
+        assert_eq!(
+            b.num_transactions(),
+            4,
+            "failed chunk must not be partially ingested"
+        );
+        // The builder stays usable: retry with the valid rows and match the
+        // full build exactly.
+        b.push_chunk(&rows[4..]).unwrap();
+        assert_eq!(b.finish().unwrap(), MultiLevelView::build(&db, &tax));
+        // Empty rows and empty builders report the canonical errors.
+        let mut b = MultiLevelViewBuilder::new(&tax, 1);
+        assert_eq!(
+            b.push_chunk(&[Vec::new()]).unwrap_err(),
+            crate::DataError::EmptyTransaction { txn: 0 }
+        );
+        assert_eq!(
+            MultiLevelViewBuilder::new(&tax, 1).finish().unwrap_err(),
+            crate::DataError::EmptyDatabase
+        );
     }
 
     #[test]

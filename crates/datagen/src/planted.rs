@@ -16,9 +16,9 @@
 //! `γ = 0.6`, `ε = 0.35` the chain is `+ − +` with comfortable margins:
 //! `Kulc₁ = 330/450 ≈ 0.733`, `Kulc₂ = 30/150 = 0.2`, `Kulc₃ = 1.0`.
 
+use flipper_data::rng::{Rng, Xoshiro256pp};
 use flipper_data::TransactionDb;
 use flipper_taxonomy::{NodeId, Taxonomy};
-use flipper_data::rng::{Rng, Xoshiro256pp};
 
 /// Parameters of the planted-pattern generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +67,17 @@ pub struct PlantedData {
     pub db: TransactionDb,
     /// The planted flipping leaf pairs, sorted.
     pub planted_pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl PlantedData {
+    /// Repackage as an interchange [`Dataset`](flipper_data::format::Dataset)
+    /// ready for the text or FBIN writers, dropping the ground truth.
+    pub fn into_dataset(self) -> flipper_data::format::Dataset {
+        flipper_data::format::Dataset {
+            taxonomy: self.taxonomy,
+            db: self.db,
+        }
+    }
 }
 
 /// Generate a height-3 dataset with `num_patterns` planted flipping pairs.

@@ -9,9 +9,9 @@
 //! weights, per-pattern corruption, and Poisson transaction widths.
 
 use crate::rng_util::{exp1, normal, poisson, sample_cumulative};
+use flipper_data::rng::{Rng, Xoshiro256pp};
 use flipper_data::TransactionDb;
 use flipper_taxonomy::{NodeId, Taxonomy};
-use flipper_data::rng::{Rng, Xoshiro256pp};
 
 /// Parameters of the synthetic generator. Defaults reproduce the paper's
 /// §5.1 setting: `N = 100K`, `W = 5`, `|I| ≈ 1000` (10 roots × fanout 5 ×
@@ -90,6 +90,17 @@ pub struct QuestData {
     pub db: TransactionDb,
     /// The potentially frequent itemsets that seeded the data.
     pub seed_patterns: Vec<Vec<NodeId>>,
+}
+
+impl QuestData {
+    /// Repackage as an interchange [`Dataset`](flipper_data::format::Dataset)
+    /// ready for the text or FBIN writers, dropping the seed-pattern table.
+    pub fn into_dataset(self) -> flipper_data::format::Dataset {
+        flipper_data::format::Dataset {
+            taxonomy: self.taxonomy,
+            db: self.db,
+        }
+    }
 }
 
 /// Run the generator.

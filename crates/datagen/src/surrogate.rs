@@ -17,9 +17,9 @@
 //!   strongly linked through sibling leaves, their categories diluted
 //!   (eggs & fish; withdrawal syndrome & temperance).
 
+use flipper_data::rng::{Rng, Xoshiro256pp};
 use flipper_data::TransactionDb;
 use flipper_taxonomy::{NodeId, RebalancePolicy, Taxonomy, TaxonomyBuilder};
-use flipper_data::rng::{Rng, Xoshiro256pp};
 
 /// A generated surrogate dataset with its ground-truth planted flips.
 #[derive(Debug, Clone)]
@@ -37,6 +37,16 @@ pub struct SurrogateData {
 }
 
 impl SurrogateData {
+    /// Repackage as an interchange [`Dataset`](flipper_data::format::Dataset)
+    /// ready for the text or FBIN writers, dropping the ground truth and
+    /// calibration metadata.
+    pub fn into_dataset(self) -> flipper_data::format::Dataset {
+        flipper_data::format::Dataset {
+            taxonomy: self.taxonomy,
+            db: self.db,
+        }
+    }
+
     /// Node ids of the expected flips.
     pub fn expected_flip_ids(&self) -> Vec<(NodeId, NodeId)> {
         self.expected_flips

@@ -6,9 +6,9 @@
 //! randomized databases, taxonomy shapes, thresholds and measures.
 
 use flipper_core::{mine, verify::brute_force, FlipperConfig, MinSupports, PruningConfig};
+use flipper_data::rng::{Rng, Xoshiro256pp};
 use flipper_data::TransactionDb;
 use flipper_measures::{Measure, Thresholds};
-use flipper_data::rng::{Rng, Xoshiro256pp};
 use flipper_taxonomy::{NodeId, Taxonomy};
 
 /// Random database over a uniform taxonomy.
@@ -202,7 +202,10 @@ fn equivalence_engines_and_threads() {
                 assert_eq!(s.cells_evaluated, b.cells_evaluated, "{ctx}");
                 assert_eq!(s.tpg_cap, b.tpg_cap, "{ctx}");
                 assert_eq!(s.peak_resident_itemsets, b.peak_resident_itemsets, "{ctx}");
-                assert_eq!(s.counter.candidates_counted, b.counter.candidates_counted, "{ctx}");
+                assert_eq!(
+                    s.counter.candidates_counted, b.counter.candidates_counted,
+                    "{ctx}"
+                );
                 // Counting-engine work stats are engine-specific but must
                 // not depend on the thread count.
                 match engine_counter_stats {
@@ -226,10 +229,7 @@ fn reported_chains_are_exact() {
     for seed in 0..64u64 {
         let tax = Taxonomy::uniform(2, 2, 3).unwrap();
         let db = random_db(&tax, 50, 4, seed);
-        let cfg = FlipperConfig::new(
-            Thresholds::new(0.5, 0.25),
-            MinSupports::Counts(vec![1]),
-        );
+        let cfg = FlipperConfig::new(Thresholds::new(0.5, 0.25), MinSupports::Counts(vec![1]));
         let result = mine(&tax, &db, &cfg);
         let view = flipper_data::MultiLevelView::build(&db, &tax);
         for p in &result.patterns {

@@ -3,11 +3,11 @@
 //! counting engine inside the full mining pipeline.
 
 use flipper_core::{mine, verify::brute_force, FlipperConfig, MinSupports};
+use flipper_data::rng::{Rng, Xoshiro256pp};
 use flipper_data::CountingEngine;
 use flipper_datagen::planted::{self, PlantedParams};
 use flipper_measures::Thresholds;
 use flipper_taxonomy::{NodeId, Taxonomy};
-use flipper_data::rng::{Rng, Xoshiro256pp};
 
 fn planted_cfg() -> FlipperConfig {
     let (g, e) = planted::recommended_thresholds();

@@ -20,7 +20,11 @@ fn mine_names(ds: &Dataset, cfg: &FlipperConfig) -> Vec<Vec<String>> {
         .patterns
         .iter()
         .map(|p| {
-            p.leaf_itemset.items().iter().map(|&i| ds.taxonomy.name(i).to_string()).collect()
+            p.leaf_itemset
+                .items()
+                .iter()
+                .map(|&i| ds.taxonomy.name(i).to_string())
+                .collect()
         })
         .collect()
 }
@@ -28,7 +32,10 @@ fn mine_names(ds: &Dataset, cfg: &FlipperConfig) -> Vec<Vec<String>> {
 #[test]
 fn planted_roundtrip_preserves_mining() {
     let d = planted::generate(&planted::PlantedParams::default());
-    let ds = Dataset { taxonomy: d.taxonomy, db: d.db };
+    let ds = Dataset {
+        taxonomy: d.taxonomy,
+        db: d.db,
+    };
     let back = roundtrip(&ds);
     assert_eq!(ds.taxonomy, back.taxonomy);
     assert_eq!(ds.db, back.db);
@@ -47,7 +54,10 @@ fn quest_roundtrip_is_lossless() {
         num_patterns: 20,
         ..Default::default()
     });
-    let ds = Dataset { taxonomy: q.taxonomy, db: q.db };
+    let ds = Dataset {
+        taxonomy: q.taxonomy,
+        db: q.db,
+    };
     let back = roundtrip(&ds);
     assert_eq!(ds.taxonomy, back.taxonomy);
     assert_eq!(ds.db, back.db);
@@ -58,7 +68,10 @@ fn census_roundtrip_preserves_padded_leaves() {
     // The census taxonomy contains leaf-copy padding; the format writes
     // original names and the reader re-pads — the dataset must survive.
     let d = surrogate::census(9);
-    let ds = Dataset { taxonomy: d.taxonomy.clone(), db: d.db.clone() };
+    let ds = Dataset {
+        taxonomy: d.taxonomy.clone(),
+        db: d.db.clone(),
+    };
     let back = roundtrip(&ds);
     assert_eq!(ds.taxonomy, back.taxonomy);
     assert_eq!(ds.db, back.db);
@@ -78,7 +91,10 @@ fn census_roundtrip_preserves_padded_leaves() {
 #[test]
 fn groceries_roundtrip_preserves_mining() {
     let d = surrogate::groceries(3);
-    let ds = Dataset { taxonomy: d.taxonomy, db: d.db };
+    let ds = Dataset {
+        taxonomy: d.taxonomy,
+        db: d.db,
+    };
     let back = roundtrip(&ds);
     let cfg = FlipperConfig::new(
         Thresholds::new(0.15, 0.10),

@@ -97,7 +97,7 @@ where
 mod tests {
     use super::*;
     use crate::null_invariant::Measure;
-    use flipper_data::rng::{Rng, Xoshiro256pp};
+    use flipper_rng::{Rng, Xoshiro256pp};
 
     /// A tiny transaction database over `n_items` items, as bit masks.
     #[derive(Debug, Clone)]

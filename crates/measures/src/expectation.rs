@@ -7,7 +7,6 @@
 //! want to compare; the mining algorithm itself only accepts null-invariant
 //! measures.
 
-
 /// Sign of an expectation-based correlation judgement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

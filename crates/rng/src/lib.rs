@@ -1,8 +1,10 @@
+//! # flipper-rng
+//!
 //! Minimal self-contained pseudo-random number generation.
 //!
 //! The workspace builds offline with zero external crates, so the generators
-//! and property-style tests cannot use the `rand` crate. This module supplies
-//! the small subset of its surface the workspace needs: a seedable,
+//! and property-style tests cannot use the `rand` crate. This micro-crate
+//! supplies the small subset of its surface the workspace needs: a seedable,
 //! deterministic generator ([`Xoshiro256pp`]) and uniform sampling over
 //! integer and float ranges via [`Rng::gen`] / [`Rng::gen_range`].
 //!
@@ -10,8 +12,11 @@
 //! and every randomized test derives its stream from an explicit `u64` seed,
 //! and the stream for a given seed is stable across platforms and releases.
 //!
+//! The historical module path `flipper_data::rng` re-exports this crate, so
+//! existing callers keep working unchanged.
+//!
 //! ```
-//! use flipper_data::rng::{Rng, Xoshiro256pp};
+//! use flipper_rng::{Rng, Xoshiro256pp};
 //!
 //! let mut rng = Xoshiro256pp::seed_from_u64(7);
 //! let w: usize = rng.gen_range(1..=4);
@@ -19,6 +24,8 @@
 //! let u = rng.gen::<f64>();
 //! assert!((0.0..1.0).contains(&u));
 //! ```
+
+#![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
 
@@ -197,7 +204,8 @@ impl SampleRange<f64> for Range<f64> {
         if v < self.end {
             v
         } else {
-            self.start.max(self.end - (self.end - self.start) * f64::EPSILON)
+            self.start
+                .max(self.end - (self.end - self.start) * f64::EPSILON)
         }
     }
 }
@@ -279,7 +287,10 @@ mod tests {
             sum += u;
         }
         let mean = sum / n as f64;
-        assert!((mean - 0.5).abs() < 0.02, "mean of U[0,1) ≈ 0.5, got {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "mean of U[0,1) ≈ 0.5, got {mean}"
+        );
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Typed errors for the FBIN storage format.
+//!
+//! Every structural failure mode — truncation, bit rot, format confusion —
+//! maps to a distinct variant so callers (and tests) can distinguish "file
+//! cut short" from "file altered" from "not an FBIN file at all" without
+//! string matching.
+
+use flipper_data::DataError;
+use flipper_taxonomy::{NodeId, TaxonomyError};
+
+/// Errors raised while reading or writing FBIN files.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the `FBIN` magic bytes.
+    BadMagic([u8; 4]),
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The file ended in the middle of a structure (a cut-short download or
+    /// an interrupted writer that never reached [`crate::FbinWriter::finish`]).
+    Truncated {
+        /// What was being read when the data ran out.
+        context: &'static str,
+    },
+    /// A section payload does not match its stored CRC-32.
+    ChecksumMismatch {
+        /// Which section failed.
+        section: &'static str,
+        /// Checksum recorded in the file.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
+    /// Structurally invalid content (bad varint, out-of-range dictionary
+    /// index, sections out of order, trailing garbage, …).
+    Corrupt {
+        /// Where in the file the problem sits.
+        context: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+    /// A transaction handed to the writer references a node the dictionary
+    /// cannot express (out of range, or the taxonomy root).
+    UnknownItem {
+        /// Zero-based index of the offending transaction.
+        txn: u64,
+        /// The offending node.
+        item: NodeId,
+    },
+    /// Rebuilding the taxonomy from the dictionary failed.
+    Taxonomy(TaxonomyError),
+    /// Rebuilding the transaction database failed.
+    Data(DataError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic(got) => write!(
+                f,
+                "not an FBIN file: expected magic {:?}, found {:?}",
+                crate::FBIN_MAGIC,
+                got
+            ),
+            StoreError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported FBIN version {v} (this reader understands up to {})",
+                    crate::FBIN_VERSION
+                )
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "truncated FBIN file: unexpected end of data in {context}")
+            }
+            StoreError::ChecksumMismatch {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "corrupt FBIN {section} section: checksum {actual:#010x} != recorded {expected:#010x}"
+            ),
+            StoreError::Corrupt { context, message } => {
+                write!(f, "corrupt FBIN file ({context}): {message}")
+            }
+            StoreError::UnknownItem { txn, item } => {
+                write!(f, "transaction {txn} contains item {item} not expressible in the dictionary")
+            }
+            StoreError::Taxonomy(e) => write!(f, "taxonomy error: {e}"),
+            StoreError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated {
+                context: "section frame",
+            }
+        } else {
+            StoreError::Io(e)
+        }
+    }
+}
+
+impl From<TaxonomyError> for StoreError {
+    fn from(e: TaxonomyError) -> Self {
+        StoreError::Taxonomy(e)
+    }
+}
+
+impl From<DataError> for StoreError {
+    fn from(e: DataError) -> Self {
+        StoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StoreError::BadMagic(*b"abcd").to_string().contains("FBIN"));
+        assert!(StoreError::UnsupportedVersion(99)
+            .to_string()
+            .contains("99"));
+        assert!(StoreError::Truncated { context: "dict" }
+            .to_string()
+            .contains("dict"));
+        let e = StoreError::ChecksumMismatch {
+            section: "chunk",
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("chunk"));
+        let e = StoreError::Corrupt {
+            context: "header",
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("header"));
+        let io: StoreError = std::io::Error::other("disk").into();
+        assert!(io.to_string().contains("disk"));
+    }
+
+    #[test]
+    fn eof_io_errors_become_truncated() {
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(
+            StoreError::from(eof),
+            StoreError::Truncated { .. }
+        ));
+    }
+}

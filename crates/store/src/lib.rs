@@ -1,0 +1,435 @@
+//! # flipper-store
+//!
+//! **FBIN**, the chunked columnar binary storage format for flipper datasets,
+//! plus streaming ingestion into the mining stack.
+//!
+//! The text interchange format (`flipper_data::format`) is convenient but
+//! slow at scale: every load re-parses names line by line and the whole file
+//! must sit in memory. FBIN stores the same information — a taxonomy and its
+//! transactions — dictionary-encoded and chunked:
+//!
+//! ```text
+//! file   := magic version flags section*
+//! magic  := "FBIN"                     (4 bytes)
+//! version:= u16 LE (currently 1)       flags := u16 LE (must be 0)
+//!
+//! section        := tag(u8) payload_len(u32 LE) payload crc32(u32 LE)
+//! tag            := 0x01 dictionary | 0x02 chunk | 0x03 end
+//! sections order := dictionary, chunk*, end      (nothing after end)
+//!
+//! dictionary payload := varint entry_count, then per entry (taxonomy nodes
+//!     in id order, synthetic rebalancing copies omitted):
+//!     varint name_len, name bytes (UTF-8),
+//!     varint parent_code           (0 = level-1 category,
+//!                                   else 1 + parent's entry index)
+//! chunk payload := varint txn_count, then per transaction:
+//!     varint item_count,
+//!     varint first item id, then item_count-1 varint gaps (sorted strictly
+//!     increasing dictionary indices, delta-encoded)
+//! end payload   := varint total_txn_count, varint chunk_count
+//! ```
+//!
+//! All varints are unsigned LEB128. Every section payload is guarded by a
+//! CRC-32 (IEEE), and the end section's totals let the reader distinguish a
+//! complete file from one cut short — truncation and bit rot both surface as
+//! typed [`StoreError`]s, never as garbage data.
+//!
+//! Two read paths:
+//!
+//! * [`read_fbin`] / [`FbinReader::read_dataset`] — materialize a
+//!   [`Dataset`], **bit-identical** to parsing the equivalent text file
+//!   (the dictionary carries exactly the information of the text
+//!   `[taxonomy]` section, in the same order, and is replayed through the
+//!   same [`TaxonomyBuilder`](flipper_taxonomy::TaxonomyBuilder) path);
+//! * [`FbinReader::chunks`] — iterate transaction chunks with bounded
+//!   memory; [`stream_view`] pipes them straight into
+//!   [`MultiLevelViewBuilder`], whose per-chunk projection is sharded over
+//!   `flipper_data::exec` workers, so mining can start from a file without
+//!   the raw database ever existing in memory.
+//!
+//! [`FbinWriter`] is the streaming producer: it accepts transactions
+//! incrementally and flushes a chunk section whenever [`TARGET_CHUNK_BYTES`]
+//! of encoded transactions accumulate.
+
+#![warn(missing_docs)]
+
+mod crc32;
+mod error;
+mod reader;
+mod varint;
+mod writer;
+
+pub use error::StoreError;
+pub use reader::{read_fbin, read_fbin_with_policy, ChunkReader, FbinReader};
+pub use writer::{write_fbin, FbinWriter, TARGET_CHUNK_BYTES};
+
+use flipper_data::format::Dataset;
+use flipper_data::{MultiLevelView, MultiLevelViewBuilder};
+use flipper_taxonomy::Taxonomy;
+use std::io::Read;
+
+/// The four magic bytes every FBIN file starts with.
+pub const FBIN_MAGIC: [u8; 4] = *b"FBIN";
+
+/// Current format version, written to (and accepted from) the header.
+pub const FBIN_VERSION: u16 = 1;
+
+/// Section tags of the FBIN framing layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum SectionTag {
+    /// String dictionary + taxonomy structure.
+    Dict = 0x01,
+    /// A batch of delta-encoded transactions.
+    Chunk = 0x02,
+    /// Totals trailer; must be the last section.
+    End = 0x03,
+}
+
+impl SectionTag {
+    pub(crate) fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x01 => Some(SectionTag::Dict),
+            0x02 => Some(SectionTag::Chunk),
+            0x03 => Some(SectionTag::End),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            SectionTag::Dict => "dictionary",
+            SectionTag::Chunk => "chunk",
+            SectionTag::End => "end",
+        }
+    }
+}
+
+/// Whether `prefix` (the first bytes of a file) identifies an FBIN stream.
+/// Used by CLIs to auto-detect the input format by magic bytes.
+pub fn is_fbin(prefix: &[u8]) -> bool {
+    prefix.len() >= FBIN_MAGIC.len() && prefix[..FBIN_MAGIC.len()] == FBIN_MAGIC
+}
+
+/// Streamed ingestion: consume every chunk of `reader` into a mining-ready
+/// [`MultiLevelView`] without ever materializing the raw transaction
+/// database. Each chunk's projection is sharded over `threads` scoped
+/// workers (`0` = auto-detect, `1` = sequential); the resulting view — and
+/// therefore any `mine_with_view`-style run over it — is bit-identical to
+/// building the view from a fully loaded database, at every thread count.
+pub fn stream_view<R: Read>(
+    reader: FbinReader<R>,
+    threads: usize,
+) -> Result<(Taxonomy, MultiLevelView), StoreError> {
+    let (taxonomy, mut chunks) = reader.into_parts();
+    let mut builder = MultiLevelViewBuilder::new(&taxonomy, threads);
+    for chunk in chunks.by_ref() {
+        builder.push_chunk(&chunk?)?;
+    }
+    let view = builder.finish()?;
+    Ok((taxonomy, view))
+}
+
+/// Serialize a dataset to FBIN bytes in memory. Convenience for tests and
+/// the CLI `convert` subcommand; streams through [`write_fbin`].
+pub fn to_fbin_bytes(ds: &Dataset) -> Result<Vec<u8>, StoreError> {
+    let mut out = Vec::new();
+    write_fbin(&mut out, ds)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flipper_data::format::{read_dataset, write_dataset};
+    use flipper_data::TransactionDb;
+    use flipper_taxonomy::{NodeId, RebalancePolicy};
+    use std::io::Cursor;
+
+    fn toy_dataset() -> Dataset {
+        let tax = Taxonomy::from_edges(
+            [
+                ("drinks", ""),
+                ("food", ""),
+                ("beer", "drinks"),
+                ("soda", "drinks"),
+                ("bread", "food"),
+                ("cheese", "food"),
+            ],
+            RebalancePolicy::RequireBalanced,
+        )
+        .unwrap();
+        let g = |s: &str| tax.node_by_name(s).unwrap();
+        let db = TransactionDb::new(vec![
+            vec![g("beer"), g("bread")],
+            vec![g("beer"), g("cheese")],
+            vec![g("soda"), g("bread"), g("cheese")],
+        ])
+        .unwrap();
+        Dataset { taxonomy: tax, db }
+    }
+
+    #[test]
+    fn roundtrip_toy() {
+        let ds = toy_dataset();
+        let bytes = to_fbin_bytes(&ds).unwrap();
+        assert!(is_fbin(&bytes));
+        let back = read_fbin(&bytes[..]).unwrap();
+        assert_eq!(ds.taxonomy, back.taxonomy);
+        assert_eq!(ds.db, back.db);
+    }
+
+    #[test]
+    fn matches_text_path_exactly() {
+        let ds = toy_dataset();
+        let mut text = Vec::new();
+        write_dataset(&mut text, &ds).unwrap();
+        let via_text = read_dataset(Cursor::new(&text[..]), RebalancePolicy::LeafCopy).unwrap();
+        let via_fbin = read_fbin(&to_fbin_bytes(&ds).unwrap()[..]).unwrap();
+        assert_eq!(via_text.taxonomy, via_fbin.taxonomy);
+        assert_eq!(via_text.db, via_fbin.db);
+    }
+
+    #[test]
+    fn unbalanced_taxonomy_roundtrips_through_padding() {
+        // A shallow leaf gets a synthetic copy under LeafCopy; the dict
+        // stores the original name and the reader re-pads and re-maps.
+        let tax = Taxonomy::from_edges(
+            [("drinks", ""), ("snacks", ""), ("beer", "drinks")],
+            RebalancePolicy::LeafCopy,
+        )
+        .unwrap();
+        let beer = tax.node_by_name("beer").unwrap();
+        let padded = tax.node_by_name("snacks#1").unwrap();
+        assert!(tax.is_synthetic(padded));
+        let db = TransactionDb::new(vec![vec![beer, padded]]).unwrap();
+        let ds = Dataset { taxonomy: tax, db };
+        let back = read_fbin(&to_fbin_bytes(&ds).unwrap()[..]).unwrap();
+        assert_eq!(ds.taxonomy, back.taxonomy);
+        assert_eq!(ds.db, back.db);
+    }
+
+    #[test]
+    fn small_chunks_split_and_recombine() {
+        let ds = toy_dataset();
+        let mut out = Vec::new();
+        // 1-byte target: every transaction flushes its own chunk.
+        let mut w = FbinWriter::with_chunk_size(&mut out, &ds.taxonomy, 1).unwrap();
+        for txn in ds.db.iter() {
+            w.write_transaction(txn).unwrap();
+        }
+        assert_eq!(w.transactions_written(), 3);
+        w.finish().unwrap();
+        let mut reader = FbinReader::new(&out[..]).unwrap();
+        let chunks: Vec<_> = reader.chunks().collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(chunks.len(), 3, "one chunk per transaction");
+        assert_eq!(reader.chunks().transactions_seen(), 3);
+        let back = FbinReader::new(&out[..]).unwrap().read_dataset().unwrap();
+        assert_eq!(ds.db, back.db);
+    }
+
+    #[test]
+    fn writer_rejects_bad_transactions() {
+        let ds = toy_dataset();
+        let mut w = FbinWriter::new(Vec::new(), &ds.taxonomy).unwrap();
+        assert!(matches!(
+            w.write_transaction(&[]).unwrap_err(),
+            StoreError::Data(flipper_data::DataError::EmptyTransaction { .. })
+        ));
+        let drinks = ds.taxonomy.node_by_name("drinks").unwrap();
+        assert!(matches!(
+            w.write_transaction(&[drinks]).unwrap_err(),
+            StoreError::Data(flipper_data::DataError::NonLeafItem { .. })
+        ));
+        assert!(matches!(
+            w.write_transaction(&[NodeId::from_index(999)]).unwrap_err(),
+            StoreError::UnknownItem { .. }
+        ));
+        assert!(matches!(
+            w.write_transaction(&[NodeId::ROOT]).unwrap_err(),
+            StoreError::UnknownItem { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_items_are_deduplicated() {
+        let ds = toy_dataset();
+        let beer = ds.taxonomy.node_by_name("beer").unwrap();
+        let bread = ds.taxonomy.node_by_name("bread").unwrap();
+        let mut w = FbinWriter::new(Vec::new(), &ds.taxonomy).unwrap();
+        w.write_transaction(&[bread, beer, bread, beer]).unwrap();
+        let out = w.finish().unwrap();
+        let back = read_fbin(&out[..]).unwrap();
+        assert_eq!(back.db.transaction(0).len(), 2);
+    }
+
+    #[test]
+    fn empty_database_is_rejected_on_read() {
+        let ds = toy_dataset();
+        let w = FbinWriter::new(Vec::new(), &ds.taxonomy).unwrap();
+        let out = w.finish().unwrap();
+        assert!(matches!(
+            read_fbin(&out[..]).unwrap_err(),
+            StoreError::Data(flipper_data::DataError::EmptyDatabase)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let err = read_fbin(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic(m) if &m == b"NOPE"));
+        assert!(!is_fbin(b"NO"));
+        assert!(!is_fbin(b""));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let ds = toy_dataset();
+        let mut bytes = to_fbin_bytes(&ds).unwrap();
+        bytes[4] = 0xFF; // version low byte
+        assert!(matches!(
+            read_fbin(&bytes[..]).unwrap_err(),
+            StoreError::UnsupportedVersion(_)
+        ));
+        bytes[4] = 0; // version 0 is also invalid
+        assert!(matches!(
+            read_fbin(&bytes[..]).unwrap_err(),
+            StoreError::UnsupportedVersion(0)
+        ));
+    }
+
+    #[test]
+    fn nonzero_flags_are_rejected() {
+        let ds = toy_dataset();
+        let mut bytes = to_fbin_bytes(&ds).unwrap();
+        bytes[6] = 1;
+        assert!(matches!(
+            read_fbin(&bytes[..]).unwrap_err(),
+            StoreError::Corrupt {
+                context: "header",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn every_truncation_fails_typed_never_panics() {
+        let ds = toy_dataset();
+        let bytes = to_fbin_bytes(&ds).unwrap();
+        for cut in 0..bytes.len() {
+            let err = read_fbin(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let ds = toy_dataset();
+        let bytes = to_fbin_bytes(&ds).unwrap();
+        // Flip one byte inside the dictionary payload (header is 8 bytes,
+        // section frame is 5, so offset 14 sits inside the payload).
+        let mut corrupt = bytes.clone();
+        corrupt[14] ^= 0x40;
+        assert!(matches!(
+            read_fbin(&corrupt[..]).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+        // Any flipped bit anywhere in the file must fail one way or another
+        // (checksum, frame structure, or totals) — never parse silently.
+        for i in 8..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            assert!(read_fbin(&corrupt[..]).is_err(), "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let ds = toy_dataset();
+        let mut bytes = to_fbin_bytes(&ds).unwrap();
+        bytes.push(0xAA);
+        assert!(matches!(
+            read_fbin(&bytes[..]).unwrap_err(),
+            StoreError::Corrupt {
+                context: "end section",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stream_view_matches_full_load_view() {
+        let ds = toy_dataset();
+        let mut out = Vec::new();
+        let mut w = FbinWriter::with_chunk_size(&mut out, &ds.taxonomy, 4).unwrap();
+        for txn in ds.db.iter() {
+            w.write_transaction(txn).unwrap();
+        }
+        w.finish().unwrap();
+        let full = MultiLevelView::build(&ds.db, &ds.taxonomy);
+        for threads in [1usize, 4] {
+            let (tax, view) = stream_view(FbinReader::new(&out[..]).unwrap(), threads).unwrap();
+            assert_eq!(tax, ds.taxonomy);
+            assert_eq!(view, full, "threads={threads}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod profile {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore]
+    fn where_does_load_time_go() {
+        let ds = flipper_datagen::quest::generate(
+            &flipper_datagen::quest::QuestParams::default().with_transactions(1000),
+        )
+        .into_dataset();
+        let mut text = Vec::new();
+        flipper_data::format::write_dataset(&mut text, &ds).unwrap();
+        let fbin = to_fbin_bytes(&ds).unwrap();
+        let reps = 50;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(
+                flipper_data::format::read_dataset(
+                    std::io::Cursor::new(&text[..]),
+                    flipper_taxonomy::RebalancePolicy::LeafCopy,
+                )
+                .unwrap(),
+            );
+        }
+        let t_text = t0.elapsed() / reps;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(read_fbin(&fbin[..]).unwrap());
+        }
+        let t_full = t0.elapsed() / reps;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(FbinReader::new(&fbin[..]).unwrap());
+        }
+        let t_dict = t0.elapsed() / reps;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut r = FbinReader::new(&fbin[..]).unwrap();
+            for c in r.chunks() {
+                std::hint::black_box(c.unwrap());
+            }
+        }
+        let t_chunks = t0.elapsed() / reps;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let tax = flipper_taxonomy::Taxonomy::uniform(10, 5, 4).unwrap();
+            std::hint::black_box(tax);
+        }
+        let t_uniform = t0.elapsed() / reps;
+        println!("text-parse      {t_text:?}");
+        println!("fbin full load  {t_full:?}");
+        println!("fbin dict only  {t_dict:?}");
+        println!("fbin dict+chunks{t_chunks:?}");
+        println!("taxonomy uniform{t_uniform:?}");
+    }
+}

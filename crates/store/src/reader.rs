@@ -1,0 +1,402 @@
+//! The FBIN reader: full-load and chunk-streaming paths.
+//!
+//! [`FbinReader::new`] parses the header and dictionary and rebuilds the
+//! taxonomy; from there either [`FbinReader::read_dataset`] materializes the
+//! whole database (bit-identical to parsing the text format), or
+//! [`FbinReader::chunks`] iterates transaction chunks one at a time so
+//! ingestion can run with bounded memory.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::varint::PayloadCursor;
+use crate::{SectionTag, FBIN_MAGIC, FBIN_VERSION};
+use flipper_data::format::{deepest_copy, Dataset};
+use flipper_data::TransactionDb;
+use flipper_taxonomy::{NodeId, RebalancePolicy, Taxonomy, TaxonomyBuilder};
+use std::io::Read;
+
+/// Upper bound on a single section payload. A corrupt length field fails
+/// here instead of attempting a multi-gigabyte allocation.
+const MAX_SECTION_BYTES: usize = 1 << 30;
+
+/// Reader over an FBIN stream: header + dictionary are parsed eagerly, the
+/// transaction chunks lazily.
+pub struct FbinReader<R: Read> {
+    taxonomy: Taxonomy,
+    chunks: ChunkReader<R>,
+}
+
+impl<R: Read> FbinReader<R> {
+    /// Open an FBIN stream, rebalancing the dictionary's taxonomy with
+    /// [`RebalancePolicy::LeafCopy`] (the CLI default, matching the text
+    /// reader).
+    pub fn new(r: R) -> Result<Self, StoreError> {
+        Self::with_policy(r, RebalancePolicy::LeafCopy)
+    }
+
+    /// Open an FBIN stream with an explicit rebalancing policy.
+    pub fn with_policy(mut r: R, policy: RebalancePolicy) -> Result<Self, StoreError> {
+        let mut magic = [0u8; 4];
+        read_exact(&mut r, &mut magic, "header")?;
+        if magic != FBIN_MAGIC {
+            return Err(StoreError::BadMagic(magic));
+        }
+        let mut word = [0u8; 2];
+        read_exact(&mut r, &mut word, "header")?;
+        let version = u16::from_le_bytes(word);
+        if version == 0 || version > FBIN_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        read_exact(&mut r, &mut word, "header")?;
+        if u16::from_le_bytes(word) != 0 {
+            return Err(StoreError::Corrupt {
+                context: "header",
+                message: format!("unknown header flags {:#06x}", u16::from_le_bytes(word)),
+            });
+        }
+        let (tag, payload) = read_section(&mut r)?;
+        if tag != SectionTag::Dict {
+            return Err(StoreError::Corrupt {
+                context: "dictionary",
+                message: format!("expected the dictionary section first, found {tag:?}"),
+            });
+        }
+        let (taxonomy, node_of) = decode_dict(&payload, policy)?;
+        Ok(FbinReader {
+            taxonomy,
+            chunks: ChunkReader {
+                r,
+                node_of,
+                state: ChunkState::Reading,
+                txns_seen: 0,
+                chunks_seen: 0,
+            },
+        })
+    }
+
+    /// The taxonomy reconstructed from the dictionary section.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Iterate over transaction chunks without materializing the database.
+    /// Each item is one chunk's transactions as leaf node ids of
+    /// [`FbinReader::taxonomy`] (per-transaction canonicalization — sorting,
+    /// deduplication — is left to the consumer, e.g.
+    /// [`TransactionDb::new`] or `MultiLevelViewBuilder`).
+    pub fn chunks(&mut self) -> &mut ChunkReader<R> {
+        &mut self.chunks
+    }
+
+    /// Split into the taxonomy and the chunk stream, for streaming consumers
+    /// that need to own both.
+    pub fn into_parts(self) -> (Taxonomy, ChunkReader<R>) {
+        (self.taxonomy, self.chunks)
+    }
+
+    /// Full-load path: materialize the whole dataset. The result is
+    /// bit-identical to parsing the equivalent text-format file.
+    pub fn read_dataset(mut self) -> Result<Dataset, StoreError> {
+        let mut rows: Vec<Vec<NodeId>> = Vec::new();
+        for chunk in self.chunks() {
+            rows.extend(chunk?);
+        }
+        let db = TransactionDb::new(rows)?;
+        db.validate_against(&self.taxonomy)?;
+        Ok(Dataset {
+            taxonomy: self.taxonomy,
+            db,
+        })
+    }
+}
+
+enum ChunkState {
+    /// Expecting chunk or end sections.
+    Reading,
+    /// End section consumed and verified; the stream is exhausted.
+    Done,
+    /// An error was yielded; the stream stays terminated.
+    Failed,
+}
+
+/// Streaming iterator over the transaction chunks of an FBIN file. Yields
+/// `Err` once on the first structural problem, then terminates. The end
+/// section's totals are verified before the iterator reports exhaustion, so
+/// a truncated file can never silently look complete.
+pub struct ChunkReader<R: Read> {
+    r: R,
+    /// Dictionary index → leaf node (deepest synthetic copy, matching how
+    /// the text reader maps item names after rebalancing).
+    node_of: Vec<NodeId>,
+    state: ChunkState,
+    txns_seen: u64,
+    chunks_seen: u64,
+}
+
+impl<R: Read> ChunkReader<R> {
+    /// Transactions decoded so far.
+    pub fn transactions_seen(&self) -> u64 {
+        self.txns_seen
+    }
+
+    fn next_chunk(&mut self) -> Option<Result<Vec<Vec<NodeId>>, StoreError>> {
+        match self.state {
+            ChunkState::Reading => {}
+            ChunkState::Done | ChunkState::Failed => return None,
+        }
+        match self.advance() {
+            Ok(Some(rows)) => Some(Ok(rows)),
+            Ok(None) => {
+                self.state = ChunkState::Done;
+                None
+            }
+            Err(e) => {
+                self.state = ChunkState::Failed;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Vec<Vec<NodeId>>>, StoreError> {
+        let (tag, payload) = read_section(&mut self.r)?;
+        match tag {
+            SectionTag::Chunk => {
+                let rows = decode_chunk(&payload, &self.node_of)?;
+                self.txns_seen += rows.len() as u64;
+                self.chunks_seen += 1;
+                Ok(Some(rows))
+            }
+            SectionTag::End => {
+                let mut c = PayloadCursor::new(&payload, "end section");
+                let total_txns = c.read_varint()?;
+                let total_chunks = c.read_varint()?;
+                if !c.is_exhausted() {
+                    return Err(StoreError::Corrupt {
+                        context: "end section",
+                        message: format!("{} trailing bytes", c.remaining()),
+                    });
+                }
+                if total_txns != self.txns_seen || total_chunks != self.chunks_seen {
+                    return Err(StoreError::Corrupt {
+                        context: "end section",
+                        message: format!(
+                            "totals mismatch: file claims {total_txns} transactions in \
+                             {total_chunks} chunks, decoded {} in {}",
+                            self.txns_seen, self.chunks_seen
+                        ),
+                    });
+                }
+                let mut probe = [0u8; 1];
+                if self.r.read(&mut probe)? != 0 {
+                    return Err(StoreError::Corrupt {
+                        context: "end section",
+                        message: "trailing data after the end section".to_string(),
+                    });
+                }
+                Ok(None)
+            }
+            SectionTag::Dict => Err(StoreError::Corrupt {
+                context: "chunk stream",
+                message: "duplicate dictionary section".to_string(),
+            }),
+        }
+    }
+}
+
+impl<R: Read> Iterator for ChunkReader<R> {
+    type Item = Result<Vec<Vec<NodeId>>, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_chunk()
+    }
+}
+
+/// `read_exact` with a typed truncation error carrying `context`.
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Result<(), StoreError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { context }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+/// Read one framed section: tag, length, payload, CRC-32 — verifying the
+/// checksum before the payload is handed to any decoder.
+fn read_section<R: Read>(r: &mut R) -> Result<(SectionTag, Vec<u8>), StoreError> {
+    let mut tag_byte = [0u8; 1];
+    read_exact(r, &mut tag_byte, "section frame")?;
+    let tag = SectionTag::from_byte(tag_byte[0]).ok_or_else(|| StoreError::Corrupt {
+        context: "section frame",
+        message: format!("unknown section tag {:#04x}", tag_byte[0]),
+    })?;
+    let mut len_bytes = [0u8; 4];
+    read_exact(r, &mut len_bytes, tag.name())?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_SECTION_BYTES {
+        return Err(StoreError::Corrupt {
+            context: tag.name(),
+            message: format!("section length {len} exceeds the {MAX_SECTION_BYTES}-byte cap"),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact(r, &mut payload, tag.name())?;
+    let mut crc_bytes = [0u8; 4];
+    read_exact(r, &mut crc_bytes, tag.name())?;
+    let expected = u32::from_le_bytes(crc_bytes);
+    let actual = crc32(&payload);
+    if expected != actual {
+        return Err(StoreError::ChecksumMismatch {
+            section: tag.name(),
+            expected,
+            actual,
+        });
+    }
+    Ok((tag, payload))
+}
+
+/// Decode the dictionary payload and precompute the dictionary-index →
+/// leaf-node map.
+///
+/// Dictionaries are written level-ordered, so the hot path is
+/// [`Taxonomy::from_balanced_level_order`] — a single arena-building pass
+/// with no rebalancing machinery, under which entry `i` is node `i + 1` and
+/// the node map is the identity. When that fails (an unbalanced dictionary
+/// that genuinely needs `policy`, e.g. leaf-copy padding), fall back to
+/// replaying the entries through [`TaxonomyBuilder`] — the exact code path
+/// the text reader uses, entry for entry, which is what keeps the two
+/// formats bit-identical.
+fn decode_dict(
+    payload: &[u8],
+    policy: RebalancePolicy,
+) -> Result<(Taxonomy, Vec<NodeId>), StoreError> {
+    let mut c = PayloadCursor::new(payload, "dictionary");
+    let count = c.read_len()?;
+    // Names borrow the payload — no per-entry allocation on this pass.
+    let mut entries: Vec<(&str, u32)> = Vec::with_capacity(count.min(payload.len()));
+    for i in 0..count {
+        let name_len = c.read_len()?;
+        let name =
+            std::str::from_utf8(c.read_bytes(name_len)?).map_err(|_| StoreError::Corrupt {
+                context: "dictionary",
+                message: format!("entry {i} name is not valid UTF-8"),
+            })?;
+        let parent_code = c.read_len()?;
+        if parent_code > i {
+            return Err(StoreError::Corrupt {
+                context: "dictionary",
+                message: format!(
+                    "entry {i} references parent {}, which is not an earlier entry",
+                    parent_code - 1
+                ),
+            });
+        }
+        // The parent code is exactly the parent's node id under level-order
+        // reconstruction (0 = root, else 1 + parent entry index).
+        entries.push((name, parent_code as u32));
+    }
+    if !c.is_exhausted() {
+        return Err(StoreError::Corrupt {
+            context: "dictionary",
+            message: format!("{} trailing bytes", c.remaining()),
+        });
+    }
+    if let Ok(taxonomy) = Taxonomy::from_balanced_level_order(&entries) {
+        // Balanced: no synthetic copies exist, so entry i maps to node i+1.
+        let node_of = (1..=entries.len()).map(NodeId::from_index).collect();
+        return Ok((taxonomy, node_of));
+    }
+    let mut builder = TaxonomyBuilder::new();
+    for (i, (name, parent)) in entries.iter().enumerate() {
+        if *parent == 0 {
+            builder.add_root_child(name)?;
+        } else {
+            let parent_idx = *parent as usize - 1;
+            debug_assert!(parent_idx < i);
+            builder.add_child(name, entries[parent_idx].0)?;
+        }
+    }
+    let taxonomy = builder.build(policy)?;
+    let mut node_of = Vec::with_capacity(entries.len());
+    for (name, _) in &entries {
+        let node = taxonomy
+            .node_by_name(name)
+            .ok_or_else(|| StoreError::Corrupt {
+                context: "dictionary",
+                message: format!("entry {name:?} vanished during rebalancing"),
+            })?;
+        node_of.push(deepest_copy(&taxonomy, node));
+    }
+    Ok((taxonomy, node_of))
+}
+
+/// Decode one chunk payload into transactions of leaf node ids.
+fn decode_chunk(payload: &[u8], node_of: &[NodeId]) -> Result<Vec<Vec<NodeId>>, StoreError> {
+    let mut c = PayloadCursor::new(payload, "chunk");
+    let txn_count = c.read_len()?;
+    // A transaction takes at least two payload bytes, so this reserve is
+    // bounded by the (already checksummed) payload size even if corrupt.
+    let mut rows: Vec<Vec<NodeId>> = Vec::with_capacity(txn_count.min(payload.len()));
+    for t in 0..txn_count {
+        let width = c.read_len()?;
+        if width == 0 {
+            return Err(StoreError::Corrupt {
+                context: "chunk",
+                message: format!("transaction {t} is empty"),
+            });
+        }
+        let mut row = Vec::with_capacity(width.min(c.remaining() + 1));
+        let mut id = c.read_varint()?;
+        row.push(map_item(id, node_of)?);
+        for _ in 1..width {
+            let gap = c.read_varint()?;
+            if gap == 0 {
+                return Err(StoreError::Corrupt {
+                    context: "chunk",
+                    message: format!("transaction {t} has a non-increasing item id"),
+                });
+            }
+            id = id.checked_add(gap).ok_or(StoreError::Corrupt {
+                context: "chunk",
+                message: "item id overflows u64".to_string(),
+            })?;
+            row.push(map_item(id, node_of)?);
+        }
+        rows.push(row);
+    }
+    if !c.is_exhausted() {
+        return Err(StoreError::Corrupt {
+            context: "chunk",
+            message: format!("{} trailing bytes", c.remaining()),
+        });
+    }
+    Ok(rows)
+}
+
+fn map_item(id: u64, node_of: &[NodeId]) -> Result<NodeId, StoreError> {
+    usize::try_from(id)
+        .ok()
+        .and_then(|i| node_of.get(i).copied())
+        .ok_or_else(|| StoreError::Corrupt {
+            context: "chunk",
+            message: format!(
+                "item id {id} out of range for a {}-entry dictionary",
+                node_of.len()
+            ),
+        })
+}
+
+/// Read a whole FBIN dataset (the full-load path) with the default
+/// [`RebalancePolicy::LeafCopy`].
+pub fn read_fbin<R: Read>(r: R) -> Result<Dataset, StoreError> {
+    FbinReader::new(r)?.read_dataset()
+}
+
+/// Read a whole FBIN dataset with an explicit rebalancing policy.
+pub fn read_fbin_with_policy<R: Read>(
+    r: R,
+    policy: RebalancePolicy,
+) -> Result<Dataset, StoreError> {
+    FbinReader::with_policy(r, policy)?.read_dataset()
+}

@@ -1,0 +1,185 @@
+//! LEB128 variable-length integers and a bounds-checked payload cursor.
+//!
+//! FBIN encodes every count, dictionary index and item-id delta as an
+//! unsigned LEB128 varint: 7 value bits per byte, high bit = continuation.
+//! Small values (the overwhelmingly common case for delta-encoded sorted
+//! item ids) take one byte.
+
+use crate::error::StoreError;
+
+/// Append `v` to `buf` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// A cursor over one section payload, with typed truncation/corruption
+/// errors instead of panics.
+pub struct PayloadCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Section name, used as error context.
+    context: &'static str,
+}
+
+impl<'a> PayloadCursor<'a> {
+    /// Cursor over `buf`, reporting errors against `context`.
+    pub fn new(buf: &'a [u8], context: &'static str) -> Self {
+        PayloadCursor {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Read one LEB128 varint.
+    pub fn read_varint(&mut self) -> Result<u64, StoreError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.buf.get(self.pos) else {
+                return Err(StoreError::Truncated {
+                    context: self.context,
+                });
+            };
+            self.pos += 1;
+            // 10 bytes (shift 63) is the maximum for a u64; a continuation
+            // past that or overflowing payload bits is corruption, not EOF.
+            if shift == 63 && byte > 1 {
+                return Err(StoreError::Corrupt {
+                    context: self.context,
+                    message: "varint overflows u64".to_string(),
+                });
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(StoreError::Corrupt {
+                    context: self.context,
+                    message: "varint longer than 10 bytes".to_string(),
+                });
+            }
+        }
+    }
+
+    /// Read a varint and narrow it to `usize`.
+    pub fn read_len(&mut self) -> Result<usize, StoreError> {
+        let v = self.read_varint()?;
+        usize::try_from(v).map_err(|_| StoreError::Corrupt {
+            context: self.context,
+            message: format!("length {v} exceeds the address space"),
+        })
+    }
+
+    /// Read exactly `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                context: self.context,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_across_magnitudes() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut c = PayloadCursor::new(&buf, "test");
+        for &v in &values {
+            assert_eq!(c.read_varint().unwrap(), v);
+        }
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf, vec![v as u8]);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_typed() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1_000_000);
+        buf.pop();
+        let mut c = PayloadCursor::new(&buf, "test");
+        assert!(matches!(
+            c.read_varint().unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_corrupt() {
+        // 11 continuation bytes can never be a valid u64.
+        let buf = [0x80u8; 11];
+        let mut c = PayloadCursor::new(&buf, "test");
+        assert!(matches!(
+            c.read_varint().unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        // 10 bytes whose top byte carries bits beyond 2^64.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        let mut c = PayloadCursor::new(&buf, "test");
+        assert!(matches!(
+            c.read_varint().unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn read_bytes_bounds_checked() {
+        let mut c = PayloadCursor::new(b"abc", "test");
+        assert_eq!(c.read_bytes(2).unwrap(), b"ab");
+        assert!(matches!(
+            c.read_bytes(2).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+    }
+}

@@ -63,8 +63,7 @@ mod proptests {
     fn all_taxonomies() -> impl Iterator<Item = Taxonomy> {
         (1usize..4).flat_map(move |roots| {
             (1usize..4).flat_map(move |fanout| {
-                (1usize..4)
-                    .map(move |height| Taxonomy::uniform(roots, fanout, height).unwrap())
+                (1usize..4).map(move |height| Taxonomy::uniform(roots, fanout, height).unwrap())
             })
         })
     }
@@ -124,9 +123,7 @@ mod proptests {
                 for &b in &sample {
                     assert_eq!(tax.distance(a, b), tax.distance(b, a));
                     for &c in &sample {
-                        assert!(
-                            tax.distance(a, c) <= tax.distance(a, b) + tax.distance(b, c)
-                        );
+                        assert!(tax.distance(a, c) <= tax.distance(a, b) + tax.distance(b, c));
                     }
                 }
             }

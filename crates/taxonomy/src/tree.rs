@@ -308,6 +308,91 @@ impl Taxonomy {
         b.build(crate::RebalancePolicy::RequireBalanced)
     }
 
+    /// Fast-path constructor for **already balanced, level-ordered** input:
+    /// entry `i` (zero-based) becomes node id `i + 1` with the given name
+    /// and parent node id (`0` = child of the root), exactly as the builder
+    /// would have assigned them. This is the hot deserialization path for
+    /// binary storage formats whose dictionaries are written in node-id
+    /// order — it skips the builder's name-index bookkeeping, per-node depth
+    /// walks and the level sort, building the arena in one pass.
+    ///
+    /// The result is **identical** (by `==`) to what
+    /// [`TaxonomyBuilder`](crate::TaxonomyBuilder) produces for the same
+    /// entries in the same order, which the test-suite asserts.
+    ///
+    /// # Errors
+    /// Returns an error — so callers can fall back to the rebalancing
+    /// builder — when the input breaks any fast-path precondition:
+    /// * [`TaxonomyError::Empty`] — no entries;
+    /// * [`TaxonomyError::UnknownParent`] — a parent id not smaller than the
+    ///   entry's own id;
+    /// * [`TaxonomyError::InvalidNode`] — entries not sorted by level
+    ///   (a node shallower than its predecessor);
+    /// * [`TaxonomyError::DuplicateName`] — a reused name;
+    /// * [`TaxonomyError::Unbalanced`] — a leaf above the maximum depth
+    ///   (the input needs real rebalancing).
+    pub fn from_balanced_level_order<S: AsRef<str>>(
+        entries: &[(S, u32)],
+    ) -> Result<Self, TaxonomyError> {
+        if entries.is_empty() {
+            return Err(TaxonomyError::Empty);
+        }
+        let n = entries.len();
+        let mut nodes = Vec::with_capacity(n + 1);
+        nodes.push(NodeData {
+            name: "<root>".to_string(),
+            parent: None,
+            level: 0,
+            children: Vec::new(),
+            synthetic: false,
+        });
+        let mut name_to_id = HashMap::with_capacity(n + 1);
+        name_to_id.insert("<root>".to_string(), NodeId::ROOT);
+        for (i, (name, parent)) in entries.iter().enumerate() {
+            let name = name.as_ref();
+            let id = NodeId((i + 1) as u32);
+            if *parent >= id.as_u32() {
+                return Err(TaxonomyError::UnknownParent(name.to_string()));
+            }
+            let pid = NodeId(*parent);
+            let level = nodes[pid.index()].level + 1;
+            // Level-ordered means levels never decrease along the id order;
+            // anything else would have been reordered by the builder.
+            if level < nodes[i].level {
+                return Err(TaxonomyError::InvalidNode(id.as_u32()));
+            }
+            nodes.push(NodeData {
+                name: name.to_string(),
+                parent: Some(pid),
+                level,
+                children: Vec::new(),
+                synthetic: false,
+            });
+            if name_to_id.insert(name.to_string(), id).is_some() {
+                return Err(TaxonomyError::DuplicateName(name.to_string()));
+            }
+        }
+        let height = nodes.last().expect("non-empty").level;
+        let mut levels = vec![Vec::new(); height + 1];
+        for idx in 0..nodes.len() {
+            let id = NodeId(idx as u32);
+            levels[nodes[idx].level].push(id);
+            if let Some(p) = nodes[idx].parent {
+                nodes[p.index()].children.push(id);
+            }
+        }
+        let tax = Taxonomy {
+            nodes,
+            name_to_id,
+            height,
+            levels,
+        };
+        // Catches unbalanced leaves (and any precondition the checks above
+        // missed), exactly like the builder's freeze step does.
+        tax.validate()?;
+        Ok(tax)
+    }
+
     /// Build a taxonomy from `(child, parent)` name pairs. Parents must be
     /// declared (as someone's child, or as a root child with parent `""`)
     /// before being referenced. An empty parent string means "child of the
@@ -453,6 +538,76 @@ mod tests {
         let back = t.clone();
         assert_eq!(t, back);
         assert!(back.validate().is_ok());
+    }
+
+    /// Entries of `tax` as the fast-path constructor expects them: node-id
+    /// order, parent encoded as a node id (synthetic nodes skipped — this
+    /// mirrors what a binary dictionary stores).
+    fn level_order_entries(tax: &Taxonomy) -> Vec<(String, u32)> {
+        tax.node_ids()
+            .skip(1)
+            .filter(|&n| !tax.is_synthetic(n))
+            .map(|n| {
+                (
+                    tax.name(n).to_string(),
+                    tax.parent(n).expect("non-root").as_u32(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_path_matches_builder_exactly() {
+        // Balanced trees of assorted shapes: the fast path must reproduce
+        // the builder's output bit for bit (ids, levels, children order,
+        // name index).
+        for (roots, fanout, height) in [(1usize, 1usize, 1usize), (2, 2, 2), (3, 2, 3), (2, 3, 2)] {
+            let built = Taxonomy::uniform(roots, fanout, height).unwrap();
+            let fast = Taxonomy::from_balanced_level_order(&level_order_entries(&built)).unwrap();
+            assert_eq!(built, fast, "roots={roots} fanout={fanout} height={height}");
+        }
+        let built = toy();
+        let fast = Taxonomy::from_balanced_level_order(&level_order_entries(&built)).unwrap();
+        assert_eq!(built, fast);
+    }
+
+    #[test]
+    fn fast_path_rejects_bad_input() {
+        let e = |v: &[(&str, u32)]| {
+            Taxonomy::from_balanced_level_order(
+                &v.iter()
+                    .map(|(n, p)| (n.to_string(), *p))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap_err()
+        };
+        assert_eq!(
+            Taxonomy::from_balanced_level_order::<String>(&[]).unwrap_err(),
+            TaxonomyError::Empty
+        );
+        // Forward parent reference.
+        assert!(matches!(
+            e(&[("a", 2), ("b", 0)]),
+            TaxonomyError::UnknownParent(_)
+        ));
+        // Self parent.
+        assert!(matches!(e(&[("a", 1)]), TaxonomyError::UnknownParent(_)));
+        // Duplicate name.
+        assert!(matches!(
+            e(&[("a", 0), ("a", 0)]),
+            TaxonomyError::DuplicateName(_)
+        ));
+        // Not level-ordered: a level-2 node before a level-1 node.
+        assert!(matches!(
+            e(&[("a", 0), ("b", 1), ("c", 0), ("d", 3)]),
+            TaxonomyError::InvalidNode(_)
+        ));
+        // Unbalanced: leaf "b" at depth 1 in a height-2 tree — the caller
+        // must fall back to the rebalancing builder.
+        assert!(matches!(
+            e(&[("a", 0), ("b", 0), ("a1", 1)]),
+            TaxonomyError::Unbalanced { .. }
+        ));
     }
 
     #[test]

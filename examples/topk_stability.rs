@@ -24,7 +24,11 @@ fn main() {
     let topk = top_k(
         &data.taxonomy,
         &data.db,
-        &TopKConfig { k: 5, base: base.clone(), ..Default::default() },
+        &TopKConfig {
+            k: 5,
+            base: base.clone(),
+            ..Default::default()
+        },
     );
     println!(
         "\ntop-{} patterns at auto-selected (γ, ε) = ({:.3}, {:.3}) after {} runs:",
@@ -48,11 +52,19 @@ fn main() {
             "  {:.2}  {}{}",
             s.stability,
             s.leaf_itemset.display(&data.taxonomy),
-            if s.in_original { "" } else { "  (replicates only)" },
+            if s.in_original {
+                ""
+            } else {
+                "  (replicates only)"
+            },
         );
     }
     let robust: Vec<_> = report.stable_at(0.8).collect();
-    println!("\n{} of {} patterns are ≥80% stable", robust.len(), report.patterns.len());
+    println!(
+        "\n{} of {} patterns are ≥80% stable",
+        robust.len(),
+        report.patterns.len()
+    );
 
     // The paper's craft-repair/bachelor pattern should be among the robust.
     let (a, b) = data.expected_flip_ids()[0];

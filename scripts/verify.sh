@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the workspace must build in release mode and pass the
-# full test suite offline (no network, no external crates). The execution
-# layer gets two extra gates: the engine/thread equivalence suite re-runs
-# under --release (optimized codegen has caught UB-adjacent bugs debug
-# builds miss), and a few-second `quickbench --smoke` runs the engine ×
-# threads grid so a mis-wired engine or a perf cliff fails loudly.
+# full test suite offline (no network, no external crates). Extra release-
+# mode gates (optimized codegen has caught UB-adjacent bugs debug builds
+# miss):
+#
+#   * the engine/thread equivalence suite,
+#   * the FBIN storage suite (text↔fbin round-trip idempotence, streamed-
+#     vs-loaded mining equivalence, truncation/corruption behavior),
+#   * a few-second `quickbench --smoke` running the engine × threads grid
+#     and the storage IO rows, so a mis-wired engine, a perf cliff or a
+#     broken format fails loudly.
 #
 #   ./scripts/verify.sh
 #
-# Clippy runs afterwards as a non-blocking second step: its findings are
-# printed but do not fail verification.
+# Clippy and rustfmt run afterwards as non-blocking advisory steps: their
+# findings are printed but do not fail verification.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +29,10 @@ cargo test -q
 echo "== execution layer: equivalence suite under --release"
 cargo test --release -q -p flipper-integration --test equivalence
 
-echo "== execution layer: quickbench --smoke (engine × threads grid)"
+echo "== storage: fbin round-trip + streamed-vs-loaded equivalence under --release"
+cargo test --release -q -p flipper-integration --test store_roundtrip
+
+echo "== execution layer + storage: quickbench --smoke"
 cargo run --release -q --bin quickbench -- --smoke
 set +e
 
@@ -33,6 +41,13 @@ if cargo clippy --all-targets -- -D warnings; then
     echo "clippy: clean"
 else
     echo "clippy: findings above are advisory only; tier-1 still PASSED"
+fi
+
+echo "== advisory: cargo fmt --check (non-blocking)"
+if cargo fmt --check; then
+    echo "fmt: clean"
+else
+    echo "fmt: drift above is advisory only; tier-1 still PASSED"
 fi
 
 echo "== tier-1 verification PASSED"
