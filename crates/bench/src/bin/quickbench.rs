@@ -1,31 +1,37 @@
 //! Dependency-free fallback for `benches/paper_benches.rs`: times the same
 //! configurations with the `std::time::Instant` harness in
 //! [`flipper_bench::timing`] and prints fixed-width tables, plus the
-//! execution-layer grid (counting engine × worker threads).
+//! execution-layer grid (counting engine × worker threads) and the
+//! counting-kernel rows (prefix-cached vs naive per-candidate).
 //!
 //! Scale with `--scale <f>` (default 0.2 so a full run stays interactive;
 //! 1.0 matches the criterion bench inputs) and sample count with
 //! `--samples <n>`. `--smoke` runs a few-second engine × threads grid on a
 //! tiny dataset — the CI hook `scripts/verify.sh` uses it so a perf
-//! regression in any engine fails loudly instead of silently.
+//! regression in any engine fails loudly instead of silently. `--json
+//! <path>` additionally writes every timed grid/kernel/storage row as a
+//! `flipper-quickbench/v1` JSON report (see [`flipper_bench::report`]) —
+//! the machine-readable baseline future PRs regress against.
 
+use flipper_bench::report::{write_report, BenchRow};
 use flipper_bench::timing::{time_fn, Timing};
-use flipper_bench::{flag_from_args, print_table, scale_from_args};
+use flipper_bench::{flag_from_args, opt_from_args, print_table, scale_from_args};
 use flipper_core::{mine_with_view, FlipperConfig, MinSupports, PruningConfig};
 use flipper_data::format::{read_dataset, write_dataset};
-use flipper_data::{CountingEngine, MultiLevelView};
+use flipper_data::{
+    naive_tidset_counts, BitsetCounter, CountingEngine, Itemset, MultiLevelView, SupportCounter,
+    TidsetCounter,
+};
 use flipper_datagen::quest::{generate, QuestParams};
 use flipper_datagen::surrogate::groceries;
 use flipper_measures::{Measure, Thresholds};
 use flipper_store::{read_fbin, stream_view, to_fbin_bytes, FbinReader};
-use flipper_taxonomy::RebalancePolicy;
+use flipper_taxonomy::{NodeId, RebalancePolicy};
 use std::io::Cursor;
 
 fn samples_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--samples")
-        .and_then(|w| w[1].parse().ok())
+    opt_from_args("--samples")
+        .and_then(|v| v.parse().ok())
         .unwrap_or(5)
         .max(1)
 }
@@ -33,8 +39,10 @@ fn samples_from_args() -> usize {
 /// The engine × threads grid on a quest dataset of `n` transactions:
 /// BASIC pruning with the thr10 support profile, where per-cell candidate
 /// batches are large enough that counting dominates and sharding pays.
-/// Prints per-engine 4-thread speedups after the table.
-fn exec_layer_grid(n: usize, warmup: usize, samples: usize) {
+/// Prints per-engine 4-thread speedups and prefix-reuse rates after the
+/// table, and appends one JSON row per grid point (with the run's counter
+/// stats) to `report`.
+fn exec_layer_grid(n: usize, warmup: usize, samples: usize, report: &mut Vec<BenchRow>) {
     let data = generate(&QuestParams::default().with_transactions(n));
     let view = MultiLevelView::build(&data.db, &data.taxonomy);
     let base = FlipperConfig::new(
@@ -52,13 +60,27 @@ fn exec_layer_grid(n: usize, warmup: usize, samples: usize) {
     let thread_grid = [1usize, 2, 4];
     let mut rows: Vec<Timing> = Vec::new();
     let mut speedups: Vec<String> = Vec::new();
+    let mut reuse_rates: Vec<String> = Vec::new();
     for (name, engine) in engines {
         let mut per_threads: Vec<(usize, Timing)> = Vec::new();
         for threads in thread_grid {
             let cfg = base.clone().with_engine(engine).with_threads(threads);
+            let mut counter_stats = None;
             let t = time_fn(format!("{name}/t{threads}"), warmup, samples, || {
-                mine_with_view(&data.taxonomy, &view, &cfg)
+                let r = mine_with_view(&data.taxonomy, &view, &cfg);
+                counter_stats = Some(r.stats.counter);
+                r
             });
+            let stats = counter_stats.expect("at least one sample ran");
+            report.push(
+                BenchRow::new("exec_grid", "quest", n, name, threads, t.clone()).with_stats(stats),
+            );
+            if threads == 1 && stats.candidates_counted > 0 {
+                reuse_rates.push(format!(
+                    "{name}: {:.0}%",
+                    100.0 * stats.prefix_reuses as f64 / stats.candidates_counted as f64
+                ));
+            }
             per_threads.push((threads, t.clone()));
             rows.push(t);
         }
@@ -79,13 +101,144 @@ fn exec_layer_grid(n: usize, warmup: usize, samples: usize) {
         &rows.iter().map(Timing::cells).collect::<Vec<_>>(),
     );
     println!("  4-thread speedup over 1 thread: {}", speedups.join(", "));
+    println!("  prefix-reuse rate (t1): {}", reuse_rates.join(", "));
+}
+
+/// Build a realistic k≥3-heavy counting workload at the leaf level of a
+/// quest dataset: frequent items (θ = 2) → co-occurring pairs → Apriori
+/// triples. The result is the sorted, deduplicated batch shape the miner
+/// hands to `count_shard` at a low-support leaf cell, where candidates
+/// cluster densely under shared (k−1)-prefixes.
+fn leaf_triple_batch(view: &MultiLevelView, h: usize, max_items: usize) -> Vec<Itemset> {
+    let lv = view.level(h);
+    let theta = 2u64;
+    let freq: Vec<NodeId> = lv
+        .present_items()
+        .iter()
+        .copied()
+        .filter(|&it| lv.item_support(it) >= theta)
+        .take(max_items)
+        .collect();
+    let mut pairs = Vec::new();
+    for (i, &x) in freq.iter().enumerate() {
+        for &y in &freq[i + 1..] {
+            pairs.push(Itemset::pair(x, y));
+        }
+    }
+    let counter = TidsetCounter::new(view);
+    let (pair_counts, _) = counter.count_shard(h, &pairs);
+    let fpairs: Vec<&Itemset> = pairs
+        .iter()
+        .zip(&pair_counts)
+        .filter(|(_, &c)| c >= theta)
+        .map(|(p, _)| p)
+        .collect();
+    // Apriori join of frequent pairs sharing their first item; the grouped
+    // generation order is already sorted and duplicate-free.
+    let mut triples = Vec::new();
+    let mut i = 0;
+    while i < fpairs.len() {
+        let first = fpairs[i].items()[0];
+        let mut j = i;
+        while j < fpairs.len() && fpairs[j].items()[0] == first {
+            j += 1;
+        }
+        for p in i..j {
+            for q in (p + 1)..j {
+                if let Some(t) = fpairs[p].apriori_join(fpairs[q]) {
+                    triples.push(t);
+                }
+            }
+        }
+        i = j;
+    }
+    triples.sort_unstable();
+    triples.dedup();
+    triples
+}
+
+/// Counting-kernel rows: the prefix-cached tidset/bitset shard cores vs the
+/// retained naive per-candidate kernel, on the k=3-heavy leaf batch. The
+/// prefix kernels are asserted bit-identical to the reference before any
+/// timing is reported, and the printed reuse rate comes from the kernel's
+/// own `prefix_reuses` statistic.
+fn counting_kernel_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<BenchRow>) {
+    let data = generate(&QuestParams::default().with_transactions(n));
+    let view = MultiLevelView::build(&data.db, &data.taxonomy);
+    let h = data.taxonomy.height();
+    let batch = leaf_triple_batch(&view, h, 120);
+    if batch.is_empty() {
+        println!("\n== counting kernels: no k=3 batch at N = {n}, skipped");
+        return;
+    }
+    let tc = TidsetCounter::new(&view);
+    let bc = BitsetCounter::new(&view);
+    let reference = naive_tidset_counts(&view, h, &batch);
+    let (prefix_counts, kernel_stats) = tc.count_shard(h, &batch);
+    assert_eq!(
+        prefix_counts, reference,
+        "prefix-cached tidset kernel diverged from the naive reference"
+    );
+    assert_eq!(
+        bc.count_shard(h, &batch).0,
+        reference,
+        "prefix-cached bitset kernel diverged from the naive reference"
+    );
+
+    let t_naive = time_fn("tidset-naive/k3", warmup, samples, || {
+        naive_tidset_counts(&view, h, &batch)
+    });
+    let t_prefix = time_fn("tidset-prefix/k3", warmup, samples, || {
+        tc.count_shard(h, &batch)
+    });
+    let t_bitset = time_fn("bitset-prefix/k3", warmup, samples, || {
+        bc.count_shard(h, &batch)
+    });
+    report.push(BenchRow::new(
+        "kernel",
+        "quest",
+        n,
+        "tidset-naive",
+        1,
+        t_naive.clone(),
+    ));
+    report.push(
+        BenchRow::new("kernel", "quest", n, "tidset-prefix", 1, t_prefix.clone())
+            .with_stats(kernel_stats),
+    );
+    report.push(BenchRow::new(
+        "kernel",
+        "quest",
+        n,
+        "bitset-prefix",
+        1,
+        t_bitset.clone(),
+    ));
+    print_table(
+        &format!(
+            "counting kernels (quest, N = {n}, leaf level, {} k=3 candidates)",
+            batch.len()
+        ),
+        &["config", "median_ms", "min_ms", "mean_ms"],
+        &[t_naive.cells(), t_prefix.cells(), t_bitset.cells()],
+    );
+    let (naive_med, prefix_med) = (t_naive.median.as_secs_f64(), t_prefix.median.as_secs_f64());
+    if prefix_med > 0.0 {
+        println!(
+            "  prefix-cached tidset speedup over naive: {:.2}x  (reuse rate {:.0}%: {} of {} candidates)",
+            naive_med / prefix_med,
+            100.0 * kernel_stats.prefix_reuses as f64 / kernel_stats.candidates_counted as f64,
+            kernel_stats.prefix_reuses,
+            kernel_stats.candidates_counted,
+        );
+    }
 }
 
 /// Storage/IO rows on a quest dataset of `n` transactions: text parse vs
 /// FBIN full load vs FBIN streamed ingestion (chunks → sharded projector),
 /// all from memory so only the format work is measured. Prints the encoded
 /// sizes and the FBIN-load speedup over the text parse.
-fn storage_io_rows(n: usize, warmup: usize, samples: usize) {
+fn storage_io_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<BenchRow>) {
     let ds = generate(&QuestParams::default().with_transactions(n)).into_dataset();
     let mut text = Vec::new();
     write_dataset(&mut text, &ds).expect("serialize text");
@@ -107,7 +260,22 @@ fn storage_io_rows(n: usize, warmup: usize, samples: usize) {
     let t_stream = time_fn("fbin-stream+view/t1", warmup, samples, || {
         stream_view(FbinReader::new(&fbin[..]).expect("open fbin"), 1).expect("stream fbin")
     });
-    let rows = [t_text.clone(), t_load.clone(), t_load_view, t_stream];
+    let rows = [
+        t_text.clone(),
+        t_load.clone(),
+        t_load_view.clone(),
+        t_stream.clone(),
+    ];
+    for t in &rows {
+        report.push(BenchRow::new(
+            "storage_io",
+            "quest",
+            n,
+            t.label.clone(),
+            1,
+            t.clone(),
+        ));
+    }
     print_table(
         &format!(
             "storage io (quest, N = {n}; text {} KiB, fbin {} KiB)",
@@ -123,19 +291,25 @@ fn storage_io_rows(n: usize, warmup: usize, samples: usize) {
     }
 }
 
-/// Few-second CI smoke: the full engine × threads grid plus the storage/IO
-/// rows at toy scale. Any engine regressing by an order of magnitude shows
-/// up immediately in the printed medians; any mis-wired engine/thread
-/// combination or broken format round-trip panics the run.
-fn run_smoke() {
-    exec_layer_grid(300, 0, 1);
-    storage_io_rows(300, 0, 1);
+/// Few-second CI smoke: the full engine × threads grid, the counting-kernel
+/// comparison (naive vs prefix-cached, with a built-in bit-identity
+/// assertion) and the storage/IO rows at toy scale. Any engine regressing
+/// by an order of magnitude shows up immediately in the printed medians;
+/// any mis-wired engine/thread combination, kernel divergence or broken
+/// format round-trip panics the run.
+fn run_smoke(report: &mut Vec<BenchRow>) {
+    exec_layer_grid(300, 0, 1, report);
+    counting_kernel_rows(300, 0, 1, report);
+    storage_io_rows(300, 0, 1, report);
     println!("\nquickbench --smoke PASSED");
 }
 
 fn main() {
+    let json_path = opt_from_args("--json");
+    let mut report: Vec<BenchRow> = Vec::new();
     if flag_from_args("--smoke") {
-        run_smoke();
+        run_smoke(&mut report);
+        finish_report(json_path, &report);
         return;
     }
     let scale = scale_from_args(0.2);
@@ -220,8 +394,21 @@ fn main() {
 
     // The execution-layer grid the ROADMAP's scaling items track: engine ×
     // threads on quest N = 1000.
-    exec_layer_grid(1000, warmup, samples);
+    exec_layer_grid(1000, warmup, samples, &mut report);
+
+    // Counting kernels: prefix-cached vs naive on the k=3-heavy leaf batch.
+    counting_kernel_rows(1000, warmup, samples, &mut report);
 
     // Storage/IO: text parse vs FBIN load vs streamed ingestion, N = 1000.
-    storage_io_rows(1000, warmup, samples);
+    storage_io_rows(1000, warmup, samples, &mut report);
+
+    finish_report(json_path, &report);
+}
+
+/// Write the collected rows when `--json <path>` was requested.
+fn finish_report(json_path: Option<String>, report: &[BenchRow]) {
+    if let Some(path) = json_path {
+        write_report(&path, report).expect("write bench report");
+        println!("\nwrote {} bench rows to {path}", report.len());
+    }
 }

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod timing;
 
 use flipper_core::{mine_with_view, FlipperConfig, MinSupports, PruningConfig};
@@ -150,6 +151,12 @@ pub fn scale_from_args(default_scale: f64) -> f64 {
 /// Whether a bare boolean flag (e.g. `--smoke`) was passed on the CLI.
 pub fn flag_from_args(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Value of a `--name <value>` CLI option, when present.
+pub fn opt_from_args(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
 }
 
 #[cfg(test)]

@@ -1,0 +1,191 @@
+//! Machine-readable benchmark reports.
+//!
+//! `quickbench --json <path>` serializes every timed row into a small,
+//! stable JSON document (`flipper-quickbench/v1`) so the performance
+//! trajectory can be tracked across PRs by tooling instead of by reading
+//! fixed-width tables. The workspace builds offline with zero external
+//! crates, so the writer is hand-rolled: flat structs, explicit field
+//! order, minimal string escaping.
+
+use crate::timing::Timing;
+use flipper_data::CounterStats;
+
+/// One benchmark measurement destined for the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Which experiment family the row belongs to (`exec_grid`, `kernel`,
+    /// `storage_io`, ...).
+    pub bench: &'static str,
+    /// Input dataset name (`quest`, `groceries`, ...).
+    pub dataset: &'static str,
+    /// Input size (transactions).
+    pub n: usize,
+    /// Full configuration label as printed in the tables.
+    pub config: String,
+    /// Counting engine / kernel under test (empty when not applicable).
+    pub engine: String,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+    /// The timing summary.
+    pub timing: Timing,
+    /// Counting-engine work statistics for the run, when the experiment
+    /// surfaces them (mining runs do; storage rows do not).
+    pub stats: Option<CounterStats>,
+}
+
+impl BenchRow {
+    /// Row from a timing plus the grid coordinates.
+    pub fn new(
+        bench: &'static str,
+        dataset: &'static str,
+        n: usize,
+        engine: impl Into<String>,
+        threads: usize,
+        timing: Timing,
+    ) -> Self {
+        BenchRow {
+            bench,
+            dataset,
+            n,
+            config: timing.label.clone(),
+            engine: engine.into(),
+            threads,
+            timing,
+            stats: None,
+        }
+    }
+
+    /// Attach counting-engine statistics.
+    pub fn with_stats(mut self, stats: CounterStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    fn json(&self) -> String {
+        let stats = match &self.stats {
+            None => "null".to_string(),
+            Some(s) => format!(
+                "{{\"db_scans\":{},\"subset_tests\":{},\"intersections\":{},\
+                 \"candidates_counted\":{},\"prefix_reuses\":{}}}",
+                s.db_scans, s.subset_tests, s.intersections, s.candidates_counted, s.prefix_reuses
+            ),
+        };
+        format!(
+            "{{\"bench\":{},\"dataset\":{},\"n\":{},\"config\":{},\"engine\":{},\
+             \"threads\":{},\"samples\":{},\"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\
+             \"stats\":{}}}",
+            json_string(self.bench),
+            json_string(self.dataset),
+            self.n,
+            json_string(&self.config),
+            json_string(&self.engine),
+            self.threads,
+            self.timing.samples,
+            self.timing.median.as_nanos(),
+            self.timing.min.as_nanos(),
+            self.timing.mean.as_nanos(),
+            stats,
+        )
+    }
+}
+
+/// Escape a string as a JSON string literal (quotes, backslashes, control
+/// characters — the labels are ASCII identifiers, but escaping is cheap
+/// insurance).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize rows as the `flipper-quickbench/v1` report document.
+pub fn render_report(rows: &[BenchRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"flipper-quickbench/v1\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&row.json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the report to `path` (standard truncating create).
+///
+/// # Errors
+/// Propagates the underlying IO error.
+pub fn write_report(path: &str, rows: &[BenchRow]) -> std::io::Result<()> {
+    std::fs::write(path, render_report(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::time_fn;
+
+    fn row() -> BenchRow {
+        BenchRow::new(
+            "exec_grid",
+            "quest",
+            300,
+            "tidset",
+            2,
+            time_fn("tidset/t2", 0, 3, || 7u64),
+        )
+        .with_stats(CounterStats {
+            db_scans: 1,
+            subset_tests: 2,
+            intersections: 3,
+            candidates_counted: 4,
+            prefix_reuses: 5,
+        })
+    }
+
+    #[test]
+    fn report_has_schema_and_rows() {
+        let doc = render_report(&[row(), row()]);
+        assert!(doc.contains("\"schema\": \"flipper-quickbench/v1\""));
+        assert_eq!(doc.matches("\"bench\":\"exec_grid\"").count(), 2);
+        assert!(doc.contains("\"engine\":\"tidset\""));
+        assert!(doc.contains("\"threads\":2"));
+        assert!(doc.contains("\"prefix_reuses\":5"));
+        // Rows are comma-separated: exactly one separator for two rows.
+        assert_eq!(doc.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn report_balances_braces_and_brackets() {
+        // A structural smoke check standing in for a full JSON parser
+        // (which the offline build doesn't have): every brace/bracket
+        // closes, and no stray quotes remain after escaping.
+        let mut r = row();
+        r.config = "we\"ird\\label".to_string();
+        r.stats = None;
+        let doc = render_report(&[r]);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.contains("\"stats\":null"));
+        assert!(doc.contains("we\\\"ird\\\\label"));
+        // Unescaped quote count is even (every string literal closes).
+        let unescaped = doc.replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let doc = render_report(&[]);
+        assert!(doc.contains("\"rows\": [\n  ]"));
+    }
+}

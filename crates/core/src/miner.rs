@@ -77,6 +77,11 @@ struct RowState {
     removal_prefix: HashMap<usize, HashSet<NodeId>>,
     /// SIBP-banned items: supersets of size > `ban_k` are pruned.
     banned: HashMap<NodeId, usize>,
+    /// Item supports at this level, indexed by `NodeId::index()` (absent
+    /// items hold 0). Built once per level so `eval_cell`'s correlation
+    /// loop reads supports from a flat array instead of issuing one virtual
+    /// `SupportCounter::item_support` call per item per frequent candidate.
+    sup_cache: Vec<u64>,
     /// Total itemsets stored in this row (memory accounting).
     stored: u64,
 }
@@ -126,21 +131,26 @@ impl<'a> Miner<'a> {
 
         let mut rows = Vec::with_capacity(height);
         for h in 1..=height {
+            let mut sup_cache = vec![0u64; tax.node_count()];
+            for &it in counter.present_items(h) {
+                sup_cache[it.index()] = counter.item_support(h, it);
+            }
             let mut freq_items: Vec<NodeId> = counter
                 .present_items(h)
                 .iter()
                 .copied()
-                .filter(|&it| counter.item_support(h, it) >= thetas[h - 1])
+                .filter(|&it| sup_cache[it.index()] >= thetas[h - 1])
                 .collect();
             freq_items.sort_unstable();
             let mut by_support = freq_items.clone();
-            by_support.sort_by_key(|&it| (counter.item_support(h, it), it));
+            by_support.sort_by_key(|&it| (sup_cache[it.index()], it));
             rows.push(RowState {
                 cells: HashMap::new(),
                 freq_items,
                 by_support,
                 removal_prefix: HashMap::new(),
                 banned: HashMap::new(),
+                sup_cache,
                 stored: 0,
             });
         }
@@ -299,7 +309,15 @@ impl<'a> Miner<'a> {
         // occurs in, so deduping per parent bounds transient memory by the
         // distinct-candidate count, not by Σ parent supports).
         let mut slots: Vec<Vec<NodeId>> = vec![Vec::new(); k];
-        let mut per_parent: HashSet<Itemset> = HashSet::new();
+        // Combos are accumulated as sorted item vectors (children of the
+        // distinct parents are disjoint, so sorting yields a strictly
+        // increasing, canonical sequence) and only converted to `Itemset`s
+        // once per *distinct* combination on drain.
+        let mut per_parent: HashSet<Vec<NodeId>> = HashSet::new();
+        // Reused for every emitted combination: the common case is the same
+        // combo recurring in each covering transaction, which now costs a
+        // buffer refill + hash probe instead of a fresh allocation.
+        let mut combo_items: Vec<NodeId> = Vec::with_capacity(k);
         for (pset, _) in above.alive() {
             // Per parent slot, the frequent children — computed once per
             // parent, not once per covering transaction.
@@ -342,12 +360,12 @@ impl<'a> Miner<'a> {
                 // Odometer over the (typically singleton) slot lists.
                 let mut combo = vec![0usize; k];
                 'outer: loop {
-                    let items: Vec<NodeId> = combo
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &c)| slots[i][c])
-                        .collect();
-                    per_parent.insert(Itemset::new(items));
+                    combo_items.clear();
+                    combo_items.extend(combo.iter().enumerate().map(|(i, &c)| slots[i][c]));
+                    combo_items.sort_unstable();
+                    if !per_parent.contains(combo_items.as_slice()) {
+                        per_parent.insert(combo_items.clone());
+                    }
                     for i in (0..k).rev() {
                         combo[i] += 1;
                         if combo[i] < slots[i].len() {
@@ -365,7 +383,7 @@ impl<'a> Miner<'a> {
             // duplicate-free (in arbitrary hash order). The ban and prune
             // passes below are order-independent, and the caller
             // canonicalizes the final candidate union.
-            out.extend(per_parent.drain());
+            out.extend(per_parent.drain().map(Itemset::from_sorted));
         }
         let mut sibp_pruned = 0u64;
         out.retain(|cand| {
@@ -438,14 +456,16 @@ impl<'a> Miner<'a> {
         let mut cell = Cell::new();
         let mut max_corr: HashMap<NodeId, f64> = HashMap::new();
         let (mut n_pos, mut n_neg, mut n_freq) = (0usize, 0usize, 0usize);
+        // Flat per-level support cache plus one reused buffer: the
+        // correlation loop issues no virtual calls and no per-candidate
+        // allocations.
+        let sup_cache = &self.rows[h - 1].sup_cache;
+        let mut item_sups: Vec<u64> = Vec::new();
         for (set, sup) in candidates.into_iter().zip(supports) {
             let frequent = sup >= theta;
             let (corr, label) = if frequent {
-                let item_sups: Vec<u64> = set
-                    .items()
-                    .iter()
-                    .map(|&it| self.counter.item_support(h, it))
-                    .collect();
+                item_sups.clear();
+                item_sups.extend(set.items().iter().map(|&it| sup_cache[it.index()]));
                 let corr = measure.value(sup, &item_sups);
                 (corr, thresholds.label_frequent(corr))
             } else {

@@ -149,8 +149,9 @@ impl SupportCounter for AutoCounter<'_> {
     }
 
     /// Dispatch to the sharding strategy of the level's chosen engine:
-    /// candidate-chunked for tidset/bitset levels, transaction-chunked for
-    /// scan levels (a candidate-chunked scan would repeat the full pass per
+    /// prefix-group-chunked for tidset/bitset levels (a group's cached
+    /// prefix is never torn across workers), transaction-chunked for scan
+    /// levels (a candidate-chunked scan would repeat the full pass per
     /// worker). Stats fold into this counter's own accumulator either way.
     fn count_batch_sharded(
         &mut self,
@@ -163,7 +164,7 @@ impl SupportCounter for AutoCounter<'_> {
                 let lv = self.view.level(h);
                 crate::counting::scan_sharded(self, lv, h, candidates, threads)
             }
-            _ => crate::counting::candidate_sharded(self, h, candidates, threads),
+            _ => crate::counting::group_sharded(self, h, candidates, threads),
         }
     }
 

@@ -6,9 +6,10 @@
 //! AND + popcount is both smaller and faster. [`BitsetCounter`] uses
 //! bitmaps for dense items and falls back to tid-lists for sparse ones.
 
+use crate::counting::prefix_groups;
 use crate::itemset::Itemset;
 use crate::projection::MultiLevelView;
-use crate::tidset::intersect_size_many;
+use crate::tidset::{intersect_size, intersect_size_many};
 use flipper_taxonomy::NodeId;
 use std::collections::HashMap;
 
@@ -89,6 +90,26 @@ impl Bitmap {
     /// Popcount of AND between a bitmap and a sorted tid-list (hybrid path).
     pub fn and_tids_count(&self, tids: &[u32]) -> u64 {
         tids.iter().filter(|&&t| self.get(t as usize)).count() as u64
+    }
+
+    /// Overwrite this bitmap with a copy of `other`, reusing the existing
+    /// word allocation — the scratch-buffer primitive behind prefix-group
+    /// counting.
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Word-wise `self &= other`.
+    ///
+    /// # Panics
+    /// Panics when the bitmaps cover different transaction counts.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap lengths must match");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
     }
 }
 
@@ -175,46 +196,125 @@ impl crate::counting::SupportCounter for BitsetCounter<'_> {
         self.view.level(h).present_items()
     }
 
+    /// Prefix-group kernel, hybrid flavor: per group of candidates sharing
+    /// a `(k−1)`-prefix, the prefix is materialized once — a word-wise AND
+    /// into a reusable scratch bitmap when every prefix item is dense, or a
+    /// filtered tid-list in reusable scratch otherwise (borrowed directly
+    /// for `k = 2`) — then every member is answered by one AND-popcount /
+    /// bitmap-filter / galloping intersection against its last item.
+    /// Nothing allocates per candidate. `intersections` charges `k−2`
+    /// combines per materialized prefix plus one per member.
     fn count_shard(
         &self,
         h: usize,
         candidates: &[Itemset],
     ) -> (Vec<u64>, crate::counting::CounterStats) {
+        /// The group's shared prefix, in whichever representation its
+        /// density mix produced.
+        enum Prefix<'a> {
+            Bits(&'a Bitmap),
+            Tids(&'a [u32]),
+        }
         let lv = self.view.level(h);
         let maps = &self.bitmaps[h - 1];
         let mut stats = crate::counting::CounterStats {
             candidates_counted: candidates.len() as u64,
             ..Default::default()
         };
-        let counts = candidates
-            .iter()
-            .map(|c| {
-                stats.intersections += c.len().saturating_sub(1) as u64;
-                let mut dense: Vec<&Bitmap> = Vec::with_capacity(c.len());
-                let mut sparse: Vec<&[u32]> = Vec::new();
-                for &it in c.items() {
-                    match maps.get(&it) {
-                        Some(m) => dense.push(m),
-                        None => sparse.push(lv.tidset(it)),
-                    }
+        let mut counts = vec![0u64; candidates.len()];
+        // Scratch reused across groups: the dense/sparse partition of the
+        // current prefix and the two materialization targets.
+        let mut dense: Vec<&Bitmap> = Vec::new();
+        let mut sparse: Vec<&[u32]> = Vec::new();
+        let mut prefix_bm = Bitmap::zeros(0);
+        let mut prefix_tids: Vec<u32> = Vec::new();
+        for group in prefix_groups(candidates) {
+            let items = candidates[group.start].items();
+            let k = items.len();
+            if k == 0 {
+                continue; // empty itemsets count 0 transactions
+            }
+            if k == 1 {
+                for i in group {
+                    counts[i] = lv.item_support(candidates[i].items()[0]);
                 }
-                match (dense.is_empty(), sparse.is_empty()) {
+                continue;
+            }
+            dense.clear();
+            sparse.clear();
+            for &it in &items[..k - 1] {
+                match maps.get(&it) {
+                    Some(m) => dense.push(m),
+                    None => sparse.push(lv.tidset(it)),
+                }
+            }
+            // A singleton k ≥ 3 group has nothing to reuse: skip the prefix
+            // materialization (a scratch-bitmap copy / filtered list would
+            // double the memory traffic) and answer it with one fused
+            // early-exit pass over all k items. Same `k−1` intersections
+            // charge, zero reuses — stats stay group-structure-invariant.
+            if k >= 3 && group.len() == 1 {
+                stats.intersections += (k - 1) as u64;
+                let last = items[k - 1];
+                match maps.get(&last) {
+                    Some(m) => dense.push(m),
+                    None => sparse.push(lv.tidset(last)),
+                }
+                counts[group.start] = match (dense.is_empty(), sparse.is_empty()) {
                     (true, _) => intersect_size_many(&sparse),
                     (false, true) => Bitmap::and_count(&dense),
                     (false, false) => {
                         // Filter the smallest sparse list through everything.
                         sparse.sort_by_key(|s| s.len());
-                        let base = sparse[0];
-                        base.iter()
+                        sparse[0]
+                            .iter()
                             .filter(|&&t| {
                                 dense.iter().all(|m| m.get(t as usize))
                                     && sparse[1..].iter().all(|s| s.binary_search(&t).is_ok())
                             })
                             .count() as u64
                     }
+                };
+                continue;
+            }
+            let prefix = if k == 2 {
+                match (dense.first(), sparse.first()) {
+                    (Some(m), _) => Prefix::Bits(m),
+                    (None, Some(t)) => Prefix::Tids(t),
+                    (None, None) => unreachable!("k = 2 has exactly one prefix item"),
                 }
-            })
-            .collect();
+            } else {
+                stats.prefix_reuses += (group.len() - 1) as u64;
+                stats.intersections += (k - 2) as u64;
+                if sparse.is_empty() {
+                    prefix_bm.copy_from(dense[0]);
+                    for m in &dense[1..] {
+                        prefix_bm.and_assign(m);
+                    }
+                    Prefix::Bits(&prefix_bm)
+                } else {
+                    // Filter the smallest sparse list through everything.
+                    sparse.sort_by_key(|s| s.len());
+                    let base = sparse[0];
+                    prefix_tids.clear();
+                    prefix_tids.extend(base.iter().copied().filter(|&t| {
+                        dense.iter().all(|m| m.get(t as usize))
+                            && sparse[1..].iter().all(|s| s.binary_search(&t).is_ok())
+                    }));
+                    Prefix::Tids(&prefix_tids)
+                }
+            };
+            for i in group {
+                stats.intersections += 1;
+                let last = *candidates[i].items().last().expect("k >= 2");
+                counts[i] = match (&prefix, maps.get(&last)) {
+                    (Prefix::Bits(p), Some(m)) => Bitmap::and_count(&[p, m]),
+                    (Prefix::Bits(p), None) => p.and_tids_count(lv.tidset(last)),
+                    (Prefix::Tids(p), Some(m)) => m.and_tids_count(p),
+                    (Prefix::Tids(p), None) => intersect_size(p, lv.tidset(last)),
+                };
+            }
+        }
         (counts, stats)
     }
 

@@ -20,6 +20,21 @@
 //! (property-tested); they differ only in complexity profile, which the
 //! benches measure.
 //!
+//! # Prefix-group kernels
+//!
+//! The miner hands every cell a **sorted, deduplicated** candidate batch,
+//! so candidates sharing their `(k−1)`-prefix are adjacent. The vertical
+//! engines exploit that Eclat-style instead of re-intersecting every
+//! candidate's full k-way tid-lists from scratch: [`prefix_groups`] splits a
+//! batch into runs of equal `(k−1)`-prefix, the group's prefix intersection
+//! is materialized **once** into reusable double-buffered scratch, and each
+//! member is then answered by a single size-only (galloping) intersection of
+//! that prefix with the member's last tid-list. Nothing on the hot path
+//! allocates per candidate. [`CounterStats::prefix_reuses`] counts the
+//! members answered from a cached prefix, so benches can report the reuse
+//! rate; [`naive_tidset_counts`] keeps the pre-cache per-candidate kernel
+//! around as the differential-testing and benchmarking reference.
+//!
 //! # Sharding
 //!
 //! Counting a batch is embarrassingly parallel across candidates, so the
@@ -27,16 +42,19 @@
 //! ([`SupportCounter::count_shard`]) and an explicit stats fold
 //! ([`SupportCounter::merge_stats`] via [`CounterStats::merge`]).
 //! [`SupportCounter::count_batch_sharded`] chunks a batch over a scoped thread pool
-//! ([`crate::exec`]) and folds the per-shard stats **in shard order**, so a
-//! sharded run reports bit-identical counts *and stats* regardless of
+//! ([`crate::exec`]) and folds the per-shard stats **in shard order**. The
+//! chunks split only at prefix-group boundaries
+//! ([`crate::exec::map_group_chunks`]), so prefix reuse survives parallelism
+//! and a sharded run reports bit-identical counts *and stats* regardless of
 //! thread count.
 
 use crate::exec;
 use crate::itemset::Itemset;
-use crate::projection::MultiLevelView;
-use crate::tidset::intersect_size_many;
+use crate::projection::{LevelView, MultiLevelView};
+use crate::tidset::{intersect_into, intersect_size, intersect_size_many};
 use flipper_taxonomy::NodeId;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Counters accumulate work statistics so experiments can report
 /// hardware-independent costs.
@@ -47,10 +65,17 @@ pub struct CounterStats {
     pub db_scans: u64,
     /// Number of candidate-in-transaction subset tests (scan engine).
     pub subset_tests: u64,
-    /// Number of tid-list intersections (tidset/bitset engines).
+    /// Number of pairwise tid-list/bitmap intersection operations actually
+    /// performed (tidset/bitset engines). With prefix-group kernels this is
+    /// *less* than the naive `Σ (k−1)` per candidate — the gap is the work
+    /// the prefix cache saved.
     pub intersections: u64,
     /// Total candidates counted.
     pub candidates_counted: u64,
+    /// Candidates answered from a cached `(k−1)`-prefix intersection
+    /// (members of a `k ≥ 3` prefix group beyond its first). Shard-invariant
+    /// by construction: sharding never splits a prefix group.
+    pub prefix_reuses: u64,
 }
 
 impl CounterStats {
@@ -63,6 +88,7 @@ impl CounterStats {
         self.subset_tests += other.subset_tests;
         self.intersections += other.intersections;
         self.candidates_counted += other.candidates_counted;
+        self.prefix_reuses += other.prefix_reuses;
     }
 }
 
@@ -109,19 +135,21 @@ pub trait SupportCounter: Sync {
     /// auto-detect, `1` = inline). Counts and stats are bit-identical to
     /// [`Self::count_batch`] for every thread count.
     ///
-    /// The default shards the **candidates** into contiguous chunks and
-    /// folds the per-shard stats in shard order — right for engines whose
-    /// per-candidate cost is independent (tidset, bitset). Engines with a
-    /// per-batch pass over the data override it (the scan engine shards
-    /// the **transactions** instead, so the pass is split rather than
-    /// duplicated per worker).
+    /// The default shards the **candidates** into contiguous chunks that
+    /// split only at prefix-group boundaries and folds the per-shard stats
+    /// in shard order — right for engines whose per-group cost is
+    /// independent (tidset, bitset): a prefix group is never torn across
+    /// two workers, so prefix reuse (and its statistics) survive
+    /// parallelism exactly. Engines with a per-batch pass over the data
+    /// override it (the scan engine shards the **transactions** instead, so
+    /// the pass is split rather than duplicated per worker).
     fn count_batch_sharded(
         &mut self,
         h: usize,
         candidates: &[Itemset],
         threads: usize,
     ) -> Vec<u64> {
-        candidate_sharded(self, h, candidates, threads)
+        group_sharded(self, h, candidates, threads)
     }
 
     /// Work statistics accumulated so far.
@@ -139,10 +167,103 @@ pub const MIN_SHARD_CANDIDATES: usize = 64;
 /// (tuned independently of the candidate-batch cutoff above).
 pub const MIN_SHARD_TXNS: usize = 64;
 
-/// The candidate-chunked sharding strategy backing the trait's default
+/// Whether two candidates belong to the same prefix group: equal size
+/// `k ≥ 2` and identical first `k−1` items. In the sorted, deduplicated
+/// batches the miner produces, groups are exactly the runs of adjacent
+/// candidates for which this holds.
+pub fn same_prefix_group(a: &Itemset, b: &Itemset) -> bool {
+    let k = a.len();
+    k >= 2 && b.len() == k && a.items()[..k - 1] == b.items()[..k - 1]
+}
+
+/// Split `candidates` into maximal runs of adjacent same-prefix candidates
+/// ([`same_prefix_group`]); candidates with `k < 2` form singleton groups.
+/// Works on any candidate order — an unsorted batch just yields smaller
+/// groups (less reuse, same counts).
+pub fn prefix_groups(candidates: &[Itemset]) -> impl Iterator<Item = Range<usize>> + '_ {
+    let mut start = 0usize;
+    std::iter::from_fn(move || {
+        if start >= candidates.len() {
+            return None;
+        }
+        let mut end = start + 1;
+        while end < candidates.len() && same_prefix_group(&candidates[end - 1], &candidates[end]) {
+            end += 1;
+        }
+        let r = start..end;
+        start = end;
+        Some(r)
+    })
+}
+
+/// Reusable double-buffered scratch for materializing `(k−1)`-prefix
+/// intersections: one pair of tid buffers swapped per intersection step,
+/// plus the shortest-first evaluation order. Allocated once per shard and
+/// reused across every group — the hot counting loop never allocates per
+/// candidate.
+#[derive(Default)]
+struct PrefixScratch {
+    acc: Vec<u32>,
+    next: Vec<u32>,
+    order: Vec<NodeId>,
+}
+
+impl PrefixScratch {
+    /// Intersect the tid-lists of `prefix_items` (≥ 2 items) into the
+    /// scratch accumulator, shortest list first, stopping early once the
+    /// running intersection empties. Returns the materialized prefix and
+    /// bumps `ops` by the number of pairwise intersections performed.
+    fn materialize<'s>(
+        &'s mut self,
+        lv: &LevelView,
+        prefix_items: &[NodeId],
+        ops: &mut u64,
+    ) -> &'s [u32] {
+        debug_assert!(prefix_items.len() >= 2);
+        self.order.clear();
+        self.order.extend_from_slice(prefix_items);
+        self.order.sort_unstable_by_key(|&it| lv.tidset(it).len());
+        intersect_into(
+            lv.tidset(self.order[0]),
+            lv.tidset(self.order[1]),
+            &mut self.acc,
+        );
+        *ops += 1;
+        for &it in &self.order[2..] {
+            if self.acc.is_empty() {
+                break;
+            }
+            intersect_into(&self.acc, lv.tidset(it), &mut self.next);
+            std::mem::swap(&mut self.acc, &mut self.next);
+            *ops += 1;
+        }
+        &self.acc
+    }
+}
+
+/// Reference kernel: the naive per-candidate k-way intersection the prefix
+/// cache replaced — every candidate collects its full tid-lists and
+/// intersects them from scratch. Kept as the ground truth for the
+/// equivalence sweeps and as the baseline the `quickbench` kernel rows
+/// measure the prefix-cached kernel against.
+pub fn naive_tidset_counts(view: &MultiLevelView, h: usize, candidates: &[Itemset]) -> Vec<u64> {
+    let lv = view.level(h);
+    candidates
+        .iter()
+        .map(|c| {
+            let lists: Vec<&[u32]> = c.items().iter().map(|&it| lv.tidset(it)).collect();
+            intersect_size_many(&lists)
+        })
+        .collect()
+}
+
+/// The group-boundary sharding strategy backing the trait's default
 /// [`SupportCounter::count_batch_sharded`]; also reused by engines that
-/// dispatch per level ([`crate::AutoCounter`]).
-pub(crate) fn candidate_sharded<C: SupportCounter + ?Sized>(
+/// dispatch per level ([`crate::AutoCounter`]). Chunks split only between
+/// prefix groups ([`crate::exec::map_group_chunks`]), so the grouped
+/// kernels do identical work — and report identical stats — at every
+/// thread count.
+pub(crate) fn group_sharded<C: SupportCounter + ?Sized>(
     counter: &mut C,
     h: usize,
     candidates: &[Itemset],
@@ -154,7 +275,9 @@ pub(crate) fn candidate_sharded<C: SupportCounter + ?Sized>(
     }
     let shards = {
         let shared = &*counter;
-        exec::map_slice_chunks(threads, candidates, |chunk| shared.count_shard(h, chunk))
+        exec::map_group_chunks(threads, candidates, same_prefix_group, |chunk| {
+            shared.count_shard(h, chunk)
+        })
     };
     let mut counts = Vec::with_capacity(candidates.len());
     let mut delta = CounterStats::default();
@@ -231,20 +354,48 @@ impl SupportCounter for TidsetCounter<'_> {
         self.view.level(h).present_items()
     }
 
+    /// Prefix-group kernel: per group of candidates sharing a
+    /// `(k−1)`-prefix, materialize the prefix intersection once (borrowed
+    /// directly from the view for `k = 2`, double-buffered scratch for
+    /// `k ≥ 3`), then answer every member with one size-only galloping
+    /// intersection against its last item's tid-list. No per-candidate
+    /// allocation; `intersections` counts the pairwise intersections
+    /// actually performed (members of an empty prefix cost none).
     fn count_shard(&self, h: usize, candidates: &[Itemset]) -> (Vec<u64>, CounterStats) {
         let lv = self.view.level(h);
         let mut stats = CounterStats {
             candidates_counted: candidates.len() as u64,
             ..CounterStats::default()
         };
-        let counts = candidates
-            .iter()
-            .map(|c| {
-                let lists: Vec<&[u32]> = c.items().iter().map(|&it| lv.tidset(it)).collect();
-                stats.intersections += lists.len().saturating_sub(1) as u64;
-                intersect_size_many(&lists)
-            })
-            .collect();
+        let mut counts = vec![0u64; candidates.len()];
+        let mut scratch = PrefixScratch::default();
+        for group in prefix_groups(candidates) {
+            let items = candidates[group.start].items();
+            let k = items.len();
+            if k == 0 {
+                continue; // empty itemsets count 0 transactions
+            }
+            if k == 1 {
+                for i in group {
+                    counts[i] = lv.tidset(candidates[i].items()[0]).len() as u64;
+                }
+                continue;
+            }
+            let prefix: &[u32] = if k == 2 {
+                lv.tidset(items[0])
+            } else {
+                stats.prefix_reuses += (group.len() - 1) as u64;
+                scratch.materialize(lv, &items[..k - 1], &mut stats.intersections)
+            };
+            if prefix.is_empty() {
+                continue; // all members count 0; no further intersections
+            }
+            for i in group {
+                stats.intersections += 1;
+                let last = *candidates[i].items().last().expect("k >= 2");
+                counts[i] = intersect_size(prefix, lv.tidset(last));
+            }
+        }
         (counts, stats)
     }
 
@@ -538,18 +689,21 @@ mod tests {
             subset_tests: 10,
             intersections: 3,
             candidates_counted: 7,
+            prefix_reuses: 5,
         };
         let b = CounterStats {
             db_scans: 2,
             subset_tests: 5,
             intersections: 11,
             candidates_counted: 13,
+            prefix_reuses: 0,
         };
         let c = CounterStats {
             db_scans: 4,
             subset_tests: 1,
             intersections: 0,
             candidates_counted: 2,
+            prefix_reuses: 9,
         };
         // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
         let mut left = a;
@@ -567,6 +721,7 @@ mod tests {
         // Totals are sums.
         assert_eq!(left.db_scans, 7);
         assert_eq!(left.candidates_counted, 22);
+        assert_eq!(left.prefix_reuses, 14);
     }
 
     /// Sharded counting is bit-identical to sequential counting — counts
@@ -633,6 +788,170 @@ mod tests {
         let mut sc = ScanCounter::new(&view);
         assert!(sc.count_batch_sharded(3, &empty, 8).is_empty());
         assert_eq!(sc.stats(), CounterStats::default());
+    }
+
+    #[test]
+    fn prefix_groups_split_on_prefix_and_length() {
+        let s = |v: &[usize]| Itemset::new(v.iter().map(|&i| NodeId::from_index(i)).collect());
+        // Three k=3 candidates sharing {1,2}, one with prefix {1,3}, two
+        // pairs with first item 7, one singleton.
+        let batch = vec![
+            s(&[1, 2, 4]),
+            s(&[1, 2, 5]),
+            s(&[1, 2, 9]),
+            s(&[1, 3, 4]),
+            s(&[7, 8]),
+            s(&[7, 9]),
+            s(&[11]),
+        ];
+        let groups: Vec<_> = prefix_groups(&batch).collect();
+        assert_eq!(groups, vec![0..3, 3..4, 4..6, 6..7]);
+        // Singleton k<2 groups never merge, even when "prefixes" agree.
+        let singles = vec![s(&[1]), s(&[1]), s(&[2])];
+        assert_eq!(prefix_groups(&singles).count(), 3);
+        // Empty batch: no groups.
+        assert_eq!(prefix_groups(&[]).count(), 0);
+    }
+
+    /// The grouped kernels agree with the naive per-candidate reference on
+    /// batches with degenerate group shapes: all-same-prefix, all-distinct
+    /// prefixes, k = 2, and mixed sizes.
+    #[test]
+    fn grouped_kernels_match_naive_on_degenerate_groups() {
+        let tax = Taxonomy::uniform(3, 3, 2).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = Xoshiro256pp::seed_from_u64(0x9F0F);
+        let rows: Vec<Vec<NodeId>> = (0..180)
+            .map(|_| {
+                let w = rng.gen_range(2..=7);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::new(rows).unwrap();
+        let view = MultiLevelView::build(&db, &tax);
+        let nodes = tax.nodes_at_level(2).unwrap().to_vec();
+        // All-same-prefix: {n0, n1, x} for every other x.
+        let same_prefix: Vec<Itemset> = nodes[2..]
+            .iter()
+            .map(|&x| Itemset::new(vec![nodes[0], nodes[1], x]))
+            .collect();
+        // All-distinct prefixes: consecutive triples.
+        let distinct: Vec<Itemset> = (0..nodes.len() - 2)
+            .map(|i| Itemset::new(vec![nodes[i], nodes[i + 1], nodes[i + 2]]))
+            .collect();
+        // k = 2 and mixed-size batches.
+        let pairs: Vec<Itemset> = (0..nodes.len() - 1)
+            .map(|i| Itemset::pair(nodes[i], nodes[i + 1]))
+            .collect();
+        let mut mixed: Vec<Itemset> = Vec::new();
+        mixed.push(Itemset::single(nodes[0]));
+        mixed.extend(pairs.iter().cloned());
+        mixed.extend(same_prefix.iter().cloned());
+        mixed.sort_unstable();
+        for batch in [&same_prefix, &distinct, &pairs, &mixed] {
+            let expect = naive_tidset_counts(&view, 2, batch);
+            for engine in [CountingEngine::Tidset, CountingEngine::Bitset] {
+                let mut c = engine.make(&view);
+                assert_eq!(
+                    c.count_batch(2, batch),
+                    expect,
+                    "{} disagrees with the naive reference",
+                    c.engine_name()
+                );
+            }
+        }
+    }
+
+    /// Reuse accounting: one group of g same-prefix k=3 candidates costs
+    /// one materialized prefix (k−2 = 1 intersection) plus one size-only
+    /// intersection per member, and reports g−1 prefix reuses; the naive
+    /// kernel would have charged g·(k−1).
+    #[test]
+    fn prefix_reuse_stats_accounting() {
+        let tax = Taxonomy::uniform(3, 3, 2).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = Xoshiro256pp::seed_from_u64(0xACC1);
+        let rows: Vec<Vec<NodeId>> = (0..120)
+            .map(|_| {
+                let w = rng.gen_range(3..=6);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::new(rows).unwrap();
+        let view = MultiLevelView::build(&db, &tax);
+        let nodes = tax.nodes_at_level(2).unwrap().to_vec();
+        let batch: Vec<Itemset> = nodes[2..]
+            .iter()
+            .map(|&x| Itemset::new(vec![nodes[0], nodes[1], x]))
+            .collect();
+        let g = batch.len() as u64;
+        let mut tc = TidsetCounter::new(&view);
+        tc.count_batch(2, &batch);
+        assert_eq!(tc.stats().prefix_reuses, g - 1);
+        // {n0, n1} co-occur in this dense random data, so the prefix is
+        // non-empty and every member costs exactly one intersection.
+        assert_eq!(tc.stats().intersections, 1 + g);
+        // Pairs cache nothing: zero reuses, one intersection per pair.
+        let mut tc = TidsetCounter::new(&view);
+        tc.count_batch(
+            2,
+            &batch
+                .iter()
+                .map(|c| Itemset::pair(c.items()[0], c.items()[1]))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(tc.stats().prefix_reuses, 0);
+    }
+
+    /// Group-boundary sharding: stats (not just counts) are identical at
+    /// every thread count even when the batch is dominated by one giant
+    /// prefix group that an even candidate split would tear apart.
+    #[test]
+    fn group_sharding_keeps_stats_invariant_across_threads() {
+        let tax = Taxonomy::uniform(3, 3, 2).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = Xoshiro256pp::seed_from_u64(0x51AB);
+        let rows: Vec<Vec<NodeId>> = (0..150)
+            .map(|_| {
+                let w = rng.gen_range(2..=6);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::new(rows).unwrap();
+        let view = MultiLevelView::build(&db, &tax);
+        let nodes = tax.nodes_at_level(2).unwrap().to_vec();
+        // One giant same-prefix group followed by distinct-prefix filler,
+        // repeated until well past the sharding cutoff.
+        let mut batch: Vec<Itemset> = Vec::new();
+        while batch.len() < 4 * MIN_SHARD_CANDIDATES {
+            for &x in &nodes[2..] {
+                batch.push(Itemset::new(vec![nodes[0], nodes[1], x]));
+            }
+            for i in 0..nodes.len() - 2 {
+                batch.push(Itemset::new(vec![nodes[i], nodes[i + 1], nodes[i + 2]]));
+            }
+        }
+        for engine in [CountingEngine::Tidset, CountingEngine::Bitset] {
+            let mut seq = engine.make(&view);
+            let expect = seq.count_batch(2, &batch);
+            assert_eq!(expect, naive_tidset_counts(&view, 2, &batch));
+            for threads in [2usize, 3, 5, 7] {
+                let mut par = engine.make(&view);
+                assert_eq!(par.count_batch_sharded(2, &batch, threads), expect);
+                assert_eq!(
+                    par.stats(),
+                    seq.stats(),
+                    "{} stats diverge at threads={threads}",
+                    par.engine_name()
+                );
+            }
+        }
     }
 
     #[test]

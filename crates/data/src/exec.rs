@@ -59,21 +59,14 @@ pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Run `f` over the chunk ranges of `0..n` and return one result per chunk,
-/// **in chunk order**. With one chunk (or `threads <= 1`) everything runs on
-/// the calling thread; otherwise the first chunk runs on the calling thread
-/// while the remaining chunks each get a scoped worker — exactly `threads`
-/// runnable threads, no oversubscription by the blocked caller.
-///
-/// # Panics
-/// Propagates panics from worker threads.
-pub fn map_chunks<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+/// Run `f` over the given ranges and return one result per range, **in
+/// range order**. The first range runs on the calling thread while the
+/// remaining ranges each get a scoped worker.
+fn run_ranges<R, F>(mut ranges: Vec<Range<usize>>, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
-    let threads = effective_threads(threads);
-    let mut ranges = chunk_ranges(n, threads);
     if ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
     }
@@ -90,6 +83,81 @@ where
         );
         out
     })
+}
+
+/// Run `f` over the chunk ranges of `0..n` and return one result per chunk,
+/// **in chunk order**. With one chunk (or `threads <= 1`) everything runs on
+/// the calling thread; otherwise the first chunk runs on the calling thread
+/// while the remaining chunks each get a scoped worker — exactly `threads`
+/// runnable threads, no oversubscription by the blocked caller.
+///
+/// # Panics
+/// Propagates panics from worker threads.
+pub fn map_chunks<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = effective_threads(threads);
+    run_ranges(chunk_ranges(n, threads), f)
+}
+
+/// Split `0..n` into at most `chunks` contiguous ranges like
+/// [`chunk_ranges`], but only ever cutting **between groups**: positions `i`
+/// where `same_group(i - 1, i)` is false. Each proposed even cut is snapped
+/// forward to the next group boundary, so a group of adjacent equivalent
+/// items is never split across two ranges (ranges may collapse when groups
+/// are large; fewer, bigger ranges are returned then). Never returns an
+/// empty range, and the ranges always cover `0..n` exactly.
+pub fn group_chunk_ranges<B>(n: usize, chunks: usize, same_group: B) -> Vec<Range<usize>>
+where
+    B: Fn(usize, usize) -> bool,
+{
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for r in chunk_ranges(n, chunks) {
+        let mut end = r.end;
+        while end < n && same_group(end - 1, end) {
+            end += 1;
+        }
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Shard a slice into contiguous chunks that never split a group of
+/// adjacent items for which `same_group(&items[i - 1], &items[i])` holds,
+/// and run `f` over each chunk, returning one result per chunk in order.
+///
+/// This is the sharding primitive behind prefix-cached support counting:
+/// candidates sharing a `(k−1)`-prefix stay in one shard, so a kernel that
+/// materializes per-group state (a prefix intersection) does exactly the
+/// same work — and reports exactly the same statistics — at every thread
+/// count.
+///
+/// # Panics
+/// Propagates panics from worker threads.
+pub fn map_group_chunks<'a, T, R, F, B>(
+    threads: usize,
+    items: &'a [T],
+    same_group: B,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+    B: Fn(&T, &T) -> bool,
+{
+    let threads = effective_threads(threads);
+    let ranges = group_chunk_ranges(items.len(), threads, |a, b| {
+        same_group(&items[a], &items[b])
+    });
+    run_ranges(ranges, |r| f(&items[r]))
 }
 
 /// Shard a slice into contiguous chunks and run `f` over each, returning one
@@ -151,6 +219,62 @@ mod tests {
                 .into_iter()
                 .sum();
             assert_eq!(total, expect);
+        }
+    }
+
+    #[test]
+    fn group_chunk_ranges_never_split_groups() {
+        // Items with group keys; groups are runs of equal keys.
+        let keys = [0u32, 0, 0, 1, 1, 2, 3, 3, 3, 3, 4, 5, 5, 6];
+        let same = |a: usize, b: usize| keys[a] == keys[b];
+        for chunks in [1usize, 2, 3, 5, 14, 40] {
+            let ranges = group_chunk_ranges(keys.len(), chunks, same);
+            // Cover exactly, in order, never empty.
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, keys.len());
+            assert!(ranges.len() <= chunks.max(1));
+            // No cut falls inside a group.
+            for r in &ranges {
+                if r.end < keys.len() {
+                    assert_ne!(keys[r.end - 1], keys[r.end], "chunks={chunks}: split group");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_chunk_ranges_degenerate_groups() {
+        // One giant group: a single range regardless of the chunk request.
+        let ranges = group_chunk_ranges(100, 8, |_, _| true);
+        assert_eq!(ranges, vec![0..100]);
+        // All-distinct groups: identical to the plain even split.
+        let ranges = group_chunk_ranges(100, 8, |_, _| false);
+        assert_eq!(ranges, chunk_ranges(100, 8));
+        // Empty input.
+        assert!(group_chunk_ranges(0, 4, |_, _| true).is_empty());
+    }
+
+    #[test]
+    fn map_group_chunks_preserves_order_and_groups() {
+        let items: Vec<u32> = (0..200).map(|i| i / 7).collect(); // groups of 7
+        for threads in [1usize, 2, 4, 7] {
+            let per_chunk =
+                map_group_chunks(threads, &items, |a, b| a == b, |chunk| chunk.to_vec());
+            // Concatenation is the identity.
+            let flat: Vec<u32> = per_chunk.iter().flatten().copied().collect();
+            assert_eq!(flat, items, "threads={threads}");
+            // Chunk edges coincide with group edges.
+            for chunk in &per_chunk {
+                assert!(!chunk.is_empty());
+            }
+            for w in per_chunk.windows(2) {
+                assert_ne!(w[0].last(), w[1].first(), "threads={threads}: split group");
+            }
         }
     }
 

@@ -57,7 +57,8 @@ mod transaction;
 pub use auto::AutoCounter;
 pub use bitset::{Bitmap, BitsetCounter};
 pub use counting::{
-    CounterStats, CountingEngine, ScanCounter, SupportCounter, TidsetCounter, MIN_SHARD_CANDIDATES,
+    naive_tidset_counts, prefix_groups, same_prefix_group, CounterStats, CountingEngine,
+    ScanCounter, SupportCounter, TidsetCounter, MIN_SHARD_CANDIDATES,
 };
 pub use itemset::Itemset;
 pub use projection::{LevelView, MultiLevelView, MultiLevelViewBuilder};

@@ -22,6 +22,17 @@ pub fn intersect_size(a: &[u32], b: &[u32]) -> u64 {
 /// Intersection of two sorted tid lists, materialized.
 pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_into(a, b, &mut out);
+    out
+}
+
+/// Intersection of two sorted tid lists, written into `out` (cleared
+/// first). The allocation-free core of [`intersect`]: reusing one output
+/// buffer across many intersections keeps a hot counting loop from
+/// allocating per group.
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -34,7 +45,6 @@ pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
             }
         }
     }
-    out
 }
 
 fn merge_intersect_size(a: &[u32], b: &[u32]) -> u64 {
@@ -180,6 +190,7 @@ mod tests {
     #[test]
     fn intersect_size_matches_naive() {
         let mut rng = Xoshiro256pp::seed_from_u64(0xA11CE);
+        let mut buf = Vec::new();
         for _ in 0..256 {
             let a = sorted_set(&mut rng);
             let b = sorted_set(&mut rng);
@@ -187,6 +198,10 @@ mod tests {
             assert_eq!(intersect_size(&a, &b), naive);
             assert_eq!(intersect_size(&b, &a), naive);
             assert_eq!(intersect(&a, &b).len() as u64, naive);
+            // The buffer-reusing form agrees and fully overwrites stale
+            // contents from the previous iteration.
+            intersect_into(&a, &b, &mut buf);
+            assert_eq!(buf, intersect(&a, &b));
         }
     }
 

@@ -5,11 +5,15 @@
 # miss):
 #
 #   * the engine/thread equivalence suite,
+#   * the prefix-group counting sweep (grouped kernels bit-identical to the
+#     naive per-candidate reference, counts and stats, at every thread
+#     count),
 #   * the FBIN storage suite (text↔fbin round-trip idempotence, streamed-
 #     vs-loaded mining equivalence, truncation/corruption behavior),
-#   * a few-second `quickbench --smoke` running the engine × threads grid
-#     and the storage IO rows, so a mis-wired engine, a perf cliff or a
-#     broken format fails loudly.
+#   * a few-second `quickbench --smoke` running the engine × threads grid,
+#     the counting-kernel rows and the storage IO rows, so a mis-wired
+#     engine, a perf cliff or a broken format fails loudly; `--json` writes
+#     the machine-readable BENCH_smoke.json baseline.
 #
 #   ./scripts/verify.sh
 #
@@ -29,11 +33,14 @@ cargo test -q
 echo "== execution layer: equivalence suite under --release"
 cargo test --release -q -p flipper-integration --test equivalence
 
+echo "== counting kernels: prefix-group equivalence sweep under --release"
+cargo test --release -q -p flipper-integration --test prefix_groups
+
 echo "== storage: fbin round-trip + streamed-vs-loaded equivalence under --release"
 cargo test --release -q -p flipper-integration --test store_roundtrip
 
-echo "== execution layer + storage: quickbench --smoke"
-cargo run --release -q --bin quickbench -- --smoke
+echo "== execution layer + storage: quickbench --smoke (writes BENCH_smoke.json)"
+cargo run --release -q --bin quickbench -- --smoke --json BENCH_smoke.json
 set +e
 
 echo "== advisory: cargo clippy --all-targets -- -D warnings (non-blocking)"
