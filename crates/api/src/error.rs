@@ -1,0 +1,202 @@
+//! The one error type every fallible façade path returns.
+//!
+//! The pre-façade surface leaked a different error story per layer —
+//! `FormatError` from the text parser, `StoreError` from FBIN,
+//! `Result<_, String>` from the CLI. [`FlipperError`] unifies them: each
+//! variant is either a typed wrapper around a layer error (preserving it via
+//! [`std::error::Error::source`]) or one of the two façade-level categories,
+//! configuration ([`FlipperError::Config`]) and caller misuse
+//! ([`FlipperError::Usage`]). Frontends map variants to exit codes or HTTP
+//! statuses with one `match` — no string inspection anywhere.
+
+use flipper_core::ConfigError;
+use flipper_data::format::FormatError;
+use flipper_data::DataError;
+use flipper_store::StoreError;
+use flipper_taxonomy::TaxonomyError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure of the flipper façade.
+#[derive(Debug)]
+pub enum FlipperError {
+    /// Underlying I/O failure, with the path or operation it happened on.
+    Io {
+        /// What was being done (`"open data.fbin"`, `"write report.json"`).
+        context: String,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
+    /// Structural problem in a text dataset, with a 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// FBIN storage-layer failure (bad magic, truncation, bit rot, …).
+    Store(StoreError),
+    /// Taxonomy construction or validation failure.
+    Taxonomy(TaxonomyError),
+    /// Transaction-database construction failure.
+    Data(DataError),
+    /// The mining configuration violates an invariant.
+    Config(ConfigError),
+    /// The caller asked for something the API cannot do — a malformed flag,
+    /// an unknown name, a request that needs state the session does not
+    /// hold. CLIs conventionally map this to exit code 2.
+    Usage(String),
+}
+
+impl FlipperError {
+    /// Build an [`FlipperError::Io`] with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        FlipperError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Build an [`FlipperError::Usage`] from anything displayable.
+    pub fn usage(message: impl Into<String>) -> Self {
+        FlipperError::Usage(message.into())
+    }
+
+    /// The conventional process exit code for this error: `2` for usage
+    /// errors (matching `grep`, `diff` and friends), `1` for everything
+    /// else (I/O, data, configuration).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            FlipperError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Render `self` and its full [`source`](Error::source) chain, one
+    /// `caused by:` line per link — the diagnostic format the CLI prints.
+    pub fn render_chain(&self) -> String {
+        let mut out = format!("error: {self}");
+        let mut cause = self.source();
+        while let Some(e) = cause {
+            out.push_str(&format!("\n  caused by: {e}"));
+            cause = e.source();
+        }
+        out
+    }
+}
+
+impl fmt::Display for FlipperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlipperError::Io { context, source } => write!(f, "{context}: {source}"),
+            FlipperError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            FlipperError::Store(_) => write!(f, "storage error"),
+            FlipperError::Taxonomy(_) => write!(f, "taxonomy error"),
+            FlipperError::Data(_) => write!(f, "data error"),
+            FlipperError::Config(_) => write!(f, "invalid mining configuration"),
+            FlipperError::Usage(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl Error for FlipperError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlipperError::Io { source, .. } => Some(source),
+            FlipperError::Store(e) => Some(e),
+            FlipperError::Taxonomy(e) => Some(e),
+            FlipperError::Data(e) => Some(e),
+            FlipperError::Config(e) => Some(e),
+            FlipperError::Parse { .. } | FlipperError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for FlipperError {
+    fn from(e: StoreError) -> Self {
+        FlipperError::Store(e)
+    }
+}
+
+impl From<TaxonomyError> for FlipperError {
+    fn from(e: TaxonomyError) -> Self {
+        FlipperError::Taxonomy(e)
+    }
+}
+
+impl From<DataError> for FlipperError {
+    fn from(e: DataError) -> Self {
+        FlipperError::Data(e)
+    }
+}
+
+impl From<ConfigError> for FlipperError {
+    fn from(e: ConfigError) -> Self {
+        FlipperError::Config(e)
+    }
+}
+
+impl From<FormatError> for FlipperError {
+    fn from(e: FormatError) -> Self {
+        match e {
+            FormatError::Io(e) => FlipperError::io("reading text dataset", e),
+            FormatError::Parse { line, message } => FlipperError::Parse { line, message },
+            FormatError::Taxonomy(e) => FlipperError::Taxonomy(e),
+            FormatError::Data(e) => FlipperError::Data(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_convention() {
+        assert_eq!(FlipperError::usage("bad flag").exit_code(), 2);
+        assert_eq!(
+            FlipperError::io("open x", std::io::Error::other("gone")).exit_code(),
+            1
+        );
+        assert_eq!(
+            FlipperError::from(ConfigError::EmptySupports).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn source_chain_is_preserved() {
+        let e = FlipperError::from(StoreError::BadMagic(*b"NOPE"));
+        let chain = e.render_chain();
+        assert!(chain.starts_with("error: storage error"));
+        assert!(chain.contains("caused by:"));
+        assert!(chain.contains("FBIN"), "inner error surfaces: {chain}");
+
+        let e = FlipperError::usage("unknown subcommand");
+        assert!(e.source().is_none());
+        assert_eq!(e.render_chain(), "error: unknown subcommand");
+    }
+
+    #[test]
+    fn format_errors_map_by_variant() {
+        let e: FlipperError = FormatError::Parse {
+            line: 7,
+            message: "bad".into(),
+        }
+        .into();
+        assert!(matches!(e, FlipperError::Parse { line: 7, .. }));
+        assert_eq!(e.to_string(), "line 7: bad");
+
+        let e: FlipperError = FormatError::Io(std::io::Error::other("disk")).into();
+        assert!(matches!(e, FlipperError::Io { .. }));
+        assert!(e.render_chain().contains("disk"));
+    }
+
+    #[test]
+    fn config_errors_read_well() {
+        let e: FlipperError = ConfigError::BadSupportFraction(1.5).into();
+        let chain = e.render_chain();
+        assert!(chain.contains("invalid mining configuration"));
+        assert!(chain.contains("1.5"));
+    }
+}

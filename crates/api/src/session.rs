@@ -1,0 +1,282 @@
+//! The session: ingest once, mine many times.
+
+use crate::error::FlipperError;
+use crate::source::DataSource;
+use crate::sweep::Sweep;
+use flipper_core::stability::{bootstrap_stability, StabilityReport};
+use flipper_core::topk::{top_k_with_view, TopKConfig, TopKResult};
+use flipper_core::{mine_with_view, FlipperConfig, MiningResult};
+use flipper_data::{MultiLevelView, TransactionDb};
+use flipper_taxonomy::Taxonomy;
+
+/// A mining session over one ingested dataset.
+///
+/// Opening a session pays the ingestion cost — parsing or streaming the
+/// source and projecting it to every abstraction level — exactly once; the
+/// cached [`MultiLevelView`] then serves any number of [`mine`](Session::mine)
+/// calls with different configurations. Results are bit-identical to the
+/// single-shot [`flipper_core::mine`] / [`flipper_core::mine_with_view`]
+/// paths: `mine` is a thin delegation over the same view type.
+///
+/// ```
+/// use flipper_api::{Generator, Session, FlipperConfig, MinSupports, PruningConfig};
+/// use flipper_datagen::planted::PlantedParams;
+///
+/// let session = Session::open(Generator::Planted(PlantedParams::default()))?;
+/// let cfg = FlipperConfig {
+///     min_support: MinSupports::Counts(vec![5]),
+///     ..Default::default()
+/// };
+/// // Two runs over one ingestion: full pruning vs the baseline.
+/// let full = session.mine(&cfg)?;
+/// let basic = session.mine(&cfg.clone().with_pruning(PruningConfig::BASIC))?;
+/// assert_eq!(full.patterns, basic.patterns);
+/// # Ok::<(), flipper_api::FlipperError>(())
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    taxonomy: Taxonomy,
+    view: MultiLevelView,
+    database: Option<TransactionDb>,
+    origin: String,
+}
+
+impl Session {
+    /// Open a session by ingesting `source` sequentially. Use
+    /// [`open_with_threads`](Session::open_with_threads) to shard the
+    /// ingestion-time projection over workers.
+    pub fn open(source: impl DataSource) -> Result<Session, FlipperError> {
+        Session::open_with_threads(source, 1)
+    }
+
+    /// Open a session, sharding ingestion over `threads` scoped workers
+    /// (`0` = auto-detect, `1` = sequential). The cached view is
+    /// bit-identical at every thread count.
+    pub fn open_with_threads(
+        source: impl DataSource,
+        threads: usize,
+    ) -> Result<Session, FlipperError> {
+        let ingested = source.ingest(threads)?;
+        Ok(Session {
+            taxonomy: ingested.taxonomy,
+            view: ingested.view,
+            database: ingested.database,
+            origin: ingested.origin,
+        })
+    }
+
+    /// Open a session on a dataset file, format-sniffed by magic bytes
+    /// (shorthand for [`PathSource`](crate::PathSource)).
+    pub fn open_path(path: impl Into<std::path::PathBuf>) -> Result<Session, FlipperError> {
+        Session::open(crate::PathSource::new(path))
+    }
+
+    /// The dataset taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The cached multi-level projection.
+    pub fn view(&self) -> &MultiLevelView {
+        &self.view
+    }
+
+    /// The raw transaction database, when the source materialized one
+    /// (`None` after streamed FBIN ingestion).
+    pub fn database(&self) -> Option<&TransactionDb> {
+        self.database.as_ref()
+    }
+
+    /// Human-readable description of where the data came from.
+    pub fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// Number of ingested transactions.
+    pub fn num_transactions(&self) -> usize {
+        self.view.num_transactions()
+    }
+
+    /// Mine flipping patterns under `cfg` against the cached view.
+    ///
+    /// Validates the configuration first ([`FlipperConfig::validate`]) so a
+    /// malformed request surfaces as a typed [`FlipperError::Config`]
+    /// instead of a panic deep inside the miner.
+    pub fn mine(&self, cfg: &FlipperConfig) -> Result<MiningResult, FlipperError> {
+        cfg.validate()?;
+        Ok(mine_with_view(&self.taxonomy, &self.view, cfg))
+    }
+
+    /// Top-K most-flipping search ([`flipper_core::topk`]) over the cached
+    /// view — works even when the session was ingested by streaming.
+    ///
+    /// Both the base configuration and the search knobs are validated up
+    /// front, so a malformed request surfaces as a typed error instead of
+    /// a panic inside the search.
+    pub fn top_k(&self, cfg: &TopKConfig) -> Result<TopKResult, FlipperError> {
+        // The search derives (γ, ε) per probe and discards base.thresholds,
+        // so validate the base with them neutralized — a caller who left
+        // garbage in the overridden field is not rejected for it.
+        let mut base_check = cfg.base.clone();
+        base_check.thresholds = flipper_measures::Thresholds::default();
+        base_check.validate()?;
+        cfg.validate()
+            .map_err(|e| FlipperError::usage(format!("top-k search: {e}")))?;
+        Ok(top_k_with_view(&self.taxonomy, &self.view, cfg))
+    }
+
+    /// Bootstrap stability screening ([`flipper_core::stability`]): resample
+    /// the database `rounds` times and report how often each pattern
+    /// reappears.
+    ///
+    /// Resampling needs the materialized [`TransactionDb`]; a session
+    /// ingested from an FBIN stream reports [`FlipperError::Usage`].
+    pub fn stability(
+        &self,
+        cfg: &FlipperConfig,
+        rounds: usize,
+        seed: u64,
+    ) -> Result<StabilityReport, FlipperError> {
+        cfg.validate()?;
+        let db = self.database.as_ref().ok_or_else(|| {
+            FlipperError::usage(
+                "bootstrap stability resamples the raw database, but this session \
+                 was ingested by streaming and never materialized it; open the \
+                 session from a text file or an in-memory dataset instead",
+            )
+        })?;
+        Ok(bootstrap_stability(&self.taxonomy, db, cfg, rounds, seed))
+    }
+
+    /// Start building a parameter [`Sweep`] over this session.
+    pub fn sweep(&self) -> Sweep<'_> {
+        Sweep::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Generator;
+    use flipper_core::{mine, MinSupports};
+    use flipper_datagen::planted::PlantedParams;
+
+    fn planted_session() -> (flipper_datagen::planted::PlantedData, Session) {
+        let data = flipper_datagen::planted::generate(&PlantedParams::default());
+        let session = Session::open(&data).unwrap();
+        (data, session)
+    }
+
+    fn counts_cfg() -> FlipperConfig {
+        FlipperConfig {
+            min_support: MinSupports::Counts(vec![5]),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mine_matches_single_shot_paths() {
+        let (data, session) = planted_session();
+        let cfg = counts_cfg();
+        let via_session = session.mine(&cfg).unwrap();
+        let via_mine = mine(&data.taxonomy, &data.db, &cfg);
+        let via_view = mine_with_view(&data.taxonomy, session.view(), &cfg);
+        assert_eq!(via_session.patterns, via_mine.patterns);
+        assert_eq!(via_session.patterns, via_view.patterns);
+        assert_eq!(via_session.cells, via_mine.cells);
+        assert_eq!(session.num_transactions(), data.db.len());
+    }
+
+    #[test]
+    fn repeated_mines_reuse_one_ingestion() {
+        let (_, session) = planted_session();
+        let cfg = counts_cfg();
+        let first = session.mine(&cfg).unwrap();
+        let second = session.mine(&cfg).unwrap();
+        assert_eq!(first.patterns, second.patterns);
+    }
+
+    #[test]
+    fn bad_config_is_a_typed_error_not_a_panic() {
+        let (_, session) = planted_session();
+        let mut cfg = counts_cfg();
+        cfg.min_support = MinSupports::Fractions(vec![]);
+        let err = session.mine(&cfg).unwrap_err();
+        assert!(matches!(err, FlipperError::Config(_)));
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn top_k_works_on_streamed_sessions() {
+        let data = flipper_datagen::planted::generate(&PlantedParams {
+            background_txns: 0,
+            ..Default::default()
+        });
+        let fbin = flipper_store::to_fbin_bytes(&flipper_data::format::Dataset {
+            taxonomy: data.taxonomy.clone(),
+            db: data.db.clone(),
+        })
+        .unwrap();
+        let session = Session::open(crate::FbinSource::new(&fbin[..])).unwrap();
+        assert!(session.database().is_none());
+        let r = session
+            .top_k(&TopKConfig {
+                k: 2,
+                base: counts_cfg(),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(r.patterns.len(), 2);
+        // …but stability needs the materialized db.
+        let err = session.stability(&counts_cfg(), 3, 7).unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn bad_topk_knobs_are_typed_errors_not_panics() {
+        let (_, session) = planted_session();
+        for bad in [
+            TopKConfig {
+                k: 0,
+                base: counts_cfg(),
+                ..Default::default()
+            },
+            TopKConfig {
+                gamma_start: 0.1,
+                gamma_floor: 0.5,
+                base: counts_cfg(),
+                ..Default::default()
+            },
+            TopKConfig {
+                gamma_step: 1.5,
+                base: counts_cfg(),
+                ..Default::default()
+            },
+        ] {
+            let err = session.top_k(&bad).unwrap_err();
+            assert!(matches!(err, FlipperError::Usage(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn open_with_threads_caches_an_identical_view() {
+        let data = flipper_datagen::planted::generate(&PlantedParams::default());
+        let sequential = Session::open(&data).unwrap();
+        for threads in [2usize, 4] {
+            let sharded = Session::open_with_threads(&data, threads).unwrap();
+            assert_eq!(sharded.view(), sequential.view(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stability_runs_on_materialized_sessions() {
+        let session = Session::open(Generator::Planted(PlantedParams {
+            background_txns: 0,
+            ..PlantedParams::default()
+        }))
+        .unwrap();
+        let report = session.stability(&counts_cfg(), 3, 7).unwrap();
+        assert_eq!(report.rounds, 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! Parameter sweeps: many labeled configurations against one session.
+//!
+//! Tuning γ/ε, comparing pruning variants and benchmarking engine × thread
+//! matrices all used to be hand-rolled loops that re-ingested the dataset
+//! per point. A [`Sweep`] runs any number of [`FlipperConfig`]s against the
+//! session's one cached view, sharding *runs* (not just candidate batches)
+//! over `flipper_data::exec` workers, and returns labeled results in
+//! submission order — each bit-identical to calling
+//! [`Session::mine`](crate::Session::mine) with that configuration alone.
+
+use crate::error::FlipperError;
+use crate::session::Session;
+use flipper_core::{mine_with_view, FlipperConfig, MiningResult, PruningConfig};
+use flipper_data::{exec, CountingEngine};
+use flipper_measures::Thresholds;
+
+/// One γ/ε grid point: `Some((label, thresholds))` when the pair satisfies
+/// the paper's `ε < γ` constraint, `None` otherwise. The single source of
+/// the grid skip rule and the `g{γ}/e{ε}` label format — shared by
+/// [`Sweep::thresholds_grid`] and the CLI `sweep` subcommand so their
+/// machine-readable labels can never diverge.
+pub fn threshold_point(gamma: f64, epsilon: f64) -> Option<(String, Thresholds)> {
+    (epsilon < gamma).then(|| {
+        (
+            format!("g{gamma}/e{epsilon}"),
+            Thresholds { gamma, epsilon },
+        )
+    })
+}
+
+/// One completed sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The label attached when the point was added.
+    pub label: String,
+    /// The exact configuration that ran.
+    pub config: FlipperConfig,
+    /// Its mining result.
+    pub result: MiningResult,
+}
+
+/// Builder for a labeled set of mining runs over one [`Session`].
+///
+/// Points are added either individually ([`add`](Sweep::add)) or through
+/// the grid helpers; [`run`](Sweep::run) validates every configuration up
+/// front, executes them (optionally in parallel), and returns one
+/// [`SweepRun`] per point in submission order.
+///
+/// ```
+/// use flipper_api::{Generator, Session, FlipperConfig, MinSupports};
+/// use flipper_datagen::planted::PlantedParams;
+///
+/// let session = Session::open(Generator::Planted(PlantedParams::default()))?;
+/// let base = FlipperConfig {
+///     min_support: MinSupports::Counts(vec![5]),
+///     ..Default::default()
+/// };
+/// let runs = session
+///     .sweep()
+///     .pruning_variants(&base)
+///     .run()?;
+/// assert_eq!(runs.len(), 4);
+/// // Every variant finds the same planted patterns.
+/// assert!(runs.windows(2).all(|w| w[0].result.patterns == w[1].result.patterns));
+/// # Ok::<(), flipper_api::FlipperError>(())
+/// ```
+#[derive(Debug)]
+pub struct Sweep<'s> {
+    session: &'s Session,
+    points: Vec<(String, FlipperConfig)>,
+    jobs: usize,
+}
+
+impl<'s> Sweep<'s> {
+    /// Start an empty sweep over `session` (usually via
+    /// [`Session::sweep`](crate::Session::sweep)).
+    pub fn new(session: &'s Session) -> Self {
+        Sweep {
+            session,
+            points: Vec::new(),
+            jobs: 1,
+        }
+    }
+
+    /// Shard the sweep's *runs* over `jobs` scoped workers (`0` =
+    /// auto-detect, `1` = sequential). Independent of each run's own
+    /// `cfg.threads`; prefer run-level parallelism for grids of many small
+    /// runs and config-level threads for few large ones.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Add one labeled configuration.
+    pub fn add(mut self, label: impl Into<String>, config: FlipperConfig) -> Self {
+        self.points.push((label.into(), config));
+        self
+    }
+
+    /// Add the γ × ε grid over `base`: one point per pair with
+    /// `epsilon < gamma` (invalid pairs are skipped — a rectangular grid
+    /// over the paper's `0 ≤ ε < γ ≤ 1` constraint is always triangular),
+    /// labeled `g{γ}/e{ε}`.
+    pub fn thresholds_grid(
+        mut self,
+        base: &FlipperConfig,
+        gammas: &[f64],
+        epsilons: &[f64],
+    ) -> Self {
+        for &gamma in gammas {
+            for &epsilon in epsilons {
+                if let Some((label, thresholds)) = threshold_point(gamma, epsilon) {
+                    let mut cfg = base.clone();
+                    cfg.thresholds = thresholds;
+                    self.points.push((label, cfg));
+                }
+            }
+        }
+        self
+    }
+
+    /// Add all four cumulative pruning variants over `base`, labeled by
+    /// [`PruningConfig::name`] (`basic`, `flipping`, …).
+    pub fn pruning_variants(mut self, base: &FlipperConfig) -> Self {
+        for pruning in PruningConfig::VARIANTS {
+            let mut cfg = base.clone();
+            cfg.pruning = pruning;
+            self.points.push((pruning.name().to_string(), cfg));
+        }
+        self
+    }
+
+    /// Add the engine × threads matrix over `base`, labeled
+    /// `{engine}/t{threads}`.
+    pub fn engine_threads(
+        mut self,
+        base: &FlipperConfig,
+        engines: &[CountingEngine],
+        threads: &[usize],
+    ) -> Self {
+        for &engine in engines {
+            for &t in threads {
+                let mut cfg = base.clone();
+                cfg.engine = engine;
+                cfg.threads = t;
+                self.points.push((format!("{}/t{t}", engine.name()), cfg));
+            }
+        }
+        self
+    }
+
+    /// Number of points queued so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Validate every configuration, run every point, and return the
+    /// labeled results in submission order.
+    ///
+    /// Validation happens before any mining starts, so a bad grid point
+    /// fails fast instead of wasting the earlier runs. Violations surface
+    /// as [`FlipperError::Config`] — the same category
+    /// [`Session::mine`](crate::Session::mine) reports for the identical
+    /// configuration, so frontends can map config failures uniformly.
+    pub fn run(self) -> Result<Vec<SweepRun>, FlipperError> {
+        for (_, cfg) in &self.points {
+            cfg.validate()?;
+        }
+        let session = self.session;
+        let results = exec::map_slice_chunks(self.jobs, &self.points, |chunk| {
+            chunk
+                .iter()
+                .map(|(_, cfg)| mine_with_view(session.taxonomy(), session.view(), cfg))
+                .collect::<Vec<_>>()
+        });
+        Ok(self
+            .points
+            .into_iter()
+            .zip(results.into_iter().flatten())
+            .map(|((label, config), result)| SweepRun {
+                label,
+                config,
+                result,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Generator;
+    use flipper_core::MinSupports;
+    use flipper_datagen::planted::PlantedParams;
+
+    fn session() -> Session {
+        Session::open(Generator::Planted(PlantedParams::default())).unwrap()
+    }
+
+    fn base() -> FlipperConfig {
+        FlipperConfig {
+            min_support: MinSupports::Counts(vec![5]),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn grid_helpers_label_and_order_points() {
+        let s = session();
+        let sweep = s
+            .sweep()
+            .thresholds_grid(&base(), &[0.5, 0.3], &[0.1, 0.4])
+            .pruning_variants(&base())
+            .engine_threads(
+                &base(),
+                &[CountingEngine::Tidset, CountingEngine::Auto],
+                &[1, 2],
+            );
+        // Grid: (0.5,0.1), (0.5,0.4), (0.3,0.1) — (0.3,0.4) is invalid and
+        // skipped. Variants: 4. Matrix: 4.
+        assert_eq!(sweep.len(), 3 + 4 + 4);
+        assert!(!sweep.is_empty());
+        let labels: Vec<String> = sweep.points.iter().map(|(l, _)| l.clone()).collect();
+        assert_eq!(labels[0], "g0.5/e0.1");
+        assert_eq!(labels[3], "basic");
+        assert_eq!(labels[6], "flipping+tpg+sibp");
+        assert_eq!(labels[7], "tidset/t1");
+        assert_eq!(labels[10], "auto/t2");
+    }
+
+    #[test]
+    fn sweep_runs_match_single_shot_mining_at_any_job_count() {
+        let s = session();
+        for jobs in [1usize, 4] {
+            let runs = s
+                .sweep()
+                .with_jobs(jobs)
+                .pruning_variants(&base())
+                .run()
+                .unwrap();
+            assert_eq!(runs.len(), 4, "jobs={jobs}");
+            for run in &runs {
+                let solo = s.mine(&run.config).unwrap();
+                assert_eq!(
+                    run.result.patterns, solo.patterns,
+                    "jobs={jobs} {}",
+                    run.label
+                );
+                assert_eq!(run.result.cells, solo.cells, "jobs={jobs} {}", run.label);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_point_fails_fast_as_a_config_error() {
+        let s = session();
+        let mut bad = base();
+        bad.min_support = MinSupports::Fractions(vec![]);
+        // Same category Session::mine reports for the same config.
+        let err = s.sweep().add("broken", bad.clone()).run().unwrap_err();
+        assert!(matches!(err, FlipperError::Config(_)));
+        assert!(matches!(s.mine(&bad).unwrap_err(), FlipperError::Config(_)));
+    }
+
+    #[test]
+    fn empty_sweep_returns_no_runs() {
+        let s = session();
+        assert!(s.sweep().run().unwrap().is_empty());
+    }
+}

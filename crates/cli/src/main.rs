@@ -1,27 +1,34 @@
 //! `flipper` — command-line interface for flipping-correlation mining.
 //!
-//! Subcommands:
+//! A thin client of the `flipper-api` session façade: every subcommand
+//! parses flags, opens a [`Session`] (or loads a [`Dataset`]) through the
+//! façade, and pipes results into its [`ResultSink`]s. Subcommands:
 //!
 //! * `generate` — produce a dataset (quest / groceries / census / medline /
 //!   planted) in the text or FBIN binary format;
-//! * `mine` — mine flipping patterns from a dataset file;
+//! * `mine` — mine flipping patterns from a dataset file (optionally
+//!   writing a machine-readable `flipper-results/v1` report);
+//! * `sweep` — run a labeled grid of configurations (γ × ε × pruning
+//!   variants × engines) against one ingestion of the dataset;
 //! * `convert` — convert a dataset between the text and FBIN formats;
+//! * `topk` — threshold-free top-K most-flipping search;
 //! * `stats` — print dataset statistics.
 //!
-//! Every `--input` path is format-sniffed by magic bytes: FBIN files are
-//! read through the `flipper-store` binary reader (the `mine` subcommand
-//! streams them chunk by chunk, never materializing the raw database), text
-//! files through the line parser. Run `flipper help` for the full usage
-//! text.
+//! Every `--input` path is format-sniffed by magic bytes; FBIN inputs are
+//! streamed chunk by chunk, never materializing the raw database. Errors
+//! print an `error:` line followed by the `caused by:` source chain, and
+//! the process exits 2 for usage mistakes, 1 for data/I/O/configuration
+//! failures — so scripts can tell "you called it wrong" from "the data is
+//! bad".
 
-use flipper_core::{mine, mine_with_view, FlipperConfig, MinSupports, PruningConfig};
-use flipper_data::format::{read_dataset, write_dataset, Dataset};
-use flipper_data::CountingEngine;
-use flipper_measures::{Measure, Thresholds};
-use flipper_store::{stream_view, write_fbin, FbinReader};
-use flipper_taxonomy::RebalancePolicy;
+use flipper_api::io::{load_path, write_to, FileFormat};
+use flipper_api::{
+    emit_runs, threshold_point, CountingEngine, Dataset, FlipperConfig, FlipperError, Generator,
+    JsonWriter, Measure, MinSupports, PathSource, PlantedParams, PruningConfig, QuestParams,
+    ResultSink, Session, TextReport, Thresholds, TopKConfig,
+};
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,6 +44,11 @@ USAGE:
                    [--variant basic|flipping|tpg|full]
                    [--engine tidset|scan|bitset|auto] [--top K] [--max-k K]
                    [--threads N]   (0 = all cores, default 1)
+                   [--output-json FILE]
+  flipper sweep    --input FILE [--gammas F1,F2,...] [--epsilons F1,F2,...]
+                   [--variants v1,v2,...|all] [--engines e1,e2,...|all]
+                   [--minsup F1,F2,...] [--measure NAME] [--threads N]
+                   [--jobs N] [--output-json FILE]
   flipper convert  --input FILE --out FILE [--to text|fbin]
   flipper topk     --input FILE --k N [--minsup F1,F2,...]
   flipper stats    --input FILE
@@ -44,15 +56,22 @@ USAGE:
 
 Input files are auto-detected by magic bytes: FBIN binary datasets (written
 by `generate --format fbin` or `convert --to fbin`) and the text interchange
-format both work everywhere an `--input` is accepted. `generate` and
-`convert` pick the output format from `--format`/`--to`, defaulting by the
-`.fbin` extension. `mine` ingests FBIN inputs chunk-by-chunk (streaming).
+format both work everywhere an `--input` is accepted. `mine` and `sweep`
+ingest FBIN inputs chunk-by-chunk (streaming) and FBIN output format
+defaults from a `.fbin` extension. `sweep` ingests the dataset ONCE and runs
+the whole grid against the cached view; `--jobs` shards the runs themselves
+over workers. `--output-json` writes the machine-readable
+`flipper-results/v1` report.
+
+EXIT CODES:  0 success · 1 data/I-O/config error · 2 usage error
 
 EXAMPLES:
   flipper generate --kind groceries --out groceries.txt
   flipper convert --input groceries.txt --out groceries.fbin
   flipper mine --input groceries.fbin --gamma 0.15 --epsilon 0.10 \\
-               --minsup 0.001,0.0005,0.0002
+               --minsup 0.001,0.0005,0.0002 --output-json results.json
+  flipper sweep --input groceries.fbin --gammas 0.2,0.15 \\
+               --epsilons 0.1,0.05 --variants all
 ";
 
 fn main() -> ExitCode {
@@ -60,35 +79,20 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run `flipper help` for usage");
-            ExitCode::FAILURE
+            eprintln!("{}", e.render_chain());
+            if matches!(e, FlipperError::Usage(_)) {
+                eprintln!("run `flipper help` for usage");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-/// Parse `--key value` pairs after the subcommand.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let key = args[i]
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("flag --{key} needs a value"))?
-            .clone();
-        flags.insert(key.to_string(), value);
-        i += 2;
-    }
-    Ok(flags)
-}
-
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), FlipperError> {
     match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&parse_flags(&args[1..])?),
         Some("mine") => cmd_mine(&parse_flags(&args[1..])?),
+        Some("sweep") => cmd_sweep(&parse_flags(&args[1..])?),
         Some("convert") => cmd_convert(&parse_flags(&args[1..])?),
         Some("topk") => cmd_topk(&parse_flags(&args[1..])?),
         Some("stats") => cmd_stats(&parse_flags(&args[1..])?),
@@ -96,255 +100,389 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}")),
+        Some(other) => Err(FlipperError::usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+// ------------------------------------------------------------ flag parsing
+
+type Flags = HashMap<String, String>;
+
+/// Parse `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<Flags, FlipperError> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| FlipperError::usage(format!("expected --flag, got {:?}", args[i])))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| FlipperError::usage(format!("flag --{key} needs a value")))?
+            .clone();
+        flags.insert(key.to_string(), value);
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get_f64(flags: &Flags, key: &str, default: f64) -> Result<f64, FlipperError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            .map_err(|_| FlipperError::usage(format!("--{key} expects a number, got {v:?}"))),
     }
 }
 
-fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+fn get_usize(flags: &Flags, key: &str, default: usize) -> Result<usize, FlipperError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+            .map_err(|_| FlipperError::usage(format!("--{key} expects an integer, got {v:?}"))),
     }
 }
 
-/// Output formats the writers understand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FileFormat {
-    Text,
-    Fbin,
+/// Parse a comma-separated float list flag.
+fn get_f64_list(flags: &Flags, key: &str) -> Result<Option<Vec<f64>>, FlipperError> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim().parse().map_err(|_| {
+                    FlipperError::usage(format!("bad --{key} {spec:?}: {s:?} is not a number"))
+                })
+            })
+            .collect::<Result<Vec<f64>, _>>()
+            .map(Some),
+    }
+}
+
+fn input_path(flags: &Flags) -> Result<&String, FlipperError> {
+    flags
+        .get("input")
+        .ok_or_else(|| FlipperError::usage("missing --input FILE"))
+}
+
+fn parse_minsup(flags: &Flags) -> Result<MinSupports, FlipperError> {
+    match get_f64_list(flags, "minsup")? {
+        None => Ok(MinSupports::default()),
+        Some(fractions) => Ok(MinSupports::Fractions(fractions)),
+    }
+}
+
+fn parse_measure(flags: &Flags) -> Result<Measure, FlipperError> {
+    match flags.get("measure") {
+        None => Ok(Measure::Kulczynski),
+        Some(name) => Measure::parse(name)
+            .ok_or_else(|| FlipperError::usage(format!("unknown measure {name:?}"))),
+    }
+}
+
+fn parse_variant(name: &str) -> Result<PruningConfig, FlipperError> {
+    match name {
+        // Short CLI spellings plus the PruningConfig::name() forms emitted
+        // in sweep labels and flipper-results/v1 reports, so a label read
+        // from a report can be pasted back into --variant.
+        "full" | "flipping+tpg+sibp" => Ok(PruningConfig::FULL),
+        "basic" => Ok(PruningConfig::BASIC),
+        "flipping" => Ok(PruningConfig::FLIPPING),
+        "tpg" | "flipping+tpg" => Ok(PruningConfig::FLIPPING_TPG),
+        other => Err(FlipperError::usage(format!("unknown variant {other:?}"))),
+    }
+}
+
+fn parse_engine(name: &str) -> Result<CountingEngine, FlipperError> {
+    CountingEngine::parse(name)
+        .ok_or_else(|| FlipperError::usage(format!("unknown engine {name:?}")))
 }
 
 /// Resolve the output format: an explicit `--<flag> text|fbin` wins,
 /// otherwise a `.fbin` output extension selects FBIN, otherwise text.
 fn output_format(
-    flags: &HashMap<String, String>,
+    flags: &Flags,
     flag: &str,
     out: Option<&String>,
-) -> Result<FileFormat, String> {
-    match flags.get(flag).map(String::as_str) {
-        Some("text") => Ok(FileFormat::Text),
-        Some("fbin") => Ok(FileFormat::Fbin),
-        Some(other) => Err(format!("--{flag} expects text or fbin, got {other:?}")),
+) -> Result<FileFormat, FlipperError> {
+    match flags.get(flag) {
+        Some(name) => FileFormat::parse(name).ok_or_else(|| {
+            FlipperError::usage(format!("--{flag} expects text or fbin, got {name:?}"))
+        }),
         None => Ok(match out {
-            Some(path) if path.ends_with(".fbin") => FileFormat::Fbin,
-            _ => FileFormat::Text,
+            Some(path) => FileFormat::from_extension(std::path::Path::new(path)),
+            None => FileFormat::Text,
         }),
     }
 }
 
+// ------------------------------------------------------------- subcommands
+
 /// Write `ds` to `out` (or stdout) in `format`.
-fn write_output(ds: &Dataset, out: Option<&String>, format: FileFormat) -> Result<(), String> {
-    let sink: Box<dyn Write> = match out {
-        Some(path) => {
-            Box::new(std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?)
+fn write_output(
+    ds: &Dataset,
+    out: Option<&String>,
+    format: FileFormat,
+) -> Result<(), FlipperError> {
+    match out {
+        Some(path) => flipper_api::io::write_path(path, ds, format)?,
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = BufWriter::new(stdout.lock());
+            write_to(&mut w, ds, format)?;
+            w.flush().map_err(|e| FlipperError::io("write stdout", e))?;
         }
-        None => Box::new(std::io::stdout().lock()),
-    };
-    let mut w = BufWriter::new(sink);
-    match format {
-        FileFormat::Text => write_dataset(&mut w, ds).map_err(|e| e.to_string())?,
-        FileFormat::Fbin => write_fbin(&mut w, ds).map_err(|e| e.to_string())?,
     }
-    w.flush().map_err(|e| e.to_string())?;
     if let Some(path) = out {
         eprintln!(
             "wrote {} transactions / {} taxonomy nodes to {path} ({})",
             ds.db.len(),
             ds.taxonomy.node_count(),
-            match format {
-                FileFormat::Text => "text",
-                FileFormat::Fbin => "fbin",
-            }
+            format.name()
         );
     }
     Ok(())
 }
 
-fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let kind = flags.get("kind").ok_or("generate requires --kind")?;
+fn cmd_generate(flags: &Flags) -> Result<(), FlipperError> {
+    let kind = flags
+        .get("kind")
+        .ok_or_else(|| FlipperError::usage("generate requires --kind"))?;
     let seed = get_usize(flags, "seed", 42)? as u64;
-    let ds: Dataset = match kind.as_str() {
-        "quest" => {
-            let params = flipper_datagen::quest::QuestParams::default()
+    let generator = match kind.as_str() {
+        "quest" => Generator::Quest(
+            QuestParams::default()
                 .with_transactions(get_usize(flags, "transactions", 100_000)?)
                 .with_width(get_f64(flags, "width", 5.0)?)
-                .with_seed(seed);
-            flipper_datagen::quest::generate(&params).into_dataset()
-        }
-        "groceries" => flipper_datagen::surrogate::groceries(seed).into_dataset(),
-        "census" => flipper_datagen::surrogate::census(seed).into_dataset(),
-        "medline" => {
-            let scale = get_f64(flags, "scale", 0.1)?;
-            flipper_datagen::surrogate::medline(scale, seed).into_dataset()
-        }
-        "planted" => flipper_datagen::planted::generate(&flipper_datagen::planted::PlantedParams {
+                .with_seed(seed),
+        ),
+        "groceries" => Generator::Groceries { seed },
+        "census" => Generator::Census { seed },
+        "medline" => Generator::Medline {
+            scale: get_f64(flags, "scale", 0.1)?,
+            seed,
+        },
+        "planted" => Generator::Planted(PlantedParams {
             seed,
             ..Default::default()
-        })
-        .into_dataset(),
-        other => return Err(format!("unknown dataset kind {other:?}")),
+        }),
+        other => {
+            return Err(FlipperError::usage(format!(
+                "unknown dataset kind {other:?}"
+            )))
+        }
     };
+    let ds = generator.dataset();
     let out = flags.get("out");
     let format = output_format(flags, "format", out)?;
     write_output(&ds, out, format)
 }
 
-/// Sniff a dataset file's format by its magic bytes.
-fn detect_format(path: &str) -> Result<FileFormat, String> {
-    let mut file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let mut prefix = [0u8; 4];
-    let mut filled = 0;
-    while filled < prefix.len() {
-        match file.read(&mut prefix[filled..]) {
-            Ok(0) => break,
-            Ok(n) => filled += n,
-            Err(e) => return Err(format!("read {path}: {e}")),
-        }
-    }
-    Ok(if flipper_store::is_fbin(&prefix[..filled]) {
-        FileFormat::Fbin
-    } else {
-        FileFormat::Text
-    })
-}
-
-fn input_path(flags: &HashMap<String, String>) -> Result<&String, String> {
-    flags
-        .get("input")
-        .ok_or_else(|| "missing --input FILE".to_string())
-}
-
-/// Load a full dataset from `path` as `format`.
-fn load_path(path: &str, format: FileFormat) -> Result<Dataset, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let reader = BufReader::new(file);
-    match format {
-        FileFormat::Fbin => flipper_store::read_fbin(reader).map_err(|e| e.to_string()),
-        FileFormat::Text => {
-            read_dataset(reader, RebalancePolicy::LeafCopy).map_err(|e| e.to_string())
-        }
-    }
-}
-
-/// Load a full dataset from `--input`, auto-detecting text vs FBIN by magic
-/// bytes — so a binary file handed to a text-era script still loads instead
-/// of dying with a line-1 parse error (and vice versa).
-fn load(flags: &HashMap<String, String>) -> Result<Dataset, String> {
-    let path = input_path(flags)?;
-    load_path(path, detect_format(path)?)
-}
-
-fn cmd_convert(flags: &HashMap<String, String>) -> Result<(), String> {
-    let out = Some(flags.get("out").ok_or("convert requires --out FILE")?);
+fn cmd_convert(flags: &Flags) -> Result<(), FlipperError> {
+    let out = Some(
+        flags
+            .get("out")
+            .ok_or_else(|| FlipperError::usage("convert requires --out FILE"))?,
+    );
     let format = output_format(flags, "to", out)?;
-    let ds = load(flags)?;
+    let ds = load_path(input_path(flags)?)?;
     write_output(&ds, out, format)
 }
 
-fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Assemble the base mining configuration shared by `mine` and `sweep`.
+/// Configuration invariants are checked once, by [`FlipperConfig::validate`];
+/// violations coming from flags are the caller's mistake, so they map to
+/// usage errors (exit 2).
+fn base_config(flags: &Flags) -> Result<FlipperConfig, FlipperError> {
     let gamma = get_f64(flags, "gamma", 0.3)?;
     let epsilon = get_f64(flags, "epsilon", 0.1)?;
-    let minsup = match flags.get("minsup") {
-        None => MinSupports::default(),
-        Some(spec) => {
-            let fractions: Result<Vec<f64>, _> = spec.split(',').map(str::parse).collect();
-            MinSupports::Fractions(fractions.map_err(|_| format!("bad --minsup {spec:?}"))?)
-        }
+    let mut cfg = FlipperConfig {
+        thresholds: Thresholds { gamma, epsilon },
+        min_support: parse_minsup(flags)?,
+        measure: parse_measure(flags)?,
+        threads: get_usize(flags, "threads", 1)?,
+        ..Default::default()
     };
-    let measure = match flags.get("measure") {
-        None => Measure::Kulczynski,
-        Some(name) => Measure::parse(name).ok_or_else(|| format!("unknown measure {name:?}"))?,
-    };
-    let pruning = match flags.get("variant").map(String::as_str) {
-        None | Some("full") => PruningConfig::FULL,
-        Some("basic") => PruningConfig::BASIC,
-        Some("flipping") => PruningConfig::FLIPPING,
-        Some("tpg") => PruningConfig::FLIPPING_TPG,
-        Some(other) => return Err(format!("unknown variant {other:?}")),
-    };
-    let engine = match flags.get("engine") {
-        None => CountingEngine::Tidset,
-        Some(name) => {
-            CountingEngine::parse(name).ok_or_else(|| format!("unknown engine {name:?}"))?
-        }
-    };
-    let threads = get_usize(flags, "threads", 1)?;
-    let mut cfg = FlipperConfig::new(Thresholds::new(gamma, epsilon), minsup)
-        .with_measure(measure)
-        .with_pruning(pruning)
-        .with_engine(engine)
-        .with_threads(threads);
+    if let Some(name) = flags.get("variant") {
+        cfg.pruning = parse_variant(name)?;
+    }
+    if let Some(name) = flags.get("engine") {
+        cfg.engine = parse_engine(name)?;
+    }
     if let Some(mk) = flags.get("max-k") {
-        cfg = cfg.with_max_k(mk.parse().map_err(|_| format!("bad --max-k {mk:?}"))?);
+        let max_k: usize = mk
+            .parse()
+            .map_err(|_| FlipperError::usage(format!("bad --max-k {mk:?}")))?;
+        cfg.max_k = Some(max_k);
     }
+    cfg.validate()
+        .map_err(|e| FlipperError::usage(e.to_string()))?;
+    Ok(cfg)
+}
 
-    let path = input_path(flags)?;
-    let (taxonomy, result) = match detect_format(path)? {
-        FileFormat::Fbin => {
-            // Streaming ingestion: decode chunk by chunk into the sharded
-            // multi-level projector; the raw database never materializes.
-            // Results are bit-identical to the full-load path.
-            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let reader = FbinReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
-            let (tax, view) = stream_view(reader, threads).map_err(|e| e.to_string())?;
-            let result = mine_with_view(&tax, &view, &cfg);
-            (tax, result)
+/// Open a mining session on `--input`, streaming FBIN files.
+fn open_session(flags: &Flags, threads: usize) -> Result<Session, FlipperError> {
+    Session::open_with_threads(PathSource::new(input_path(flags)?), threads)
+}
+
+/// An opened `--output-json` sink and the path it writes to.
+type JsonOutput<'f> = (JsonWriter<BufWriter<std::fs::File>>, &'f String);
+
+/// Open `--output-json` for writing, if requested — called before mining so
+/// an unwritable path fails fast instead of after the whole run.
+fn open_json_output(flags: &Flags) -> Result<Option<JsonOutput<'_>>, FlipperError> {
+    match flags.get("output-json") {
+        None => Ok(None),
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| FlipperError::io(format!("create {path}"), e))?;
+            Ok(Some((JsonWriter::new(BufWriter::new(file)), path)))
         }
-        FileFormat::Text => {
-            let ds = load_path(path, FileFormat::Text)?;
-            let result = mine(&ds.taxonomy, &ds.db, &cfg);
-            (ds.taxonomy, result)
-        }
-    };
-    let top = get_usize(flags, "top", usize::MAX)?;
-    println!(
-        "{} flipping patterns (showing {})",
-        result.patterns.len(),
-        top.min(result.patterns.len())
-    );
-    for p in result.top_k_by_gap(top) {
-        println!("gap {:.3}:", p.flip_gap());
-        println!("{}\n", p.display(&taxonomy));
     }
-    println!(
-        "pos={} neg={}",
-        result.total_positive(),
-        result.total_negative()
-    );
-    println!("stats: {}", result.stats.summary());
+}
+
+fn cmd_mine(flags: &Flags) -> Result<(), FlipperError> {
+    let cfg = base_config(flags)?;
+    let json_out = open_json_output(flags)?;
+    let session = open_session(flags, cfg.threads)?;
+    let result = session.mine(&cfg)?;
+
+    let top = get_usize(flags, "top", usize::MAX)?;
+    let stdout = std::io::stdout();
+    let mut report = TextReport::new(stdout.lock()).with_top(top);
+    report.consume("mine", session.taxonomy(), &cfg, &result)?;
+    report.finish()?;
+
+    if let Some((mut json, path)) = json_out {
+        json.consume("mine", session.taxonomy(), &cfg, &result)?;
+        json.finish()?;
+        eprintln!("wrote flipper-results/v1 report to {path}");
+    }
     Ok(())
 }
 
-fn cmd_topk(flags: &HashMap<String, String>) -> Result<(), String> {
-    let ds = load(flags)?;
-    let k = get_usize(flags, "k", 10)?;
-    let minsup = match flags.get("minsup") {
-        None => MinSupports::default(),
-        Some(spec) => {
-            let fractions: Result<Vec<f64>, _> = spec.split(',').map(str::parse).collect();
-            MinSupports::Fractions(fractions.map_err(|_| format!("bad --minsup {spec:?}"))?)
-        }
+fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
+    let base = base_config(flags)?;
+    let gammas = get_f64_list(flags, "gammas")?.unwrap_or_else(|| vec![base.thresholds.gamma]);
+    let epsilons =
+        get_f64_list(flags, "epsilons")?.unwrap_or_else(|| vec![base.thresholds.epsilon]);
+    let variants: Vec<PruningConfig> = match flags.get("variants").map(String::as_str) {
+        None => vec![base.pruning],
+        Some("all") => PruningConfig::VARIANTS.to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| parse_variant(s.trim()))
+            .collect::<Result<_, _>>()?,
     };
-    let cfg = flipper_core::topk::TopKConfig {
-        k,
+    let engines: Vec<CountingEngine> = match flags.get("engines").map(String::as_str) {
+        None => vec![base.engine],
+        Some("all") => CountingEngine::CONCRETE
+            .into_iter()
+            .chain([CountingEngine::Auto])
+            .collect(),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| parse_engine(s.trim()))
+            .collect::<Result<_, _>>()?,
+    };
+    let jobs = get_usize(flags, "jobs", 1)?;
+
+    // Build the whole labeled grid from the flags alone, so an empty grid
+    // is reported before the (possibly expensive) ingestion starts.
+    let mut points: Vec<(String, FlipperConfig)> = Vec::new();
+    for &gamma in &gammas {
+        for &epsilon in &epsilons {
+            // The γ/ε skip rule and point label are shared with
+            // Sweep::thresholds_grid so library and CLI labels agree.
+            let Some((point_label, thresholds)) = threshold_point(gamma, epsilon) else {
+                continue;
+            };
+            for &pruning in &variants {
+                for &engine in &engines {
+                    let mut cfg = base.clone();
+                    cfg.thresholds = thresholds;
+                    cfg.pruning = pruning;
+                    cfg.engine = engine;
+                    let mut label = point_label.clone();
+                    if variants.len() > 1 {
+                        label.push_str(&format!("/{}", pruning.name()));
+                    }
+                    if engines.len() > 1 {
+                        label.push_str(&format!("/{}", engine.name()));
+                    }
+                    points.push((label, cfg));
+                }
+            }
+        }
+    }
+    if points.is_empty() {
+        return Err(FlipperError::usage(
+            "the sweep grid is empty: every (gamma, epsilon) pair violates epsilon < gamma",
+        ));
+    }
+    // Flag-built grid values can still be out of range (e.g. --gammas 1.5);
+    // reject them here, before ingestion, under the usage policy.
+    for (label, cfg) in &points {
+        cfg.validate()
+            .map_err(|e| FlipperError::usage(format!("sweep point {label}: {e}")))?;
+    }
+    let n_runs = points.len();
+    let json_out = open_json_output(flags)?;
+
+    let session = open_session(flags, base.threads)?;
+    let mut sweep = session.sweep().with_jobs(jobs);
+    for (label, cfg) in points {
+        sweep = sweep.add(label, cfg);
+    }
+    eprintln!(
+        "sweeping {n_runs} configurations over one ingestion of {} ({} transactions)",
+        session.origin(),
+        session.num_transactions()
+    );
+    let runs = sweep.run()?;
+
+    println!(
+        "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10}",
+        "label", "flips", "pos", "neg", "candidates", "time(ms)"
+    );
+    for run in &runs {
+        println!(
+            "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10.1}",
+            run.label,
+            run.result.patterns.len(),
+            run.result.total_positive(),
+            run.result.total_negative(),
+            run.result.stats.candidates_generated,
+            run.result.stats.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+
+    if let Some((mut json, path)) = json_out {
+        emit_runs(&mut json, session.taxonomy(), &runs)?;
+        eprintln!("wrote flipper-results/v1 report ({n_runs} runs) to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_topk(flags: &Flags) -> Result<(), FlipperError> {
+    let cfg = TopKConfig {
+        k: get_usize(flags, "k", 10)?,
         base: FlipperConfig {
-            min_support: minsup,
+            min_support: parse_minsup(flags)?,
             ..Default::default()
         },
         ..Default::default()
     };
-    let r = flipper_core::topk::top_k(&ds.taxonomy, &ds.db, &cfg);
+    // Flag-caused violations are the caller's mistake → usage (exit 2),
+    // same policy as base_config.
+    cfg.base
+        .validate()
+        .map_err(|e| FlipperError::usage(e.to_string()))?;
+    cfg.validate()
+        .map_err(|e| FlipperError::usage(e.to_string()))?;
+    let session = open_session(flags, 1)?;
+    let r = session.top_k(&cfg)?;
     println!(
         "top-{} most flipping patterns at auto-selected (γ, ε) = ({}, {}) after {} runs:",
         r.patterns.len(),
@@ -354,20 +492,20 @@ fn cmd_topk(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     for p in &r.patterns {
         println!("gap {:.3}:", p.flip_gap());
-        println!("{}\n", p.display(&ds.taxonomy));
+        println!("{}\n", p.display(session.taxonomy()));
     }
     Ok(())
 }
 
-fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
-    let ds = load(flags)?;
-    println!("{}", flipper_data::stats::DbStats::compute(&ds.db).report());
+fn cmd_stats(flags: &Flags) -> Result<(), FlipperError> {
+    let ds = load_path(input_path(flags)?)?;
+    println!("{}", flipper_api::stats::DbStats::compute(&ds.db).report());
     println!(
         "taxonomy: {} nodes, height {}",
         ds.taxonomy.node_count(),
         ds.taxonomy.height()
     );
-    for ls in flipper_data::stats::level_stats(&ds.db, &ds.taxonomy) {
+    for ls in flipper_api::stats::level_stats(&ds.db, &ds.taxonomy) {
         println!(
             "  level {}: {} nodes, mean rel support {:.5}, max {:.5}",
             ls.level, ls.distinct_nodes, ls.mean_rel_support, ls.max_rel_support
@@ -379,82 +517,106 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flipper_api::io::detect_format;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
 
     #[test]
     fn parse_flags_happy_path() {
-        let args: Vec<String> = ["--kind", "quest", "--seed", "7"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let f = parse_flags(&args).unwrap();
+        let f = parse_flags(&strs(&["--kind", "quest", "--seed", "7"])).unwrap();
         assert_eq!(f["kind"], "quest");
         assert_eq!(f["seed"], "7");
     }
 
     #[test]
     fn parse_flags_rejects_bare_values() {
-        let args: Vec<String> = ["kind", "quest"].iter().map(|s| s.to_string()).collect();
-        assert!(parse_flags(&args).is_err());
+        let err = parse_flags(&strs(&["kind", "quest"])).unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
     fn parse_flags_rejects_missing_value() {
-        let args: Vec<String> = ["--kind"].iter().map(|s| s.to_string()).collect();
-        assert!(parse_flags(&args).is_err());
+        let err = parse_flags(&strs(&["--kind"])).unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)));
     }
 
     #[test]
-    fn unknown_subcommand_errors() {
-        assert!(run(&["frobnicate".to_string()]).is_err());
+    fn unknown_subcommand_is_a_usage_error() {
+        let err = run(&strs(&["frobnicate"])).unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
     fn help_succeeds() {
-        assert!(run(&["help".to_string()]).is_ok());
+        assert!(run(&strs(&["help"])).is_ok());
         assert!(run(&[]).is_ok());
     }
 
     #[test]
-    fn generate_and_mine_roundtrip() {
+    fn generate_mine_sweep_roundtrip() {
         let dir = std::env::temp_dir().join(format!("flipper-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("planted.txt").to_string_lossy().to_string();
-        run(&[
-            "generate".into(),
-            "--kind".into(),
-            "planted".into(),
-            "--out".into(),
-            path.clone(),
-        ])
+        let json = dir.join("results.json").to_string_lossy().to_string();
+        run(&strs(&["generate", "--kind", "planted", "--out", &path])).unwrap();
+        run(&strs(&[
+            "mine",
+            "--input",
+            &path,
+            "--gamma",
+            "0.6",
+            "--epsilon",
+            "0.35",
+            "--minsup",
+            "0.001",
+            "--top",
+            "3",
+            "--output-json",
+            &json,
+        ]))
         .unwrap();
-        run(&[
-            "mine".into(),
-            "--input".into(),
-            path.clone(),
-            "--gamma".into(),
-            "0.6".into(),
-            "--epsilon".into(),
-            "0.35".into(),
-            "--minsup".into(),
-            "0.001".into(),
-            "--top".into(),
-            "3".into(),
-        ])
-        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"schema\": \"flipper-results/v1\""));
+        assert!(doc.contains("{\"label\":\"mine\""));
         // The execution-layer flags: auto engine selection + sharding.
-        run(&[
-            "mine".into(),
-            "--input".into(),
-            path.clone(),
-            "--engine".into(),
-            "auto".into(),
-            "--threads".into(),
-            "2".into(),
-            "--top".into(),
-            "1".into(),
-        ])
+        run(&strs(&[
+            "mine",
+            "--input",
+            &path,
+            "--engine",
+            "auto",
+            "--threads",
+            "2",
+            "--top",
+            "1",
+        ]))
         .unwrap();
-        run(&["stats".into(), "--input".into(), path]).unwrap();
+        // A sweep over one ingestion: γ × variants grid, parallel jobs.
+        let sweep_json = dir.join("sweep.json").to_string_lossy().to_string();
+        run(&strs(&[
+            "sweep",
+            "--input",
+            &path,
+            "--gammas",
+            "0.6,0.5",
+            "--epsilons",
+            "0.35",
+            "--variants",
+            "all",
+            "--jobs",
+            "2",
+            "--output-json",
+            &sweep_json,
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&sweep_json).unwrap();
+        assert_eq!(doc.matches("{\"label\":").count(), 8);
+        assert!(doc.contains("\"label\":\"g0.6/e0.35/basic\""));
+        run(&strs(&["stats", "--input", &path])).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -466,115 +628,154 @@ mod tests {
         let text = dir.join("planted.txt").to_string_lossy().to_string();
         let fbin2 = dir.join("back.fbin").to_string_lossy().to_string();
         // generate picks FBIN from the extension.
-        run(&[
-            "generate".into(),
-            "--kind".into(),
-            "planted".into(),
-            "--out".into(),
-            fbin.clone(),
-        ])
-        .unwrap();
+        run(&strs(&["generate", "--kind", "planted", "--out", &fbin])).unwrap();
         let bytes = std::fs::read(&fbin).unwrap();
-        assert!(flipper_store::is_fbin(&bytes));
+        assert_eq!(detect_format(&fbin).unwrap(), FileFormat::Fbin);
         // convert fbin -> text -> fbin round-trips the exact bytes.
-        run(&[
-            "convert".into(),
-            "--input".into(),
-            fbin.clone(),
-            "--out".into(),
-            text.clone(),
-        ])
-        .unwrap();
-        assert!(!flipper_store::is_fbin(&std::fs::read(&text).unwrap()));
-        run(&[
-            "convert".into(),
-            "--input".into(),
-            text.clone(),
-            "--out".into(),
-            fbin2.clone(),
-        ])
-        .unwrap();
+        run(&strs(&["convert", "--input", &fbin, "--out", &text])).unwrap();
+        assert_eq!(detect_format(&text).unwrap(), FileFormat::Text);
+        run(&strs(&["convert", "--input", &text, "--out", &fbin2])).unwrap();
         assert_eq!(bytes, std::fs::read(&fbin2).unwrap());
         // mine and stats accept the binary input transparently (mine takes
         // the streaming path).
-        run(&[
-            "mine".into(),
-            "--input".into(),
-            fbin.clone(),
-            "--threads".into(),
-            "2".into(),
-            "--top".into(),
-            "1".into(),
-        ])
+        run(&strs(&[
+            "mine",
+            "--input",
+            &fbin,
+            "--threads",
+            "2",
+            "--top",
+            "1",
+        ]))
         .unwrap();
-        run(&["stats".into(), "--input".into(), fbin]).unwrap();
+        run(&strs(&["stats", "--input", &fbin])).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn convert_rejects_bad_target_format() {
-        let err = run(&[
-            "convert".into(),
-            "--input".into(),
-            "x".into(),
-            "--out".into(),
-            "y".into(),
-            "--to".into(),
-            "parquet".into(),
-        ])
+        let err = run(&strs(&[
+            "convert", "--input", "x", "--out", "y", "--to", "parquet",
+        ]))
         .unwrap_err();
-        assert!(err.contains("expects text or fbin"));
+        assert!(err.to_string().contains("expects text or fbin"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
-    fn text_parser_names_fbin_mixups() {
-        // Feeding FBIN bytes to the text parser directly (bypassing the
-        // CLI's auto-detection) must name the problem, not report a
-        // baffling line-1 parse error.
-        let d = flipper_datagen::planted::generate(&Default::default());
-        let bytes = flipper_store::to_fbin_bytes(&d.into_dataset()).unwrap();
-        let err =
-            read_dataset(std::io::Cursor::new(&bytes[..]), RebalancePolicy::LeafCopy).unwrap_err();
-        assert!(
-            err.to_string().contains("FBIN"),
-            "error should name the binary format: {err}"
-        );
-    }
-
-    #[test]
-    fn mine_rejects_unknown_engine() {
-        let dir = std::env::temp_dir().join(format!("flipper-cli-eng-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("p.txt").to_string_lossy().to_string();
-        run(&[
-            "generate".into(),
-            "--kind".into(),
-            "planted".into(),
-            "--out".into(),
-            path.clone(),
-        ])
-        .unwrap();
-        let err = run(&[
-            "mine".into(),
-            "--input".into(),
-            path,
-            "--engine".into(),
-            "warpdrive".into(),
-        ])
+    fn mine_rejects_unknown_engine_before_touching_the_file() {
+        let err = run(&strs(&[
+            "mine",
+            "--input",
+            "/nonexistent",
+            "--engine",
+            "warpdrive",
+        ]))
         .unwrap_err();
-        assert!(err.contains("unknown engine"));
-        let _ = std::fs::remove_dir_all(&dir);
+        assert!(err.to_string().contains("unknown engine"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
-    fn mine_rejects_missing_input() {
-        let err = run(&["mine".into(), "--input".into(), "/nonexistent".into()]).unwrap_err();
-        assert!(err.contains("open"));
+    fn missing_input_is_a_data_error_not_usage() {
+        let err = run(&strs(&["mine", "--input", "/nonexistent"])).unwrap_err();
+        assert!(matches!(err, FlipperError::Io { .. }));
+        assert!(err.to_string().contains("open"));
+        assert_eq!(err.exit_code(), 1);
     }
 
     #[test]
     fn generate_rejects_unknown_kind() {
-        let err = run(&["generate".into(), "--kind".into(), "nope".into()]).unwrap_err();
-        assert!(err.contains("unknown dataset kind"));
+        let err = run(&strs(&["generate", "--kind", "nope"])).unwrap_err();
+        assert!(err.to_string().contains("unknown dataset kind"));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn report_variant_names_parse_back() {
+        // Labels/config values emitted in flipper-results/v1 reports can be
+        // pasted back into --variant.
+        assert_eq!(
+            parse_variant("flipping+tpg").unwrap(),
+            PruningConfig::FLIPPING_TPG
+        );
+        assert_eq!(
+            parse_variant("flipping+tpg+sibp").unwrap(),
+            PruningConfig::FULL
+        );
+        for v in PruningConfig::VARIANTS {
+            assert_eq!(parse_variant(v.name()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn unwritable_output_json_fails_before_mining() {
+        let dir = std::env::temp_dir().join(format!("flipper-cli-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.txt").to_string_lossy().to_string();
+        run(&strs(&["generate", "--kind", "planted", "--out", &path])).unwrap();
+        let err = run(&strs(&[
+            "mine",
+            "--input",
+            &path,
+            "--output-json",
+            "/nonexistent-dir/r.json",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, FlipperError::Io { .. }));
+        assert!(err.to_string().contains("create"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_thresholds_are_usage_errors() {
+        let err = run(&strs(&[
+            "mine",
+            "--input",
+            "/nonexistent",
+            "--gamma",
+            "0.1",
+            "--epsilon",
+            "0.4",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)));
+        assert!(err.to_string().contains("epsilon < gamma"));
+    }
+
+    #[test]
+    fn empty_sweep_grid_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("flipper-cli-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.txt").to_string_lossy().to_string();
+        run(&strs(&["generate", "--kind", "planted", "--out", &path])).unwrap();
+        let err = run(&strs(&[
+            "sweep",
+            "--input",
+            &path,
+            "--gammas",
+            "0.2",
+            "--epsilons",
+            "0.3",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)));
+        assert!(err.to_string().contains("empty"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn text_parser_names_fbin_mixups_through_the_facade() {
+        // Feeding FBIN bytes to the text source must name the problem, not
+        // report a baffling line-1 parse error.
+        let ds = Generator::Planted(PlantedParams::default()).dataset();
+        let mut bytes = Vec::new();
+        write_to(&mut bytes, &ds, FileFormat::Fbin).unwrap();
+        let err = Session::open(flipper_api::TextSource::new(&bytes[..])).unwrap_err();
+        assert!(matches!(err, FlipperError::Parse { line: 1, .. }));
+        assert!(
+            err.to_string().contains("FBIN"),
+            "error should name the binary format: {err}"
+        );
     }
 }

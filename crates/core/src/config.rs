@@ -124,6 +124,53 @@ impl Default for PruningConfig {
     }
 }
 
+/// A rejected [`FlipperConfig`], reported by [`FlipperConfig::validate`].
+///
+/// The struct-literal escape hatch (`FlipperConfig { .. }`) can produce
+/// configurations the builder methods would have refused; `validate`
+/// re-checks every invariant and reports the first violation as a typed
+/// value instead of a panic, so services and CLIs can refuse a bad request
+/// gracefully.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The minimum-support spec holds no thresholds at all.
+    EmptySupports,
+    /// A relative support fraction falls outside `(0, 1]`.
+    BadSupportFraction(f64),
+    /// The thresholds violate `0 ≤ ε < γ ≤ 1`.
+    BadThresholds {
+        /// Positive threshold γ.
+        gamma: f64,
+        /// Negative threshold ε.
+        epsilon: f64,
+    },
+    /// `max_k` caps itemsets below the minimum meaningful size of 2.
+    BadMaxK(usize),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptySupports => {
+                write!(f, "at least one minimum-support threshold is required")
+            }
+            ConfigError::BadSupportFraction(v) => {
+                write!(f, "support fraction {v} is outside (0, 1]")
+            }
+            ConfigError::BadThresholds { gamma, epsilon } => write!(
+                f,
+                "thresholds must satisfy 0 <= epsilon < gamma <= 1 \
+                 (got gamma={gamma}, epsilon={epsilon})"
+            ),
+            ConfigError::BadMaxK(k) => {
+                write!(f, "max_k is {k} but itemsets have at least two items")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full miner configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlipperConfig {
@@ -203,6 +250,46 @@ impl FlipperConfig {
         self.threads = threads;
         self
     }
+
+    /// Check every invariant [`MinSupports::resolve`], [`Thresholds::new`]
+    /// and [`FlipperConfig::with_max_k`] would enforce by panicking, and
+    /// report the first violation as a typed [`ConfigError`] instead.
+    ///
+    /// A configuration that passes `validate` never panics inside the miner
+    /// for configuration reasons.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let t = &self.thresholds;
+        if !((0.0..=1.0).contains(&t.gamma)
+            && (0.0..=1.0).contains(&t.epsilon)
+            && t.epsilon < t.gamma)
+        {
+            return Err(ConfigError::BadThresholds {
+                gamma: t.gamma,
+                epsilon: t.epsilon,
+            });
+        }
+        match &self.min_support {
+            MinSupports::Fractions(fs) => {
+                if fs.is_empty() {
+                    return Err(ConfigError::EmptySupports);
+                }
+                if let Some(&bad) = fs.iter().find(|&&f| !(f > 0.0 && f <= 1.0)) {
+                    return Err(ConfigError::BadSupportFraction(bad));
+                }
+            }
+            MinSupports::Counts(cs) => {
+                if cs.is_empty() {
+                    return Err(ConfigError::EmptySupports);
+                }
+            }
+        }
+        if let Some(k) = self.max_k {
+            if k < 2 {
+                return Err(ConfigError::BadMaxK(k));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -278,5 +365,62 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn max_k_one_rejected() {
         let _ = FlipperConfig::default().with_max_k(1);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_builder_output() {
+        assert_eq!(FlipperConfig::default().validate(), Ok(()));
+        let cfg = FlipperConfig::new(Thresholds::new(0.6, 0.2), MinSupports::Counts(vec![10, 5]))
+            .with_max_k(3);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_reports_typed_violations() {
+        let cfg = FlipperConfig {
+            thresholds: Thresholds {
+                gamma: 0.1,
+                epsilon: 0.4,
+            },
+            ..Default::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::BadThresholds {
+                gamma: 0.1,
+                epsilon: 0.4
+            })
+        );
+
+        let mut cfg = FlipperConfig {
+            min_support: MinSupports::Fractions(vec![]),
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptySupports));
+        cfg.min_support = MinSupports::Counts(vec![]);
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptySupports));
+        cfg.min_support = MinSupports::Fractions(vec![0.5, 1.5]);
+        assert_eq!(cfg.validate(), Err(ConfigError::BadSupportFraction(1.5)));
+
+        let cfg = FlipperConfig {
+            max_k: Some(1),
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::BadMaxK(1)));
+    }
+
+    #[test]
+    fn config_error_displays_are_descriptive() {
+        assert!(ConfigError::EmptySupports.to_string().contains("at least"));
+        assert!(ConfigError::BadSupportFraction(2.0)
+            .to_string()
+            .contains("(0, 1]"));
+        assert!(ConfigError::BadThresholds {
+            gamma: 0.1,
+            epsilon: 0.4
+        }
+        .to_string()
+        .contains("epsilon < gamma"));
+        assert!(ConfigError::BadMaxK(1).to_string().contains("two items"));
     }
 }

@@ -61,7 +61,7 @@ pub mod topk;
 pub mod verify;
 
 pub use cell::{Cell, ItemsetInfo};
-pub use config::{FlipperConfig, MinSupports, PruningConfig};
+pub use config::{ConfigError, FlipperConfig, MinSupports, PruningConfig};
 pub use miner::{mine, mine_with_view};
-pub use results::{CellSummary, ChainLevel, FlippingPattern, MiningResult};
+pub use results::{CellSummary, ChainError, ChainLevel, FlippingPattern, MiningResult};
 pub use stats::RunStats;

@@ -21,6 +21,65 @@ pub struct ChainLevel {
     pub label: Label,
 }
 
+/// A violated invariant of a [`FlippingPattern`] chain, reported by
+/// [`FlippingPattern::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainError {
+    /// The chain holds no levels at all.
+    Empty,
+    /// Levels are not consecutive `1..=H`: position `position` (0-based)
+    /// holds `found` instead of `expected`.
+    LevelOutOfOrder {
+        /// 0-based position in the chain.
+        position: usize,
+        /// The level that should sit there (`position + 1`).
+        expected: usize,
+        /// The level actually recorded.
+        found: usize,
+    },
+    /// A chain level carries a non-correlated label.
+    NotCorrelated {
+        /// The offending level.
+        level: usize,
+        /// Its label.
+        label: Label,
+    },
+    /// Two consecutive levels do not flip sign.
+    NoFlip {
+        /// The upper level.
+        upper: usize,
+        /// The lower level.
+        lower: usize,
+    },
+    /// The chain's last itemset differs from the pattern's leaf itemset.
+    LeafMismatch,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Empty => write!(f, "empty chain"),
+            ChainError::LevelOutOfOrder {
+                position,
+                expected,
+                found,
+            } => write!(
+                f,
+                "chain level {found} at position {position} (expected {expected})"
+            ),
+            ChainError::NotCorrelated { level, label } => {
+                write!(f, "level {level} is {label}")
+            }
+            ChainError::NoFlip { upper, lower } => {
+                write!(f, "labels do not flip between levels {upper} and {lower}")
+            }
+            ChainError::LeafMismatch => write!(f, "chain leaf differs from leaf_itemset"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
 /// A flipping correlation pattern (Definition 2): a leaf itemset whose
 /// generalization chain alternates between positive and negative correlation
 /// at every abstraction level.
@@ -51,28 +110,35 @@ impl FlippingPattern {
 
     /// Validate the chain invariants: labels alternate, levels are
     /// `1..=H` consecutive, and every label is correlated.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ChainError> {
         if self.chain.is_empty() {
-            return Err("empty chain".to_string());
+            return Err(ChainError::Empty);
         }
         for (i, lv) in self.chain.iter().enumerate() {
             if lv.level != i + 1 {
-                return Err(format!("chain level {} at position {}", lv.level, i));
+                return Err(ChainError::LevelOutOfOrder {
+                    position: i,
+                    expected: i + 1,
+                    found: lv.level,
+                });
             }
             if !lv.label.is_correlated() {
-                return Err(format!("level {} is {}", lv.level, lv.label));
+                return Err(ChainError::NotCorrelated {
+                    level: lv.level,
+                    label: lv.label,
+                });
             }
         }
         for w in self.chain.windows(2) {
             if !w[0].label.flips_to(w[1].label) {
-                return Err(format!(
-                    "labels do not flip between levels {} and {}",
-                    w[0].level, w[1].level
-                ));
+                return Err(ChainError::NoFlip {
+                    upper: w[0].level,
+                    lower: w[1].level,
+                });
             }
         }
         if self.chain.last().expect("non-empty").itemset != self.leaf_itemset {
-            return Err("chain leaf differs from leaf_itemset".to_string());
+            return Err(ChainError::LeafMismatch);
         }
         Ok(())
     }
@@ -211,25 +277,60 @@ mod tests {
     fn validate_rejects_broken_chains() {
         let mut p = valid_pattern();
         p.chain[1].label = Label::Positive;
-        assert!(p.validate().unwrap_err().contains("do not flip"));
+        assert_eq!(p.validate(), Err(ChainError::NoFlip { upper: 1, lower: 2 }));
 
         let mut p = valid_pattern();
         p.chain[1].label = Label::NonCorrelated;
-        assert!(p.validate().unwrap_err().contains("non-correlated"));
+        assert_eq!(
+            p.validate(),
+            Err(ChainError::NotCorrelated {
+                level: 2,
+                label: Label::NonCorrelated
+            })
+        );
 
         let mut p = valid_pattern();
         p.chain.remove(0);
-        assert!(p.validate().unwrap_err().contains("chain level"));
+        assert_eq!(
+            p.validate(),
+            Err(ChainError::LevelOutOfOrder {
+                position: 0,
+                expected: 1,
+                found: 2
+            })
+        );
 
         let mut p = valid_pattern();
         p.leaf_itemset = Itemset::single(n(1));
-        assert!(p.validate().unwrap_err().contains("differs"));
+        assert_eq!(p.validate(), Err(ChainError::LeafMismatch));
 
         let p = FlippingPattern {
             leaf_itemset: Itemset::single(n(1)),
             chain: vec![],
         };
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ChainError::Empty));
+    }
+
+    #[test]
+    fn chain_error_displays_are_descriptive() {
+        assert_eq!(ChainError::Empty.to_string(), "empty chain");
+        assert!(ChainError::NoFlip { upper: 1, lower: 2 }
+            .to_string()
+            .contains("do not flip"));
+        assert!(ChainError::NotCorrelated {
+            level: 2,
+            label: Label::NonCorrelated
+        }
+        .to_string()
+        .contains("non-correlated"));
+        assert!(ChainError::LevelOutOfOrder {
+            position: 0,
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("chain level 2"));
+        assert!(ChainError::LeafMismatch.to_string().contains("differs"));
     }
 
     #[test]

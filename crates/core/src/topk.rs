@@ -45,6 +45,66 @@ impl Default for TopKConfig {
     }
 }
 
+/// A rejected [`TopKConfig`] search knob, reported by
+/// [`TopKConfig::validate`]. The single source of truth for the search
+/// invariants: the panicking entry points assert through it, and fallible
+/// frontends surface it as a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchConfigError {
+    /// `k` is zero.
+    ZeroK,
+    /// The γ schedule is not a decreasing positive range.
+    BadGammaRange {
+        /// Starting γ.
+        start: f64,
+        /// Floor γ.
+        floor: f64,
+    },
+    /// The multiplicative γ step does not shrink γ.
+    BadGammaStep(f64),
+}
+
+impl std::fmt::Display for SearchConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchConfigError::ZeroK => write!(f, "k must be positive"),
+            SearchConfigError::BadGammaRange { start, floor } => write!(
+                f,
+                "need gamma_start > gamma_floor > 0 (got start={start}, floor={floor})"
+            ),
+            SearchConfigError::BadGammaStep(step) => {
+                write!(f, "gamma_step must shrink gamma (0 < step < 1, got {step})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchConfigError {}
+
+impl TopKConfig {
+    /// Check the search-knob invariants (the base mining configuration has
+    /// its own [`FlipperConfig::validate`]). [`top_k`] /
+    /// [`top_k_with_view`] assert these on entry; fallible callers check
+    /// here first to get a typed error instead of a panic.
+    pub fn validate(&self) -> Result<(), SearchConfigError> {
+        if self.k == 0 {
+            return Err(SearchConfigError::ZeroK);
+        }
+        if !(self.gamma_start > self.gamma_floor && self.gamma_floor > 0.0) {
+            return Err(SearchConfigError::BadGammaRange {
+                start: self.gamma_start,
+                floor: self.gamma_floor,
+            });
+        }
+        // Strict on both ends (rejects 0, 1 and NaN): step 0 would probe
+        // only gamma_start instead of sweeping down to the floor.
+        if !(self.gamma_step > 0.0 && self.gamma_step < 1.0) {
+            return Err(SearchConfigError::BadGammaStep(self.gamma_step));
+        }
+        Ok(())
+    }
+}
+
 /// Outcome of the top-K search.
 #[derive(Debug, Clone)]
 pub struct TopKResult {
@@ -69,16 +129,25 @@ pub struct TopKResult {
 /// (`corr ≥ γ` on positive levels, `corr ≤ ε` on negative ones), so the
 /// first γ that yields ≥ k patterns gives the best-separated top-K.
 pub fn top_k(tax: &Taxonomy, db: &TransactionDb, cfg: &TopKConfig) -> TopKResult {
-    assert!(cfg.k > 0, "k must be positive");
-    assert!(
-        cfg.gamma_start > cfg.gamma_floor && cfg.gamma_floor > 0.0,
-        "need gamma_start > gamma_floor > 0"
-    );
-    assert!(
-        (0.0..1.0).contains(&cfg.gamma_step),
-        "gamma_step must shrink gamma (0 < step < 1)"
-    );
+    // Fail fast on a bad config before paying for the projection.
+    assert_search_knobs(cfg);
     let view = MultiLevelView::build(db, tax);
+    top_k_with_view(tax, &view, cfg)
+}
+
+/// The search-knob invariants both entry points enforce up front.
+fn assert_search_knobs(cfg: &TopKConfig) {
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
+}
+
+/// [`top_k`] over a prebuilt [`MultiLevelView`] — the projection is the
+/// expensive part, so sessions that cache the view (or built it by
+/// streaming, without ever materializing the database) search through this
+/// entry point.
+pub fn top_k_with_view(tax: &Taxonomy, view: &MultiLevelView, cfg: &TopKConfig) -> TopKResult {
+    assert_search_knobs(cfg);
     let mut runs = 0;
     let mut best: Option<TopKResult> = None;
 
@@ -90,7 +159,7 @@ pub fn top_k(tax: &Taxonomy, db: &TransactionDb, cfg: &TopKConfig) -> TopKResult
         let thresholds = Thresholds::new(gamma, epsilon);
         let mut mining_cfg = cfg.base.clone();
         mining_cfg.thresholds = thresholds;
-        let result = mine_with_view(tax, &view, &mining_cfg);
+        let result = mine_with_view(tax, view, &mining_cfg);
         runs += 1;
 
         let mut patterns = result.patterns;
@@ -217,6 +286,53 @@ mod tests {
         let r = top_k(&d.taxonomy, &d.db, &cfg);
         assert!(r.patterns.len() < 50);
         assert!(r.runs > 1, "search explored multiple gammas");
+    }
+
+    #[test]
+    fn validate_reports_typed_search_errors() {
+        assert_eq!(TopKConfig::default().validate(), Ok(()));
+        let cfg = TopKConfig {
+            k: 0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(), Err(SearchConfigError::ZeroK));
+        let cfg = TopKConfig {
+            gamma_start: 0.1,
+            gamma_floor: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(SearchConfigError::BadGammaRange {
+                start: 0.1,
+                floor: 0.5
+            })
+        );
+        let cfg = TopKConfig {
+            gamma_step: 1.5,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(), Err(SearchConfigError::BadGammaStep(1.5)));
+        let cfg = TopKConfig {
+            gamma_step: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(SearchConfigError::BadGammaStep(0.0)),
+            "step 0 would never sweep below gamma_start"
+        );
+        // Displays carry the historical assert messages.
+        assert_eq!(SearchConfigError::ZeroK.to_string(), "k must be positive");
+        assert!(SearchConfigError::BadGammaStep(1.5)
+            .to_string()
+            .contains("shrink gamma"));
+        assert!(SearchConfigError::BadGammaRange {
+            start: 0.1,
+            floor: 0.5
+        }
+        .to_string()
+        .contains("gamma_start > gamma_floor"));
     }
 
     #[test]

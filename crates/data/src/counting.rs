@@ -565,6 +565,18 @@ impl CountingEngine {
         }
     }
 
+    /// Stable short name, the inverse of [`parse`](CountingEngine::parse)
+    /// — used in sweep labels and machine-readable reports, so it must not
+    /// track incidental enum-variant renames.
+    pub fn name(self) -> &'static str {
+        match self {
+            CountingEngine::Tidset => "tidset",
+            CountingEngine::Scan => "scan",
+            CountingEngine::Bitset => "bitset",
+            CountingEngine::Auto => "auto",
+        }
+    }
+
     /// All concrete (non-auto) engines.
     pub const CONCRETE: [CountingEngine; 3] = [
         CountingEngine::Tidset,
@@ -980,6 +992,7 @@ mod tests {
             ("auto", CountingEngine::Auto),
         ] {
             assert_eq!(CountingEngine::parse(name), Some(engine));
+            assert_eq!(engine.name(), name, "name() is the inverse of parse");
         }
         assert_eq!(CountingEngine::parse("nope"), None);
     }

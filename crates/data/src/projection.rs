@@ -93,7 +93,18 @@ impl MultiLevelView {
     /// Panics if the database is not valid for `tax` (items that are not
     /// leaves at the taxonomy height).
     pub fn build(db: &TransactionDb, tax: &Taxonomy) -> Self {
-        let mut builder = MultiLevelViewBuilder::new(tax, 1);
+        Self::build_with_threads(db, tax, 1)
+    }
+
+    /// [`build`](MultiLevelView::build) with the per-chunk projection
+    /// sharded over `threads` scoped workers (`0` = auto-detect, `1` =
+    /// sequential). The result is bit-identical at every thread count.
+    ///
+    /// # Panics
+    /// Panics if the database is not valid for `tax` (items that are not
+    /// leaves at the taxonomy height).
+    pub fn build_with_threads(db: &TransactionDb, tax: &Taxonomy, threads: usize) -> Self {
+        let mut builder = MultiLevelViewBuilder::new(tax, threads);
         builder
             .push_chunk(db.rows())
             .expect("TransactionDb rows are canonical leaf itemsets");
@@ -320,6 +331,19 @@ mod tests {
         assert_eq!(mlv.num_transactions(), 10);
         for (i, txn) in db.iter().enumerate() {
             assert_eq!(mlv.level(3).transaction(i), txn);
+        }
+    }
+
+    #[test]
+    fn build_with_threads_is_bit_identical() {
+        let (tax, db) = toy();
+        let sequential = MultiLevelView::build(&db, &tax);
+        for threads in [0usize, 2, 4] {
+            assert_eq!(
+                MultiLevelView::build_with_threads(&db, &tax, threads),
+                sequential,
+                "threads={threads}"
+            );
         }
     }
 

@@ -1,4 +1,5 @@
-//! Demographics scenario: the CENSUS surrogate (paper §5.2, Fig. 11).
+//! Demographics scenario: the CENSUS surrogate (paper §5.2, Fig. 11),
+//! mined through the `flipper-api` session façade.
 //!
 //! 32,000 person records become transactions over attribute items with a
 //! 2-level hierarchy (attribute group → attribute ∧ qualifier subgroup).
@@ -8,11 +9,10 @@
 //!
 //! Run with: `cargo run --example census`
 
-use flipper_core::{mine, FlipperConfig, MinSupports, PruningConfig};
+use flipper_api::{FlipperConfig, FlipperError, MinSupports, PruningConfig, Session, Thresholds};
 use flipper_datagen::surrogate::census;
-use flipper_measures::Thresholds;
 
-fn main() {
+fn main() -> Result<(), FlipperError> {
     let data = census(42);
     println!(
         "CENSUS surrogate: {} records, {} attribute items, height {}",
@@ -32,16 +32,17 @@ fn main() {
         "income>=50K",
     );
 
+    let session = Session::open(&data)?;
     let cfg = FlipperConfig::new(
         Thresholds::new(data.thresholds.0, data.thresholds.1),
         MinSupports::Fractions(data.min_support.clone()),
     )
     .with_pruning(PruningConfig::FULL);
-    let result = mine(&data.taxonomy, &data.db, &cfg);
+    let result = session.mine(&cfg)?;
 
     println!("\nflipping patterns: {}", result.patterns.len());
     for p in &result.patterns {
-        println!("{}\n", p.display(&data.taxonomy));
+        println!("{}\n", p.display(session.taxonomy()));
     }
 
     for (a, b) in data.expected_flip_ids() {
@@ -58,4 +59,5 @@ fn main() {
         assert!(found);
     }
     println!("\nstats: {}", result.stats.summary());
+    Ok(())
 }

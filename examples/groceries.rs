@@ -1,4 +1,5 @@
-//! Market-basket scenario: the GROCERIES surrogate (paper §5.2, Fig. 10).
+//! Market-basket scenario: the GROCERIES surrogate (paper §5.2, Fig. 10),
+//! mined through the `flipper-api` session façade.
 //!
 //! Generates ~9,800 point-of-sale baskets over a 3-level store taxonomy,
 //! mines with the Table-4 thresholds (γ = 0.15, ε = 0.10) and prints the
@@ -7,12 +8,11 @@
 //!
 //! Run with: `cargo run --example groceries`
 
-use flipper_core::{mine, FlipperConfig, MinSupports};
+use flipper_api::{FlipperConfig, FlipperError, MinSupports, Session, Thresholds};
 use flipper_datagen::surrogate::groceries;
-use flipper_measures::Thresholds;
 use flipper_taxonomy::dot::{to_dot, DotOptions};
 
-fn main() {
+fn main() -> Result<(), FlipperError> {
     let data = groceries(42);
     println!(
         "GROCERIES surrogate: {} baskets, {} products, taxonomy height {}",
@@ -21,16 +21,17 @@ fn main() {
         data.taxonomy.height()
     );
 
+    let session = Session::open(&data)?;
     let cfg = FlipperConfig::new(
         Thresholds::new(data.thresholds.0, data.thresholds.1),
         MinSupports::Fractions(data.min_support.clone()),
     );
-    let result = mine(&data.taxonomy, &data.db, &cfg);
+    let result = session.mine(&cfg)?;
 
     println!("\nflipping patterns: {}", result.patterns.len());
     println!("top 5 by flip gap:");
     for p in result.top_k_by_gap(5) {
-        println!("{}\n", p.display(&data.taxonomy));
+        println!("{}\n", p.display(session.taxonomy()));
     }
 
     // The planted paper patterns must be among the results.
@@ -71,4 +72,5 @@ fn main() {
     println!("... ({} bytes total)", dot.len());
 
     println!("stats: {}", result.stats.summary());
+    Ok(())
 }

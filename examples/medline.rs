@@ -1,4 +1,5 @@
-//! Literature-mining scenario: the MEDLINE surrogate (paper §5.2, Fig. 12).
+//! Literature-mining scenario: the MEDLINE surrogate (paper §5.2, Fig. 12),
+//! mined through the `flipper-api` session façade.
 //!
 //! Citations are transactions over MeSH-style topics. Flipping patterns
 //! suggest under-explored topic combinations: substance-related disorders
@@ -8,11 +9,10 @@
 //!
 //! Run with: `cargo run --example medline` (add `--release` for full scale)
 
-use flipper_core::{mine, FlipperConfig, MinSupports};
+use flipper_api::{FlipperConfig, FlipperError, MinSupports, Session, Thresholds};
 use flipper_datagen::surrogate::medline;
-use flipper_measures::Thresholds;
 
-fn main() {
+fn main() -> Result<(), FlipperError> {
     // Scale 0.1 ≈ 64K citations (the paper's working set is 640K; pass
     // scale 1.0 for the full size — the planted chains are scale-free).
     let scale = std::env::args()
@@ -27,15 +27,16 @@ fn main() {
         data.taxonomy.height()
     );
 
+    let session = Session::open(&data)?;
     let cfg = FlipperConfig::new(
         Thresholds::new(data.thresholds.0, data.thresholds.1),
         MinSupports::Fractions(data.min_support.clone()),
     );
-    let result = mine(&data.taxonomy, &data.db, &cfg);
+    let result = session.mine(&cfg)?;
 
     println!("\nflipping patterns: {}", result.patterns.len());
     for p in &result.patterns {
-        println!("{}\n", p.display(&data.taxonomy));
+        println!("{}\n", p.display(session.taxonomy()));
     }
 
     for (a, b) in data.expected_flip_ids() {
@@ -52,4 +53,5 @@ fn main() {
         assert!(found);
     }
     println!("\nstats: {}", result.stats.summary());
+    Ok(())
 }

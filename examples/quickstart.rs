@@ -1,17 +1,22 @@
-//! Quickstart: mine the paper's toy example (Fig. 4/5).
+//! Quickstart: mine the paper's toy example (Fig. 4/5) through the
+//! `flipper-api` session façade.
 //!
 //! Builds the 10-transaction database and 3-level taxonomy from Figure 4 of
-//! the paper and mines it with γ = 0.6, ε = 0.35 — recovering the single
-//! flipping pattern `{a11, b11}` highlighted in Figure 5.
+//! the paper, opens a [`Session`] on it (in-memory sources ingest like any
+//! other), and mines with γ = 0.6, ε = 0.35 — recovering the single
+//! flipping pattern `{a11, b11}` highlighted in Figure 5. The result flows
+//! through a [`TextReport`] sink, exactly as `flipper mine` prints it.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use flipper_core::{mine, FlipperConfig, MinSupports, PruningConfig};
+use flipper_api::{
+    Dataset, FlipperConfig, FlipperError, MinSupports, PruningConfig, ResultSink, Session,
+    TextReport, Thresholds,
+};
 use flipper_data::TransactionDb;
-use flipper_measures::Thresholds;
 use flipper_taxonomy::{RebalancePolicy, Taxonomy};
 
-fn main() {
+fn main() -> Result<(), FlipperError> {
     // The taxonomy of Fig. 4: two categories (a, b), two sub-categories
     // each, two leaves per sub-category.
     let tax = Taxonomy::from_edges(
@@ -32,8 +37,7 @@ fn main() {
             ("b22", "b2"),
         ],
         RebalancePolicy::RequireBalanced,
-    )
-    .expect("taxonomy is well-formed");
+    )?;
 
     // The 10 transactions D1..D10 of Fig. 4.
     let g = |s: &str| tax.node_by_name(s).expect("item exists");
@@ -48,25 +52,19 @@ fn main() {
         vec![g("b12"), g("b21"), g("b22")],
         vec![g("b12"), g("b21")],
         vec![g("a22"), g("b12"), g("b22")],
-    ])
-    .expect("transactions are non-empty");
+    ])?;
+
+    // Ingest once; the session caches the multi-level projection.
+    let session = Session::open(Dataset { taxonomy: tax, db })?;
 
     // Example 3 of the paper: γ = 0.6, ε = 0.35, minimum support 1 count.
     let cfg = FlipperConfig::new(Thresholds::new(0.6, 0.35), MinSupports::Counts(vec![1]))
         .with_pruning(PruningConfig::FULL);
+    let result = session.mine(&cfg)?;
 
-    let result = mine(&tax, &db, &cfg);
-
-    println!("flipping patterns found: {}", result.patterns.len());
-    for p in &result.patterns {
-        println!(
-            "pattern {} (flip gap {:.3}):",
-            p.leaf_itemset.display(&tax),
-            p.flip_gap()
-        );
-        println!("{}", p.display(&tax));
-    }
-    println!("\nrun stats: {}", result.stats.summary());
+    let mut report = TextReport::new(std::io::stdout().lock());
+    report.consume("quickstart", session.taxonomy(), &cfg, &result)?;
+    report.finish()?;
 
     assert_eq!(
         result.patterns.len(),
@@ -74,7 +72,11 @@ fn main() {
         "the toy example has exactly one flipping pattern"
     );
     assert_eq!(
-        result.patterns[0].leaf_itemset.display(&tax).to_string(),
+        result.patterns[0]
+            .leaf_itemset
+            .display(session.taxonomy())
+            .to_string(),
         "{a11, b11}"
     );
+    Ok(())
 }

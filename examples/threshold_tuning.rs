@@ -1,62 +1,73 @@
-//! Threshold tuning walkthrough (paper §5.1 guidance and §7 future work).
+//! Threshold tuning walkthrough (paper §5.1 guidance and §7 future work),
+//! as a real parameter [`Sweep`] over one cached ingestion.
 //!
 //! The paper advises: pick γ first, then start ε just below γ and lower it
 //! until a satisfactory number of flipping patterns emerges; per-level
-//! minimum supports should decrease with depth. This example walks that
-//! procedure on the GROCERIES surrogate and also demonstrates the top-K
-//! "most flipping" ranking proposed in the paper's conclusions.
+//! minimum supports should decrease with depth. Before the façade this was
+//! a hand-rolled loop; now it is a γ × ε thresholds grid the session runs
+//! against its one cached view — each point bit-identical to a single-shot
+//! `mine` call. The top-K "most flipping" ranking flows through the
+//! accumulating [`TopK`] sink.
 //!
 //! Run with: `cargo run --example threshold_tuning`
 
-use flipper_core::{mine_with_view, FlipperConfig, MinSupports};
-use flipper_data::MultiLevelView;
+use flipper_api::{emit_runs, FlipperConfig, FlipperError, MinSupports, Session, Thresholds, TopK};
 use flipper_datagen::surrogate::groceries;
-use flipper_measures::Thresholds;
 
-fn main() {
+fn main() -> Result<(), FlipperError> {
     let data = groceries(42);
-    let view = MultiLevelView::build(&data.db, &data.taxonomy);
+    // Ingest once; every sweep point below reuses this projection.
+    let session = Session::open(&data)?;
 
     let gamma = 0.15;
+    let base = FlipperConfig {
+        thresholds: Thresholds::new(gamma, 0.10),
+        min_support: MinSupports::Fractions(data.min_support.clone()),
+        ..Default::default()
+    };
+
     println!("γ fixed at {gamma}; lowering ε (paper's tuning recipe):");
+    let epsilons: Vec<f64> = [14, 12, 10, 8, 6, 4, 2]
+        .iter()
+        .map(|&pct| pct as f64 / 100.0)
+        .collect();
+    let runs = session
+        .sweep()
+        .thresholds_grid(&base, &[gamma], &epsilons)
+        .run()?;
+
     println!(
-        "{:>8} {:>10} {:>12} {:>12}",
-        "ε", "flips", "candidates", "time(ms)"
+        "{:>12} {:>10} {:>12} {:>12}",
+        "point", "flips", "candidates", "time(ms)"
     );
-    for eps_pct in [14, 12, 10, 8, 6, 4, 2] {
-        let eps = eps_pct as f64 / 100.0;
-        let cfg = FlipperConfig::new(
-            Thresholds::new(gamma, eps),
-            MinSupports::Fractions(data.min_support.clone()),
-        );
-        let result = mine_with_view(&data.taxonomy, &view, &cfg);
+    for run in &runs {
         println!(
-            "{:>8.2} {:>10} {:>12} {:>12.1}",
-            eps,
-            result.patterns.len(),
-            result.stats.candidates_generated,
-            result.stats.elapsed.as_secs_f64() * 1e3,
+            "{:>12} {:>10} {:>12} {:>12.1}",
+            run.label,
+            run.result.patterns.len(),
+            run.result.stats.candidates_generated,
+            run.result.stats.elapsed.as_secs_f64() * 1e3,
         );
     }
 
     // Per-level support guidance: decreasing thresholds matter because item
     // supports shrink with depth.
     println!("\nper-level item-support profile (mean relative support):");
-    for ls in flipper_data::stats::level_stats(&data.db, &data.taxonomy) {
+    for ls in flipper_api::stats::level_stats(&data.db, &data.taxonomy) {
         println!(
             "  level {}: {} nodes, mean support {:.4}, max {:.4}",
             ls.level, ls.distinct_nodes, ls.mean_rel_support, ls.max_rel_support
         );
     }
 
-    // Top-K most-flipping ranking (the paper's §7 proposal) at the final ε.
-    let cfg = FlipperConfig::new(
-        Thresholds::new(gamma, 0.10),
-        MinSupports::Fractions(data.min_support.clone()),
-    );
-    let result = mine_with_view(&data.taxonomy, &view, &cfg);
-    println!("\ntop-3 patterns by flip gap at (γ, ε) = (0.15, 0.10):");
-    for p in result.top_k_by_gap(3) {
-        println!("gap {:.3}:\n{}\n", p.flip_gap(), p.display(&data.taxonomy));
-    }
+    // Top-K most-flipping ranking (the paper's §7 proposal) across the
+    // whole sweep, via the accumulating sink.
+    let mut leaderboard = TopK::new(3);
+    emit_runs(&mut leaderboard, session.taxonomy(), &runs)?;
+    println!("\ntop-3 patterns by flip gap across the sweep:");
+    print!("{}", leaderboard.render(session.taxonomy()));
+
+    assert_eq!(runs.len(), epsilons.len(), "one run per ε");
+    assert!(!leaderboard.entries().is_empty());
+    Ok(())
 }

@@ -1,35 +1,34 @@
 //! Threshold-free mining workflow: top-K most-flipping search (the paper's
 //! §7 proposal) followed by bootstrap stability screening, on the CENSUS
-//! surrogate. The combination answers the two questions the paper leaves to
-//! the data expert — *which thresholds?* and *can I trust this pattern?* —
-//! without manual tuning.
+//! surrogate — both through one `flipper-api` [`Session`]. The combination
+//! answers the two questions the paper leaves to the data expert — *which
+//! thresholds?* and *can I trust this pattern?* — without manual tuning,
+//! and without re-ingesting the dataset between the two analyses.
 //!
 //! Run with: `cargo run --example topk_stability`
 
-use flipper_core::stability::bootstrap_stability;
-use flipper_core::topk::{top_k, TopKConfig};
-use flipper_core::{FlipperConfig, MinSupports};
+use flipper_api::{FlipperConfig, FlipperError, MinSupports, Session, TopKConfig};
 use flipper_datagen::surrogate::census;
 
-fn main() {
+fn main() -> Result<(), FlipperError> {
     let data = census(42);
     println!("CENSUS surrogate: {} records", data.db.len());
 
+    // One ingestion serves both analyses below.
+    let session = Session::open(&data)?;
+
     // 1. Top-K search: no (γ, ε) supplied — the search relaxes thresholds
-    //    along the paper's tuning recipe until k patterns emerge.
+    //    along the paper's tuning recipe until k patterns emerge, reusing
+    //    the session's cached view for every probe run.
     let base = FlipperConfig {
         min_support: MinSupports::Fractions(data.min_support.clone()),
         ..Default::default()
     };
-    let topk = top_k(
-        &data.taxonomy,
-        &data.db,
-        &TopKConfig {
-            k: 5,
-            base: base.clone(),
-            ..Default::default()
-        },
-    );
+    let topk = session.top_k(&TopKConfig {
+        k: 5,
+        base: base.clone(),
+        ..Default::default()
+    })?;
     println!(
         "\ntop-{} patterns at auto-selected (γ, ε) = ({:.3}, {:.3}) after {} runs:",
         topk.patterns.len(),
@@ -38,20 +37,26 @@ fn main() {
         topk.runs
     );
     for p in &topk.patterns {
-        println!("gap {:.3}:\n{}\n", p.flip_gap(), p.display(&data.taxonomy));
+        println!(
+            "gap {:.3}:\n{}\n",
+            p.flip_gap(),
+            p.display(session.taxonomy())
+        );
     }
 
     // 2. Stability screening: resample the records 20 times and keep only
-    //    patterns that reappear in at least 80% of the replicates.
+    //    patterns that reappear in at least 80% of the replicates. The
+    //    session holds the materialized database (in-memory source), so
+    //    resampling is available.
     let mut cfg = base;
     cfg.thresholds = topk.thresholds;
-    let report = bootstrap_stability(&data.taxonomy, &data.db, &cfg, 20, 7);
+    let report = session.stability(&cfg, 20, 7)?;
     println!("bootstrap stability over {} rounds:", report.rounds);
     for s in &report.patterns {
         println!(
             "  {:.2}  {}{}",
             s.stability,
-            s.leaf_itemset.display(&data.taxonomy),
+            s.leaf_itemset.display(session.taxonomy()),
             if s.in_original {
                 ""
             } else {
@@ -76,4 +81,5 @@ fn main() {
         "the planted census pattern must be stable"
     );
     println!("planted census pattern confirmed stable.");
+    Ok(())
 }

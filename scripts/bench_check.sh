@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Advisory benchmark regression check: run a fresh `quickbench --smoke
+# --json` and compare every row's median against the committed
+# BENCH_smoke.json baseline with a ±30% tolerance.
+#
+#   ./scripts/bench_check.sh [baseline.json]
+#
+# The check is ADVISORY: rows outside the tolerance are flagged loudly but
+# the script always exits 0 — single-run medians on shared CI hardware are
+# too noisy to gate a merge, the goal is a visible perf trajectory. Rows
+# are keyed by (bench, dataset, config, engine, threads); rows added or
+# removed since the baseline are reported as such.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_smoke.json}"
+TOL_PCT=30
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_check: baseline $BASELINE not found (scripts/verify.sh seeds it); nothing to compare"
+    exit 0
+fi
+
+fresh="$(mktemp "${TMPDIR:-/tmp}/flipper-bench-fresh-XXXXXX.json")"
+base_rows="$(mktemp "${TMPDIR:-/tmp}/flipper-bench-base-XXXXXX.rows")"
+fresh_rows="$(mktemp "${TMPDIR:-/tmp}/flipper-bench-new-XXXXXX.rows")"
+trap 'rm -f "$fresh" "$base_rows" "$fresh_rows"' EXIT
+
+echo "== bench_check: fresh quickbench --smoke run (release)"
+cargo run --release -q --bin quickbench -- --smoke --json "$fresh" >/dev/null
+
+# One row per line: "bench|dataset|config|engine|threads median_ns".
+# The flipper-quickbench/v1 writer emits fields in this fixed order.
+extract_rows() {
+    sed -nE 's/.*\{"bench":"([^"]*)","dataset":"([^"]*)","n":[0-9]+,"config":"([^"]*)","engine":"([^"]*)","threads":([0-9]+),"samples":[0-9]+,"median_ns":([0-9]+).*/\1|\2|\3|\4|t\5 \6/p' "$1"
+}
+
+extract_rows "$BASELINE" | sort >"$base_rows"
+extract_rows "$fresh" | sort >"$fresh_rows"
+
+if [[ ! -s "$base_rows" ]]; then
+    echo "bench_check: no rows parsed from $BASELINE; is it a flipper-quickbench/v1 report?"
+    exit 0
+fi
+
+awk -v tol="$TOL_PCT" '
+    NR == FNR { base[$1] = $2; next }
+    {
+        key = $1; fresh = $2
+        if (!(key in base)) { printf "  NEW     %-55s fresh %12d ns (no baseline)\n", key, fresh; next }
+        seen[key] = 1
+        b = base[key]
+        if (b == 0) next
+        delta = (fresh - b) * 100.0 / b
+        flag = (delta > tol || delta < -tol) ? sprintf("  ** outside ±%d%% **", tol) : ""
+        printf "  %-63s base %12d  fresh %12d  %+7.1f%%%s\n", key, b, fresh, delta, flag
+        if (flag != "") bad++
+    }
+    END {
+        for (k in base) if (!(k in seen)) printf "  GONE    %-55s base %12d ns (row disappeared)\n", k, base[k]
+        if (bad > 0)
+            printf "bench_check: %d row(s) outside the advisory ±%d%% tolerance — investigate before merging\n", bad, tol
+        else
+            printf "bench_check: all rows within ±%d%% of %s\n", tol, "the baseline"
+    }
+' "$base_rows" "$fresh_rows"
+
+exit 0

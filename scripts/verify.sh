@@ -10,15 +10,24 @@
 #     count),
 #   * the FBIN storage suite (text↔fbin round-trip idempotence, streamed-
 #     vs-loaded mining equivalence, truncation/corruption behavior),
+#   * the façade acceptance suite (Session/Sweep bit-identical to the
+#     single-shot paths, flipper-results/v1 golden bytes),
+#   * the quickstart example (the library-API walkthrough must run green),
 #   * a few-second `quickbench --smoke` running the engine × threads grid,
 #     the counting-kernel rows and the storage IO rows, so a mis-wired
 #     engine, a perf cliff or a broken format fails loudly; `--json` writes
 #     the machine-readable BENCH_smoke.json baseline.
 #
+# Documentation is a gate too: `cargo doc --no-deps` must build with
+# RUSTDOCFLAGS="-D warnings" — a public API change that breaks its own
+# docs fails verification.
+#
 #   ./scripts/verify.sh
 #
 # Clippy and rustfmt run afterwards as non-blocking advisory steps: their
-# findings are printed but do not fail verification.
+# findings are printed but do not fail verification. See
+# scripts/bench_check.sh for the advisory perf comparison against the
+# committed BENCH_smoke.json medians.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,6 +47,15 @@ cargo test --release -q -p flipper-integration --test prefix_groups
 
 echo "== storage: fbin round-trip + streamed-vs-loaded equivalence under --release"
 cargo test --release -q -p flipper-integration --test store_roundtrip
+
+echo "== api façade: session/sweep equivalence + results/v1 golden under --release"
+cargo test --release -q -p flipper-integration --test facade
+
+echo "== docs: cargo doc --no-deps with -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+echo "== examples: quickstart (release)"
+cargo run --release -q -p flipper-integration --example quickstart >/dev/null
 
 echo "== execution layer + storage: quickbench --smoke (writes BENCH_smoke.json)"
 cargo run --release -q --bin quickbench -- --smoke --json BENCH_smoke.json
