@@ -48,8 +48,6 @@
 //! # Ok::<(), flipper_api::FlipperError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod error;
 pub mod io;
 mod session;

@@ -444,8 +444,7 @@ impl ResultSink for TopK {
         }
         self.entries.sort_by(|a, b| {
             b.gap
-                .partial_cmp(&a.gap)
-                .expect("gaps are finite")
+                .total_cmp(&a.gap)
                 .then_with(|| a.label.cmp(&b.label))
                 .then_with(|| a.pattern.leaf_itemset.cmp(&b.pattern.leaf_itemset))
         });

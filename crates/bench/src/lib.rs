@@ -5,8 +5,6 @@
 //! and the dependency-free [`timing`] module plus the `quickbench` bin are
 //! the offline fallback.
 
-#![warn(missing_docs)]
-
 pub mod report;
 pub mod timing;
 

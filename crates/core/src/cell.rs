@@ -1,9 +1,16 @@
 //! Cells of the two-dimensional search-space table `M` (Fig. 6 of the
 //! paper): each cell `Q(h,k)` holds the evaluated `(h,k)`-itemsets.
+//!
+//! Storage is a `Vec` kept sorted by itemset, so iteration order — and
+//! therefore everything downstream that walks a cell, up to the
+//! `flipper-results/v1` bytes — is deterministic by construction. The
+//! miner inserts candidates in ascending order (they are sorted and
+//! deduplicated in `gen_candidates`), which makes every insert an O(1)
+//! append in practice; out-of-order inserts fall back to binary-search
+//! placement.
 
 use flipper_data::Itemset;
 use flipper_measures::Label;
-use std::collections::HashMap;
 
 /// Everything known about one evaluated `(h,k)`-itemset.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,7 +31,8 @@ pub struct ItemsetInfo {
 /// One cell `Q(h,k)` of the search table.
 #[derive(Debug, Clone, Default)]
 pub struct Cell {
-    itemsets: HashMap<Itemset, ItemsetInfo>,
+    /// Sorted by itemset; no duplicates.
+    itemsets: Vec<(Itemset, ItemsetInfo)>,
 }
 
 impl Cell {
@@ -43,31 +51,39 @@ impl Cell {
         self.itemsets.is_empty()
     }
 
-    /// Insert an evaluated itemset.
+    /// Insert an evaluated itemset, replacing any previous entry.
     pub fn insert(&mut self, set: Itemset, info: ItemsetInfo) {
-        self.itemsets.insert(set, info);
+        if self.itemsets.last().is_none_or(|(last, _)| *last < set) {
+            self.itemsets.push((set, info));
+            return;
+        }
+        match self.itemsets.binary_search_by(|(s, _)| s.cmp(&set)) {
+            Ok(i) => self.itemsets[i].1 = info,
+            Err(i) => self.itemsets.insert(i, (set, info)),
+        }
     }
 
     /// Look up an itemset.
     pub fn get(&self, set: &Itemset) -> Option<&ItemsetInfo> {
-        self.itemsets.get(set)
+        self.itemsets
+            .binary_search_by(|(s, _)| s.cmp(set))
+            .ok()
+            .map(|i| &self.itemsets[i].1)
     }
 
-    /// Iterate `(itemset, info)` pairs in arbitrary order.
+    /// Iterate `(itemset, info)` pairs in ascending itemset order.
     pub fn iter(&self) -> impl Iterator<Item = (&Itemset, &ItemsetInfo)> {
-        self.itemsets.iter()
+        self.itemsets.iter().map(|(s, i)| (s, i))
     }
 
     /// Iterate itemsets with `support ≥ θ` (label ≠ infrequent).
     pub fn frequent(&self) -> impl Iterator<Item = (&Itemset, &ItemsetInfo)> {
-        self.itemsets
-            .iter()
-            .filter(|(_, i)| i.label != Label::Infrequent)
+        self.iter().filter(|(_, i)| i.label != Label::Infrequent)
     }
 
     /// Iterate chain-alive itemsets — the ones extended vertically.
     pub fn alive(&self) -> impl Iterator<Item = (&Itemset, &ItemsetInfo)> {
-        self.itemsets.iter().filter(|(_, i)| i.chain_alive)
+        self.iter().filter(|(_, i)| i.chain_alive)
     }
 
     /// Number of frequent itemsets.
@@ -78,14 +94,16 @@ impl Cell {
     /// Whether no itemset in this cell is labeled positive — the TPG
     /// condition of Theorem 3. Vacuously true for empty cells.
     pub fn all_non_positive(&self) -> bool {
-        self.itemsets.values().all(|i| i.label != Label::Positive)
+        self.itemsets
+            .iter()
+            .all(|(_, i)| i.label != Label::Positive)
     }
 
     /// Count of itemsets per label `(positive, negative, non-correlated,
     /// infrequent)`.
     pub fn label_counts(&self) -> (usize, usize, usize, usize) {
         let mut counts = (0, 0, 0, 0);
-        for info in self.itemsets.values() {
+        for (_, info) in &self.itemsets {
             match info.label {
                 Label::Positive => counts.0 += 1,
                 Label::Negative => counts.1 += 1,
@@ -148,5 +166,24 @@ mod tests {
         assert!(c.all_non_positive());
         c.insert(Itemset::pair(n(2), n(3)), info(Label::Positive, true));
         assert!(!c.all_non_positive());
+    }
+
+    #[test]
+    fn out_of_order_inserts_keep_sorted_order_and_replace() {
+        let mut c = Cell::new();
+        c.insert(Itemset::pair(n(2), n(4)), info(Label::Negative, false));
+        c.insert(Itemset::pair(n(1), n(2)), info(Label::Positive, true));
+        c.insert(Itemset::pair(n(1), n(3)), info(Label::Infrequent, false));
+        // Replacement, not duplication.
+        c.insert(Itemset::pair(n(1), n(2)), info(Label::Negative, false));
+        assert_eq!(c.len(), 3);
+        let order: Vec<_> = c.iter().map(|(s, _)| s.clone()).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        assert_eq!(
+            c.get(&Itemset::pair(n(1), n(2))).unwrap().label,
+            Label::Negative
+        );
     }
 }

@@ -46,8 +46,6 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
-
 mod cell;
 mod config;
 mod miner;

@@ -44,13 +44,12 @@
 use crate::cell::{Cell, ItemsetInfo};
 use crate::config::FlipperConfig;
 use crate::results::{CellSummary, ChainLevel, FlippingPattern, MiningResult};
-use crate::stats::RunStats;
+use crate::stats::{RunStats, Stopwatch};
 use flipper_data::tidset::intersect_many;
 use flipper_data::{Itemset, MultiLevelView, SupportCounter, TransactionDb};
 use flipper_measures::{CorrelationMeasure, Label, Thresholds};
 use flipper_taxonomy::{NodeId, Taxonomy};
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Mine all flipping patterns from `db` under `tax` with configuration
 /// `cfg`. Convenience wrapper that builds the multi-level view internally;
@@ -65,18 +64,20 @@ pub fn mine_with_view(tax: &Taxonomy, view: &MultiLevelView, cfg: &FlipperConfig
     Miner::new(tax, view, cfg).run()
 }
 
-/// Per-row mutable state.
+/// Per-row mutable state. Ordered maps throughout: every iteration over
+/// this state can reach the `flipper-results/v1` bytes, so no container
+/// here may iterate in hash order (`flipper-lint`'s determinism rule).
 struct RowState {
     /// Evaluated cells of this row, keyed by itemset size `k`.
-    cells: HashMap<usize, Cell>,
+    cells: BTreeMap<usize, Cell>,
     /// Frequent 1-items at this level, ascending by node id.
     freq_items: Vec<NodeId>,
     /// Frequent 1-items sorted ascending by support (SIBP's list `L_h`).
     by_support: Vec<NodeId>,
     /// SIBP removal-candidate prefix `R_h(k)` per column.
-    removal_prefix: HashMap<usize, HashSet<NodeId>>,
+    removal_prefix: BTreeMap<usize, BTreeSet<NodeId>>,
     /// SIBP-banned items: supersets of size > `ban_k` are pruned.
-    banned: HashMap<NodeId, usize>,
+    banned: BTreeMap<NodeId, usize>,
     /// Item supports at this level, indexed by `NodeId::index()` (absent
     /// items hold 0). Built once per level so `eval_cell`'s correlation
     /// loop reads supports from a flat array instead of issuing one virtual
@@ -126,6 +127,7 @@ impl<'a> Miner<'a> {
         for node in tax.node_ids().skip(1) {
             top_cat[node.index()] = tax
                 .ancestor_at_level(node, 1)
+                // lint:allow(panic-hygiene) taxonomy invariant: every non-root node has a level-1 ancestor
                 .expect("non-root nodes have level-1 ancestors");
         }
 
@@ -145,11 +147,11 @@ impl<'a> Miner<'a> {
             let mut by_support = freq_items.clone();
             by_support.sort_by_key(|&it| (sup_cache[it.index()], it));
             rows.push(RowState {
-                cells: HashMap::new(),
+                cells: BTreeMap::new(),
                 freq_items,
                 by_support,
-                removal_prefix: HashMap::new(),
-                banned: HashMap::new(),
+                removal_prefix: BTreeMap::new(),
+                banned: BTreeMap::new(),
                 sup_cache,
                 stored: 0,
             });
@@ -193,6 +195,7 @@ impl<'a> Miner<'a> {
         set.map(|it| {
             self.tax
                 .parent(it)
+                // lint:allow(panic-hygiene) only called on h ≥ 2 itemsets, whose items all have parents
                 .expect("items below level 1 have parents")
         })
     }
@@ -255,6 +258,7 @@ impl<'a> Miner<'a> {
                     if self.cat(la) == self.cat(lb) {
                         continue;
                     }
+                    // lint:allow(panic-hygiene) join precondition holds by the grouping loop above
                     let joined = a.apriori_join(b).expect("same prefix, distinct last items");
                     out.push(joined);
                 }
@@ -264,6 +268,7 @@ impl<'a> Miner<'a> {
         // Classic Apriori prune: every (k-1)-subset must be frequent in the
         // previous cell. (Our cells can be unions wider than the pure join
         // closure, so membership is checked explicitly.)
+        // lint:allow(panic-hygiene) the early return at the top guarantees the cell exists
         let prev = self.cell(h, k - 1).expect("checked above");
         let mut kept = Vec::with_capacity(out.len());
         let mut pruned = 0u64;
@@ -313,7 +318,7 @@ impl<'a> Miner<'a> {
         // distinct parents are disjoint, so sorting yields a strictly
         // increasing, canonical sequence) and only converted to `Itemset`s
         // once per *distinct* combination on drain.
-        let mut per_parent: HashSet<Vec<NodeId>> = HashSet::new();
+        let mut per_parent: BTreeSet<Vec<NodeId>> = BTreeSet::new();
         // Reused for every emitted combination: the common case is the same
         // combo recurring in each covering transaction, which now costs a
         // buffer refill + hash probe instead of a fresh allocation.
@@ -380,10 +385,14 @@ impl<'a> Miner<'a> {
             }
             // Distinct parents yield distinct children-combinations, so
             // draining per parent loses no cross-parent dedup; `out` is
-            // duplicate-free (in arbitrary hash order). The ban and prune
-            // passes below are order-independent, and the caller
-            // canonicalizes the final candidate union.
-            out.extend(per_parent.drain().map(Itemset::from_sorted));
+            // duplicate-free. The ban and prune passes below are
+            // order-independent, and the caller canonicalizes the final
+            // candidate union.
+            out.extend(
+                std::mem::take(&mut per_parent)
+                    .into_iter()
+                    .map(Itemset::from_sorted),
+            );
         }
         let mut sibp_pruned = 0u64;
         out.retain(|cand| {
@@ -454,7 +463,14 @@ impl<'a> Miner<'a> {
             .count_batch_sharded(h, &candidates, self.threads);
 
         let mut cell = Cell::new();
-        let mut max_corr: HashMap<NodeId, f64> = HashMap::new();
+        // Per-item max correlation for SIBP, indexed by `NodeId::index()` —
+        // a flat array instead of a hash map so downstream iteration order
+        // is structural, not hash-dependent.
+        let mut max_corr: Vec<f64> = if self.cfg.pruning.sibp {
+            vec![0.0; self.tax.node_count()]
+        } else {
+            Vec::new()
+        };
         let (mut n_pos, mut n_neg, mut n_freq) = (0usize, 0usize, 0usize);
         // Flat per-level support cache plus one reused buffer: the
         // correlation loop issues no virtual calls and no per-candidate
@@ -488,7 +504,7 @@ impl<'a> Miner<'a> {
                 });
             if self.cfg.pruning.sibp {
                 for &it in set.items() {
-                    let e = max_corr.entry(it).or_insert(0.0);
+                    let e = &mut max_corr[it.index()];
                     if corr > *e {
                         *e = corr;
                     }
@@ -544,12 +560,13 @@ impl<'a> Miner<'a> {
     /// SIBP bookkeeping after a cell: compute the removal prefix `R_h(k)`
     /// (maximal support-ascending prefix with per-cell max Corr < γ), then
     /// ban items of `R_h(k)` whose generalization is in `R_{h-1}(k)`.
-    fn sibp_after_cell(&mut self, h: usize, k: usize, max_corr: &HashMap<NodeId, f64>) {
+    /// `max_corr` is indexed by `NodeId::index()`.
+    fn sibp_after_cell(&mut self, h: usize, k: usize, max_corr: &[f64]) {
         let gamma = self.cfg.thresholds.gamma;
         let row = &self.rows[h - 1];
-        let mut prefix = HashSet::new();
+        let mut prefix = BTreeSet::new();
         for &item in &row.by_support {
-            let mc = max_corr.get(&item).copied().unwrap_or(0.0);
+            let mc = max_corr[item.index()];
             if mc < gamma {
                 prefix.insert(item);
             } else {
@@ -562,6 +579,7 @@ impl<'a> Miner<'a> {
                 .iter()
                 .copied()
                 .filter(|&it| {
+                    // lint:allow(panic-hygiene) h ≥ 2 here, so every item is below level 1
                     let parent = self.tax.parent(it).expect("below level 1");
                     above.is_some_and(|r| r.contains(&parent))
                 })
@@ -581,7 +599,7 @@ impl<'a> Miner<'a> {
     // ---- driving loops ----------------------------------------------------
 
     fn run(mut self) -> MiningResult {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let height = self.tax.height();
         if height == 1 {
             // A single level cannot flip; still mine row 1 so label counts
@@ -589,6 +607,7 @@ impl<'a> Miner<'a> {
             let mut k = 2;
             while k <= self.k_cap {
                 self.eval_cell(1, k);
+                // lint:allow(panic-hygiene) eval_cell on the previous line always inserts the cell
                 if self.cell(1, k).expect("just inserted").frequent_count() == 0 {
                     break;
                 }
@@ -673,17 +692,14 @@ impl<'a> Miner<'a> {
         self.finish(t0)
     }
 
-    fn finish(mut self, t0: Instant) -> MiningResult {
+    fn finish(mut self, t0: Stopwatch) -> MiningResult {
         let patterns = self.extract_patterns();
         self.stats.counter = self.counter.stats();
         self.stats.elapsed = t0.elapsed();
         let mut evaluated: Vec<(usize, Cell)> = Vec::new();
         for (h, row) in self.rows.into_iter().enumerate() {
-            let mut ks: Vec<usize> = row.cells.keys().copied().collect();
-            ks.sort_unstable();
-            let mut cells = row.cells;
-            for k in ks {
-                let cell = cells.remove(&k).expect("key listed above");
+            // BTreeMap iteration is ascending by `k` already.
+            for (_k, cell) in row.cells {
                 evaluated.push((h + 1, cell));
             }
         }

@@ -65,7 +65,7 @@ pub fn rank_result_by_distance(tax: &Taxonomy, result: &MiningResult) -> Vec<Ran
     out.sort_by(|a, b| {
         b.distance
             .cmp(&a.distance)
-            .then_with(|| b.corr.partial_cmp(&a.corr).expect("corr is finite"))
+            .then_with(|| b.corr.total_cmp(&a.corr))
             .then_with(|| a.itemset.cmp(&b.itemset))
     });
     out

@@ -137,7 +137,9 @@ impl FlippingPattern {
                 });
             }
         }
-        if self.chain.last().expect("non-empty").itemset != self.leaf_itemset {
+        // Emptiness was rejected above, so a missing last element can only
+        // mean LeafMismatch-grade corruption anyway.
+        if self.chain.last().map(|lv| &lv.itemset) != Some(&self.leaf_itemset) {
             return Err(ChainError::LeafMismatch);
         }
         Ok(())
@@ -227,11 +229,7 @@ impl MiningResult {
     /// "top-K most flipping" ordering.
     pub fn top_k_by_gap(&self, k: usize) -> Vec<&FlippingPattern> {
         let mut v: Vec<&FlippingPattern> = self.patterns.iter().collect();
-        v.sort_by(|a, b| {
-            b.flip_gap()
-                .partial_cmp(&a.flip_gap())
-                .expect("gaps are finite")
-        });
+        v.sort_by(|a, b| b.flip_gap().total_cmp(&a.flip_gap()));
         v.truncate(k);
         v
     }

@@ -17,7 +17,7 @@ use crate::config::FlipperConfig;
 use crate::miner::mine;
 use flipper_data::{exec, Itemset, TransactionDb};
 use flipper_taxonomy::{NodeId, Taxonomy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Stability report for one pattern.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +78,7 @@ fn bootstrap_sample(db: &TransactionDb, rng: &mut XorShift64) -> TransactionDb {
     let rows: Vec<Vec<NodeId>> = (0..n)
         .map(|_| db.transaction(rng.index(n)).to_vec())
         .collect();
+    // lint:allow(panic-hygiene) rows are resampled from an already-validated TransactionDb
     TransactionDb::new(rows).expect("resampled rows are non-empty")
 }
 
@@ -128,7 +129,7 @@ pub fn bootstrap_stability(
     .into_iter()
     .flatten()
     .collect();
-    let mut hits: HashMap<Itemset, usize> = HashMap::new();
+    let mut hits: BTreeMap<Itemset, usize> = BTreeMap::new();
     for sets in per_round {
         for set in sets {
             *hits.entry(set).or_insert(0) += 1;
@@ -155,8 +156,7 @@ pub fn bootstrap_stability(
     }
     patterns.sort_by(|a, b| {
         b.stability
-            .partial_cmp(&a.stability)
-            .expect("stabilities are finite")
+            .total_cmp(&a.stability)
             .then_with(|| a.leaf_itemset.cmp(&b.leaf_itemset))
     });
     StabilityReport { patterns, rounds }

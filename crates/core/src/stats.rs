@@ -2,7 +2,34 @@
 //! performance figures.
 
 use flipper_data::CounterStats;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The one sanctioned wall-clock in the result path.
+///
+/// `flipper-lint`'s determinism rule bans `Instant`/`SystemTime` from every
+/// module that feeds `flipper-results/v1` bytes; this module is deliberately
+/// outside that list because [`RunStats::elapsed`] is excluded from the
+/// serialized results (`serde(skip)` here, and the sink never writes it).
+/// Timing code in result-path modules goes through this wrapper so the
+/// exemption stays in exactly one place.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
 
 /// Counters accumulated over a mining run.
 ///

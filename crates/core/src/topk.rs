@@ -138,6 +138,7 @@ pub fn top_k(tax: &Taxonomy, db: &TransactionDb, cfg: &TopKConfig) -> TopKResult
 /// The search-knob invariants both entry points enforce up front.
 fn assert_search_knobs(cfg: &TopKConfig) {
     if let Err(e) = cfg.validate() {
+        // lint:allow(panic-hygiene) documented panicking entry point; fallible callers use validate()
         panic!("{e}");
     }
 }
@@ -165,8 +166,7 @@ pub fn top_k_with_view(tax: &Taxonomy, view: &MultiLevelView, cfg: &TopKConfig) 
         let mut patterns = result.patterns;
         patterns.sort_by(|a, b| {
             b.flip_gap()
-                .partial_cmp(&a.flip_gap())
-                .expect("gaps are finite")
+                .total_cmp(&a.flip_gap())
                 .then_with(|| a.leaf_itemset.cmp(&b.leaf_itemset))
         });
         patterns.truncate(cfg.k);
@@ -188,6 +188,7 @@ pub fn top_k_with_view(tax: &Taxonomy, view: &MultiLevelView, cfg: &TopKConfig) 
         }
         gamma *= cfg.gamma_step;
     }
+    // lint:allow(panic-hygiene) validate() guarantees gamma_start ≥ gamma_floor, so the loop ran
     let mut out = best.expect("at least one run performed");
     out.runs = runs;
     out

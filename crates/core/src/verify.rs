@@ -33,6 +33,7 @@ pub fn brute_force(
 
     // Leaf items actually present, and the column bound.
     let leaves: Vec<NodeId> = view.level(height).present_items().to_vec();
+    // lint:allow(panic-hygiene) height ≥ 2 was checked above, so level 1 exists
     let cats = tax.nodes_at_level(1).expect("level 1 exists").len();
     let max_width = db.max_width();
     let mut k_max = cats.min(max_width).min(leaves.len());
@@ -75,6 +76,7 @@ pub fn brute_force(
         let mut cats: Vec<NodeId> = set
             .items()
             .iter()
+            // lint:allow(panic-hygiene) leaves sit at the bottom level, so every ancestor level exists
             .map(|&it| tax.ancestor_at_level(it, 1).expect("leaf"))
             .collect();
         cats.sort_unstable();
@@ -85,6 +87,7 @@ pub fn brute_force(
         // Evaluate the chain at every level.
         let mut chain = Vec::with_capacity(height);
         for h in 1..=height {
+            // lint:allow(panic-hygiene) leaves sit at the bottom level, so every ancestor level exists
             let gen = set.map(|it| tax.ancestor_at_level(it, h).expect("leaf"));
             let lv = view.level(h);
             let sup = count_support(lv.transactions(), &gen);

@@ -38,8 +38,6 @@
 //! assert_eq!(sup, vec![1]);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod auto;
 pub mod bitset;
 mod counting;

@@ -11,8 +11,6 @@
 //!
 //! All generators are deterministic given their seed.
 
-#![warn(missing_docs)]
-
 pub mod planted;
 pub mod quest;
 mod rng_util;

@@ -218,3 +218,35 @@ fn streamed_session_mines_identically_to_loaded() {
         assert_results_equal(&got, &want, &format!("streamed threads={threads}"));
     }
 }
+
+/// Repeated-run determinism: the same configuration rendered five times at
+/// each thread count must produce byte-identical `flipper-results/v1`
+/// documents — the end-to-end guarantee behind `flipper-lint`'s
+/// `determinism` rule (no hash-ordered iteration anywhere on the result
+/// path).
+#[test]
+fn results_v1_bytes_identical_across_repeated_runs() {
+    for (name, ds, base) in cases() {
+        let session = Session::open(&ds).unwrap();
+        let mut reference: Option<Vec<u8>> = None;
+        for threads in [1usize, 4] {
+            let cfg = base.clone().with_threads(threads);
+            for run in 0..5 {
+                let result = session.mine(&cfg).unwrap();
+                let mut json = JsonWriter::new(Vec::new());
+                json.consume("repeat", session.taxonomy(), &cfg, &result)
+                    .unwrap();
+                json.finish().unwrap();
+                let bytes = json.into_inner();
+                match &reference {
+                    None => reference = Some(bytes),
+                    Some(want) => assert_eq!(
+                        String::from_utf8_lossy(&bytes),
+                        String::from_utf8_lossy(want),
+                        "{name} threads={threads} run={run}: result bytes drifted"
+                    ),
+                }
+            }
+        }
+    }
+}

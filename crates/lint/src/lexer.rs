@@ -1,0 +1,507 @@
+//! A small hand-rolled Rust lexer, just deep enough for token-level lint
+//! rules: it must never mistake the contents of a string literal, char
+//! literal or comment for code.
+//!
+//! Handled: line comments, arbitrarily nested block comments, plain and
+//! byte strings with escapes, raw strings with any hash depth (`r"…"`,
+//! `r#"…"#`, `br##"…"##`, `cr#"…"#`), raw identifiers (`r#fn`), char and
+//! byte-char literals (including `'"'` and `'/'`), lifetimes, numbers,
+//! identifiers and single-character punctuation. Everything positional is
+//! 1-based `(line, col)` in characters.
+//!
+//! The lexer is total: malformed input (say an unterminated string) never
+//! panics, it just consumes to end of input.
+
+/// What a token is. Only the distinctions the rules need are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (text in [`Tok::text`]).
+    Ident,
+    /// One punctuation character (in [`Tok::punct`]).
+    Punct,
+    /// Lifetime such as `'a` (text without the quote).
+    Lifetime,
+    /// String, raw-string, char or byte literal. Contents are discarded.
+    StrLit,
+    /// Numeric literal. Contents are discarded.
+    NumLit,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier / lifetime text (empty for other kinds).
+    pub text: String,
+    /// Punctuation character (`'\0'` for other kinds).
+    pub punct: char,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column, in characters.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Is this the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.punct == c
+    }
+}
+
+/// One comment (line or block) with its source span and raw text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the first character of the comment marker.
+    pub line: u32,
+    /// 1-based line of the last character of the comment.
+    pub end_line: u32,
+    /// Comment text without the `//` / `/* */` markers, untrimmed.
+    pub text: String,
+}
+
+/// The lexer output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Code tokens (comments and whitespace excluded).
+    pub tokens: Vec<Tok>,
+    /// All comments, for `lint:allow` and `SAFETY:` inspection.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> LexOutput {
+    let mut cur = Cursor::new(src);
+    let mut out = LexOutput::default();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur, &mut out, line);
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur, &mut out, line);
+        } else if c == '"' {
+            cur.bump();
+            consume_escaped_string(&mut cur);
+            push_lit(&mut out, TokKind::StrLit, line, col);
+        } else if c == '\'' {
+            lex_quote(&mut cur, &mut out, line, col);
+        } else if let Some(hashes) = raw_string_prefix(&cur, c) {
+            // `r"…"`, `r#"…"#`, `br##"…"##`, `cr#"…"#` — consume the prefix
+            // letters, the hashes and the opening quote, then scan for the
+            // matching `"` + hashes.
+            while cur.peek(0) != Some('"') {
+                cur.bump();
+            }
+            cur.bump();
+            consume_raw_string(&mut cur, hashes);
+            push_lit(&mut out, TokKind::StrLit, line, col);
+        } else if c == 'b' && cur.peek(1) == Some('\'') {
+            cur.bump(); // `b`
+            let (l2, c2) = (cur.line, cur.col);
+            lex_quote(&mut cur, &mut out, l2, c2);
+            if let Some(last) = out.tokens.last_mut() {
+                last.line = line;
+                last.col = col;
+            }
+        } else if c == 'b' && cur.peek(1) == Some('"') {
+            cur.bump();
+            cur.bump();
+            consume_escaped_string(&mut cur);
+            push_lit(&mut out, TokKind::StrLit, line, col);
+        } else if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier `r#fn`.
+            cur.bump();
+            cur.bump();
+            let text = consume_ident(&mut cur);
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                punct: '\0',
+                line,
+                col,
+            });
+        } else if is_ident_start(c) {
+            let text = consume_ident(&mut cur);
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                punct: '\0',
+                line,
+                col,
+            });
+        } else if c.is_ascii_digit() {
+            consume_number(&mut cur);
+            push_lit(&mut out, TokKind::NumLit, line, col);
+        } else {
+            cur.bump();
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: String::new(),
+                punct: c,
+                line,
+                col,
+            });
+        }
+    }
+    out
+}
+
+fn push_lit(out: &mut LexOutput, kind: TokKind, line: u32, col: u32) {
+    out.tokens.push(Tok {
+        kind,
+        text: String::new(),
+        punct: '\0',
+        line,
+        col,
+    });
+}
+
+/// Hash count of a raw-string opener at the cursor, if one starts here.
+/// Recognized prefixes: `r`, `br`, `b`, `c`, `cr` — but only when followed
+/// by `#*"`; `r#ident` (raw identifier) is rejected by requiring a `"`
+/// after the hashes.
+fn raw_string_prefix(cur: &Cursor, c: char) -> Option<usize> {
+    let skip = match c {
+        'r' => 1,
+        'c' if matches!(cur.peek(1), Some('"') | Some('#')) => 1,
+        'b' | 'c' if cur.peek(1) == Some('r') => 2,
+        _ => return None,
+    };
+    let mut hashes = 0;
+    while cur.peek(skip + hashes) == Some('#') {
+        hashes += 1;
+    }
+    (cur.peek(skip + hashes) == Some('"')).then_some(hashes)
+}
+
+/// Consume a `"`-terminated string body with `\`-escapes; the opening quote
+/// is already consumed.
+fn consume_escaped_string(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump();
+        } else if c == '"' {
+            break;
+        }
+    }
+}
+
+/// Consume a raw-string body terminated by `"` + `hashes` hash marks; the
+/// opening quote is already consumed.
+fn consume_raw_string(cur: &mut Cursor, hashes: usize) {
+    while !cur.at_end() {
+        if cur.peek(0) == Some('"') && (0..hashes).all(|k| cur.peek(1 + k) == Some('#')) {
+            for _ in 0..=hashes {
+                cur.bump();
+            }
+            return;
+        }
+        cur.bump();
+    }
+}
+
+/// Lex from a `'`: a char literal (`'x'`, `'\n'`, `'"'`, `'\u{1F600}'`) or
+/// a lifetime (`'a`, `'static`).
+fn lex_quote(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) {
+    cur.bump(); // opening `'`
+    match cur.peek(0) {
+        Some('\\') => {
+            cur.bump();
+            if cur.peek(0) == Some('u') {
+                cur.bump();
+                if cur.peek(0) == Some('{') {
+                    while cur.peek(0).is_some_and(|c| c != '}') {
+                        cur.bump();
+                    }
+                    cur.bump();
+                }
+            } else {
+                cur.bump();
+            }
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            push_lit(out, TokKind::StrLit, line, col);
+        }
+        Some(c) if cur.peek(1) == Some('\'') => {
+            // `'x'` — including `'"'`, `'/'` and other punctuation chars.
+            let _ = c;
+            cur.bump();
+            cur.bump();
+            push_lit(out, TokKind::StrLit, line, col);
+        }
+        Some(c) if is_ident_start(c) => {
+            let text = consume_ident(cur);
+            out.tokens.push(Tok {
+                kind: TokKind::Lifetime,
+                text,
+                punct: '\0',
+                line,
+                col,
+            });
+        }
+        _ => {
+            // Stray quote (malformed source): emit as punctuation.
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: String::new(),
+                punct: '\'',
+                line,
+                col,
+            });
+        }
+    }
+}
+
+fn consume_ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn consume_number(cur: &mut Cursor) {
+    // Digits, type suffixes and `_` separators; a `.` continues the number
+    // only when followed by a digit (so `1.max(2)` stays a method call).
+    while let Some(c) = cur.peek(0) {
+        let continues =
+            is_ident_continue(c) || (c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()));
+        if !continues {
+            break;
+        }
+        cur.bump();
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut LexOutput, line: u32) {
+    cur.bump();
+    cur.bump();
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        line,
+        end_line: line,
+        text,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut LexOutput, line: u32) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while depth > 0 && !cur.at_end() {
+        if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+            text.push_str("/*");
+        } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+            if depth > 0 {
+                text.push_str("*/");
+            }
+        } else if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    out.comments.push(Comment {
+        line,
+        end_line: cur.line,
+        text,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn plain_tokens_with_positions() {
+        let out = lex("let x = foo.bar();\nlet y = 2;");
+        let foo = out.tokens.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (1, 9));
+        let y = out.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!((y.line, y.col), (2, 5));
+    }
+
+    #[test]
+    fn string_contents_are_not_code() {
+        assert_eq!(idents(r#"let s = "HashMap unwrap // foo";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        assert_eq!(idents(r##"let s = r"unwrap";"##), ["let", "s"]);
+        assert_eq!(idents(r###"let s = r#"un"wrap"#;"###), ["let", "s"]);
+        assert_eq!(
+            idents("let s = r##\"quote \"# still inside\"##; tail"),
+            ["let", "s", "tail"]
+        );
+        assert_eq!(idents("let b = br#\"bytes\"#;"), ["let", "b"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_identifier_not_a_string() {
+        assert_eq!(
+            idents("let r#fn = 1; use r#fn;"),
+            ["let", "fn", "use", "fn"]
+        );
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_slashes() {
+        // `'"'` and `'/'` must not open a string or comment.
+        assert_eq!(
+            idents(r#"if c == '"' || c == '/' { x } else { unwrap_seen }"#),
+            ["if", "c", "c", "x", "else", "unwrap_seen"]
+        );
+        assert_eq!(
+            idents(r"let c = '\''; let d = '\\'; tail"),
+            ["let", "c", "let", "d", "tail"]
+        );
+        assert_eq!(idents(r"let c = '\u{1F600}'; tail"), ["let", "c", "tail"]);
+        assert_eq!(idents("let b = b'x'; tail"), ["let", "b", "tail"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("a /* one /* two /* three */ two */ one */ b");
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .count(),
+            2
+        );
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("three"));
+    }
+
+    #[test]
+    fn comments_record_text_and_lines() {
+        let out = lex("x\n// lint:allow(panic-hygiene) reason here\ny /* block\nspans */ z");
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 2);
+        assert!(out.comments[0].text.contains("lint:allow(panic-hygiene)"));
+        assert_eq!(out.comments[1].line, 3);
+        assert_eq!(out.comments[1].end_line, 4);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_ignored() {
+        let out = lex(r#"let s = "// not a comment /* nor this */"; y"#);
+        assert!(out.comments.is_empty());
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        assert_eq!(
+            idents("let x = 1.max(2); let y = 1.5e3_f64;"),
+            ["let", "x", "max", "let", "y"]
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        lex(r#"let s = "unterminated"#);
+        lex("let c = '");
+        lex("/* never closed");
+        lex("let r = r#\"raw never closed");
+    }
+}

@@ -1,0 +1,170 @@
+//! The `flipper-lint` binary: analyze the workspace, compare against the
+//! ratchet baseline, exit nonzero on regressions.
+//!
+//! ```text
+//! flipper-lint [--root DIR] [--baseline FILE] [--json[=FILE]] [--bless]
+//!              [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` every rule at or below baseline, `1` some rule exceeds
+//! it, `2` usage or I/O error — mirroring `FlipperError::exit_code`.
+
+use flipper_lint::report::Baseline;
+use flipper_lint::rules::RULES;
+use flipper_lint::{analyze_workspace, find_workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<Option<PathBuf>>,
+    bless: bool,
+    list_rules: bool,
+}
+
+fn usage() -> String {
+    "usage: flipper-lint [--root DIR] [--baseline FILE] [--json[=FILE]] [--bless] [--list-rules]\n\
+     \n\
+     Workspace static analysis with a ratcheting baseline (LINT_BASELINE.json).\n\
+     --root DIR        workspace root (default: nearest [workspace] ancestor)\n\
+     --baseline FILE   baseline path (default: <root>/LINT_BASELINE.json)\n\
+     --json[=FILE]     emit the flipper-lint/v1 JSON report (stdout or FILE)\n\
+     --bless           rewrite the baseline to match the current findings\n\
+     --list-rules      print the rule catalog and exit\n"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        json: None,
+        bless: false,
+        list_rules: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--root" | "--baseline" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{arg} needs a value\n\n{}", usage()))?;
+                let path = PathBuf::from(value);
+                if arg == "--root" {
+                    opts.root = Some(path);
+                } else {
+                    opts.baseline = Some(path);
+                }
+                i += 2;
+            }
+            "--json" => {
+                opts.json = Some(None);
+                i += 1;
+            }
+            "--bless" => {
+                opts.bless = true;
+                i += 1;
+            }
+            "--list-rules" => {
+                opts.list_rules = true;
+                i += 1;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                if let Some(path) = other.strip_prefix("--json=") {
+                    opts.json = Some(Some(PathBuf::from(path)));
+                    i += 1;
+                } else {
+                    return Err(format!("unknown argument `{other}`\n\n{}", usage()));
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list_rules {
+        for r in RULES {
+            let allow = if r.allowable {
+                "lint:allow accepted"
+            } else {
+                "no allows"
+            };
+            println!("{:<24} {} [{}]", r.name, r.summary, allow);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml above the current directory; pass --root")?
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("LINT_BASELINE.json"));
+
+    let report = analyze_workspace(&root).map_err(|e| e.to_string())?;
+
+    if opts.bless {
+        let blessed = Baseline::bless(&report);
+        std::fs::write(&baseline_path, blessed.to_json())
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        println!(
+            "blessed {} ({} files scanned)",
+            baseline_path.display(),
+            report.files_scanned
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).map_err(|message| {
+            format!("malformed baseline {}: {message}", baseline_path.display())
+        })?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "note: no baseline at {} — holding every rule at zero \
+                 (run with --bless to record current counts)",
+                baseline_path.display()
+            );
+            Baseline::default()
+        }
+        Err(e) => return Err(format!("read {}: {e}", baseline_path.display())),
+    };
+
+    match &opts.json {
+        Some(None) => print!("{}", report.to_json(&baseline)),
+        Some(Some(path)) => std::fs::write(path, report.to_json(&baseline))
+            .map_err(|e| format!("write {}: {e}", path.display()))?,
+        None => {}
+    }
+    if !matches!(opts.json, Some(None)) {
+        print!("{}", report.render_text(&baseline));
+    }
+
+    if report.violations(&baseline).is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

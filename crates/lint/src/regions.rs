@@ -1,0 +1,229 @@
+//! Test-region tracking over the token stream: rules only fire in
+//! *library* code, so every token must know whether it sits inside
+//! `#[cfg(test)]`-gated items or a `mod tests { … }` block.
+//!
+//! The tracker is purely token-driven (no parse tree): an attribute
+//! `#[cfg(test)]` (or any `cfg` attribute mentioning `test` without a
+//! `not`) marks the item that follows it — through its matching closing
+//! brace, or to the terminating `;` for brace-less items. A brace-less
+//! `#[cfg(test)] mod name;` additionally records `name` so the caller can
+//! skip the out-of-line file (`name.rs`) entirely. The conventional
+//! `mod tests { … }` is marked even without an attribute.
+
+use crate::lexer::Tok;
+
+/// Per-token test-region classification for one file.
+#[derive(Debug)]
+pub struct Regions {
+    /// `in_test[i]` — is token `i` inside test-only code?
+    pub in_test: Vec<bool>,
+    /// Module names declared as `#[cfg(test)] mod <name>;` — their
+    /// out-of-line files are test-only in their entirety.
+    pub cfg_test_mods: Vec<String>,
+}
+
+impl Regions {
+    /// Whether token `i` is inside a test region.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+}
+
+/// Classify every token of a file.
+pub fn analyze(toks: &[Tok]) -> Regions {
+    let mut regions = Regions {
+        in_test: vec![false; toks.len()],
+        cfg_test_mods: Vec::new(),
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(attr_end) = matching(toks, i + 1, '[', ']') {
+                if is_cfg_test_attr(&toks[i + 2..attr_end]) {
+                    let item_end = mark_item(toks, i, attr_end, &mut regions);
+                    i = item_end + 1;
+                    continue;
+                }
+                // Skip over non-test attributes so `#[derive(..)]` contents
+                // are never scanned for item starts.
+                i = attr_end + 1;
+                continue;
+            }
+        }
+        if toks[i].is_ident("mod")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("tests"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            if let Some(close) = matching(toks, i + 2, '{', '}') {
+                for flag in &mut regions.in_test[i..=close] {
+                    *flag = true;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Does an attribute body (tokens between `[` and `]`) gate on `test`?
+/// `#[cfg(test)]`, `#[cfg(all(test, unix))]` and `#[cfg_attr(test, …)]`
+/// count; `#[cfg(not(test))]` is live library code and does not.
+fn is_cfg_test_attr(body: &[Tok]) -> bool {
+    let has = |name: &str| body.iter().any(|t| t.is_ident(name));
+    (has("cfg") || has("cfg_attr")) && has("test") && !has("not")
+}
+
+/// Mark the item following a cfg(test) attribute (which spans
+/// `attr_start ..= attr_end`) and return the index of its last token.
+fn mark_item(toks: &[Tok], attr_start: usize, attr_end: usize, regions: &mut Regions) -> usize {
+    // Skip any further attributes between the cfg attribute and the item.
+    let mut j = attr_end + 1;
+    while j < toks.len()
+        && toks[j].is_punct('#')
+        && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+    {
+        match matching(toks, j + 1, '[', ']') {
+            Some(e) => j = e + 1,
+            None => break,
+        }
+    }
+    let item_start = j;
+    // The item runs to its first `{ … }` block or, for brace-less items
+    // (`use …;`, `mod name;`), to the terminating `;`.
+    let mut end = toks.len().saturating_sub(1);
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            end = matching(toks, j, '{', '}').unwrap_or(end);
+            break;
+        }
+        if toks[j].is_punct(';') {
+            end = j;
+            if toks.get(item_start).is_some_and(|t| t.is_ident("mod")) {
+                if let Some(name) = toks.get(item_start + 1) {
+                    regions.cfg_test_mods.push(name.text.clone());
+                }
+            }
+            break;
+        }
+        j += 1;
+    }
+    for flag in &mut regions.in_test[attr_start..=end.min(toks.len().saturating_sub(1))] {
+        *flag = true;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_idents(src: &str) -> (Vec<String>, Vec<String>) {
+        let out = lex(src);
+        let regions = analyze(&out.tokens);
+        let mut test = Vec::new();
+        let mut live = Vec::new();
+        for (i, t) in out.tokens.iter().enumerate() {
+            if t.kind == crate::lexer::TokKind::Ident {
+                if regions.is_test(i) {
+                    test.push(t.text.clone());
+                } else {
+                    live.push(t.text.clone());
+                }
+            }
+        }
+        (test, live)
+    }
+
+    #[test]
+    fn cfg_test_mod_block_is_test() {
+        let (test, live) = test_idents(
+            "fn live() { a.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n  fn t() { b.unwrap(); }\n}\n\
+             fn also_live() {}",
+        );
+        assert!(live.contains(&"live".to_string()));
+        assert!(live.contains(&"also_live".to_string()));
+        assert!(test.contains(&"b".to_string()));
+        assert!(!live.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn bare_mod_tests_is_test_by_convention() {
+        let (test, live) = test_idents("fn live() {}\nmod tests { fn t() {} }");
+        assert!(live.contains(&"live".to_string()));
+        assert!(test.contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_fn_and_inner_items() {
+        // Inner items of a gated fn are covered by the outer brace match.
+        let (test, live) = test_idents(
+            "#[cfg(test)]\nfn helper() { struct Inner; fn nested() { x.unwrap() } }\nfn live() {}",
+        );
+        assert!(test.contains(&"Inner".to_string()));
+        assert!(test.contains(&"nested".to_string()));
+        assert!(live.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_with_second_attribute() {
+        let (test, live) = test_idents(
+            "#[cfg(test)]\n#[derive(Debug)]\nstruct OnlyForTests { x: u32 }\nfn live() {}",
+        );
+        assert!(test.contains(&"OnlyForTests".to_string()));
+        assert!(live.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let (test, live) = test_idents("#[cfg(not(test))]\nfn shipping() { x.unwrap() }");
+        assert!(test.is_empty());
+        assert!(live.contains(&"shipping".to_string()));
+    }
+
+    #[test]
+    fn out_of_line_test_mod_is_recorded() {
+        let out = lex("#[cfg(test)]\nmod miner_proptests;\npub mod live_mod;");
+        let regions = analyze(&out.tokens);
+        assert_eq!(regions.cfg_test_mods, ["miner_proptests"]);
+        let live_mod = out
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live_mod"))
+            .unwrap();
+        assert!(!regions.is_test(live_mod));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_cfg_attr_counts() {
+        let (test, live) = test_idents("#[cfg(all(test, unix))]\nfn t() {}");
+        assert!(test.contains(&"t".to_string()));
+        assert!(live.is_empty());
+        let (test, _) = test_idents("#[cfg_attr(test, allow(dead_code))]\nfn gated() {}");
+        assert!(test.contains(&"gated".to_string()));
+    }
+
+    #[test]
+    fn derive_attributes_do_not_start_regions() {
+        let (test, live) = test_idents("#[derive(Debug, Clone)]\nstruct Live { x: u32 }");
+        assert!(test.is_empty());
+        assert!(live.contains(&"Live".to_string()));
+    }
+}

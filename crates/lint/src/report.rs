@@ -1,0 +1,424 @@
+//! Aggregated analysis report, the `flipper-lint/v1` JSON emission and the
+//! ratcheting baseline (`LINT_BASELINE.json`).
+//!
+//! Ratchet semantics: the committed baseline records, per rule, the number
+//! of un-allowed findings the workspace is *permitted* to have. A run
+//! fails as soon as any rule exceeds its baseline count; rules absent from
+//! the baseline are held at zero. Counts below baseline are reported as
+//! burn-down so the baseline can be re-blessed (`--bless`) and debt can
+//! only shrink.
+
+use crate::rules::{Finding, RULES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-rule aggregation.
+#[derive(Debug, Clone)]
+pub struct RuleCount {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Un-allowed findings (the ratcheted number).
+    pub count: u64,
+    /// Findings suppressed by `lint:allow` comments.
+    pub allowed: u64,
+}
+
+/// The result of analyzing a workspace tree.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every finding, sorted by (file, line, col); includes allowed ones
+    /// (marked) so reports show the full picture.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Per-rule counts in catalog order.
+    pub fn counts(&self) -> Vec<RuleCount> {
+        RULES
+            .iter()
+            .map(|r| {
+                let (mut count, mut allowed) = (0, 0);
+                for f in self.findings.iter().filter(|f| f.rule == r.name) {
+                    if f.allowed {
+                        allowed += 1;
+                    } else {
+                        count += 1;
+                    }
+                }
+                RuleCount {
+                    rule: r.name,
+                    count,
+                    allowed,
+                }
+            })
+            .collect()
+    }
+
+    /// Rules whose un-allowed count exceeds the baseline.
+    pub fn violations(&self, baseline: &Baseline) -> Vec<(RuleCount, u64)> {
+        self.counts()
+            .into_iter()
+            .filter_map(|c| {
+                let permitted = baseline.count(c.rule);
+                (c.count > permitted).then_some((c, permitted))
+            })
+            .collect()
+    }
+
+    /// Render the `flipper-lint/v1` JSON document.
+    pub fn to_json(&self, baseline: &Baseline) -> String {
+        let counts = self.counts();
+        let violations = self.violations(baseline);
+        let mut s = String::from("{\n  \"schema\": \"flipper-lint/v1\",\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"rules\": [\n");
+        for (i, c) in counts.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"rule\": \"{}\", \"count\": {}, \"allowed\": {}, \"baseline\": {}}}",
+                c.rule,
+                c.count,
+                c.allowed,
+                baseline.count(c.rule)
+            );
+            s.push_str(if i + 1 < counts.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"allowed\": {}, \"message\": \"{}\"}}",
+                f.rule,
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                f.allowed,
+                json_escape(&f.message)
+            );
+            s.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"verdict\": \"{}\"",
+            if violations.is_empty() {
+                "pass"
+            } else {
+                "fail"
+            }
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary: the per-rule table, plus full diagnostics
+    /// for every rule over baseline.
+    pub fn render_text(&self, baseline: &Baseline) -> String {
+        let mut s = String::new();
+        let violations = self.violations(baseline);
+        let _ = writeln!(s, "flipper-lint: {} files scanned", self.files_scanned);
+        for c in self.counts() {
+            let permitted = baseline.count(c.rule);
+            let status = if c.count > permitted {
+                "FAIL"
+            } else if c.count < permitted {
+                "ok (burn-down: re-bless to lock in)"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                s,
+                "  {:<24} {:>5} findings (baseline {:>5}, allowed {:>3})  {}",
+                c.rule, c.count, permitted, c.allowed, status
+            );
+        }
+        for (c, permitted) in &violations {
+            let _ = writeln!(
+                s,
+                "\nrule {} exceeds baseline ({} > {}):",
+                c.rule, c.count, permitted
+            );
+            for f in self
+                .findings
+                .iter()
+                .filter(|f| f.rule == c.rule && !f.allowed)
+            {
+                let _ = writeln!(s, "  {}:{}:{}: {}", f.file, f.line, f.col, f.message);
+            }
+        }
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A malformed baseline document — the lint eats its own error-hygiene
+/// dogfood, so even this one-field error is a type, not a `String`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// What the parser objected to.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<String> for BaselineError {
+    fn from(message: String) -> Self {
+        BaselineError { message }
+    }
+}
+
+/// The committed per-rule permitted counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Baseline {
+    /// Permitted count for `rule` (absent rules are held at zero).
+    pub fn count(&self, rule: &str) -> u64 {
+        self.counts.get(rule).copied().unwrap_or(0)
+    }
+
+    /// Baseline matching a report exactly (for `--bless`).
+    pub fn bless(report: &Report) -> Baseline {
+        Baseline {
+            counts: report
+                .counts()
+                .into_iter()
+                .map(|c| (c.rule.to_string(), c.count))
+                .collect(),
+        }
+    }
+
+    /// Serialize as `flipper-lint-baseline/v1`.
+    pub fn to_json(&self) -> String {
+        let mut s =
+            String::from("{\n  \"schema\": \"flipper-lint-baseline/v1\",\n  \"counts\": {\n");
+        let n = self.counts.len();
+        for (i, (rule, count)) in self.counts.iter().enumerate() {
+            let _ = write!(s, "    \"{}\": {}", json_escape(rule), count);
+            s.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Parse the baseline document. Accepts exactly the shape `to_json`
+    /// writes (whitespace-insensitive); anything else is a descriptive
+    /// error, never a panic.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut p = MiniJson::new(text);
+        p.expect('{')?;
+        let mut counts = BTreeMap::new();
+        let mut saw_schema = false;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "schema" => {
+                    let v = p.string()?;
+                    if v != "flipper-lint-baseline/v1" {
+                        return Err(format!("unsupported baseline schema `{v}`").into());
+                    }
+                    saw_schema = true;
+                }
+                "counts" => {
+                    p.expect('{')?;
+                    if !p.try_expect('}') {
+                        loop {
+                            let rule = p.string()?;
+                            p.expect(':')?;
+                            let n = p.number()?;
+                            counts.insert(rule, n);
+                            if !p.try_expect(',') {
+                                break;
+                            }
+                        }
+                        p.expect('}')?;
+                    }
+                }
+                other => return Err(format!("unexpected baseline key `{other}`").into()),
+            }
+            if !p.try_expect(',') {
+                break;
+            }
+        }
+        p.expect('}')?;
+        if !saw_schema {
+            return Err(BaselineError::from(
+                "baseline is missing the `schema` field".to_string(),
+            ));
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+/// A tiny single-purpose JSON scanner for the baseline document.
+struct MiniJson<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> MiniJson<'a> {
+    fn new(text: &'a str) -> Self {
+        MiniJson {
+            chars: text.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.chars.peek().is_some_and(|c| c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(format!("expected `{c}`, found `{got}`")),
+            None => Err(format!("expected `{c}`, found end of input")),
+        }
+    }
+
+    fn try_expect(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.chars.peek() == Some(&c) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.next() {
+                Some('"') => return Ok(s),
+                Some('\\') => match self.chars.next() {
+                    Some(e) => s.push(e),
+                    None => return Err("unterminated escape in string".to_string()),
+                },
+                Some(c) => s.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let mut s = String::new();
+        while self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+            s.push(self.chars.next().unwrap_or('0'));
+        }
+        s.parse::<u64>()
+            .map_err(|_| format!("expected a count, found `{s}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(findings: Vec<Finding>) -> Report {
+        Report {
+            files_scanned: 1,
+            findings,
+        }
+    }
+
+    fn finding(rule: &'static str, allowed: bool) -> Finding {
+        Finding {
+            rule,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 1,
+            col: 1,
+            message: "m \"quoted\"".to_string(),
+            allowed,
+        }
+    }
+
+    #[test]
+    fn counts_split_allowed_from_live() {
+        let r = report_with(vec![
+            finding("panic-hygiene", false),
+            finding("panic-hygiene", true),
+        ]);
+        let c = &r.counts()[0];
+        assert_eq!((c.rule, c.count, c.allowed), ("panic-hygiene", 1, 1));
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_ratchet() {
+        let r = report_with(vec![finding("panic-hygiene", false)]);
+        let b = Baseline::bless(&r);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert!(r.violations(&parsed).is_empty(), "blessed baseline passes");
+        // One more finding than permitted: violation.
+        let worse = report_with(vec![
+            finding("panic-hygiene", false),
+            finding("panic-hygiene", false),
+        ]);
+        let v = worse.violations(&parsed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0.count, 2);
+        assert_eq!(v[0].1, 1);
+        // Absent rules are held at zero.
+        let zero = Baseline::default();
+        assert_eq!(r.violations(&zero).len(), 1);
+    }
+
+    #[test]
+    fn baseline_parse_rejects_garbage() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"schema\": \"other/v9\", \"counts\": {}}").is_err());
+        assert!(Baseline::parse(
+            "{\"schema\": \"flipper-lint-baseline/v1\", \"counts\": {\"x\": }}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn json_report_is_escaped_and_versioned() {
+        let r = report_with(vec![finding("panic-hygiene", false)]);
+        let json = r.to_json(&Baseline::default());
+        assert!(json.contains("\"schema\": \"flipper-lint/v1\""));
+        assert!(json.contains("m \\\"quoted\\\""));
+        assert!(json.contains("\"verdict\": \"fail\""));
+        let blessed = Baseline::bless(&r);
+        assert!(r.to_json(&blessed).contains("\"verdict\": \"pass\""));
+    }
+}

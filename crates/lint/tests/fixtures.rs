@@ -1,0 +1,117 @@
+//! Fixture-tree acceptance tests for `flipper-lint`: a miniature workspace
+//! under `tests/fixtures/mini/` carries exactly one arranged violation per
+//! rule (plus an allowed finding, a `mod tests` block and an out-of-line
+//! `#[cfg(test)]` module that must stay silent), and the analysis must
+//! report precisely those diagnostics — same rule, file, line, column —
+//! with a byte-stable `flipper-lint/v1` JSON rendering and the documented
+//! CLI exit codes.
+
+use flipper_lint::analyze_workspace;
+use flipper_lint::report::Baseline;
+use std::path::Path;
+use std::process::Command;
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/mini"))
+}
+
+#[test]
+fn fixture_findings_are_exact() {
+    let report = analyze_workspace(fixture_root()).expect("fixture tree analyzes");
+    assert_eq!(
+        report.files_scanned, 6,
+        "proptests.rs is skipped as test-only"
+    );
+    let got: Vec<(&str, &str, u32, u32, bool)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.line, f.col, f.allowed))
+        .collect();
+    let want = vec![
+        ("error-hygiene", "crates/api/src/lib.rs", 2, 43, false),
+        ("error-hygiene", "crates/api/src/lib.rs", 6, 28, false),
+        ("panic-hygiene", "crates/core/src/lib.rs", 8, 7, false),
+        ("panic-hygiene", "crates/core/src/lib.rs", 13, 7, true),
+        ("determinism", "crates/core/src/miner.rs", 2, 23, false),
+        ("determinism", "crates/core/src/miner.rs", 6, 20, false),
+        (
+            "concurrency-discipline",
+            "crates/data/src/lib.rs",
+            3,
+            5,
+            false,
+        ),
+        (
+            "concurrency-discipline",
+            "crates/data/src/lib.rs",
+            3,
+            10,
+            false,
+        ),
+        ("allow-hygiene", "crates/measures/src/lib.rs", 2, 1, false),
+        ("allow-hygiene", "crates/measures/src/lib.rs", 4, 1, false),
+        ("allow-hygiene", "crates/measures/src/lib.rs", 6, 1, false),
+        ("unsafe-audit", "crates/store/src/lib.rs", 3, 5, false),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn json_report_is_byte_stable() {
+    let report = analyze_workspace(fixture_root()).expect("fixture tree analyzes");
+    let baseline_text = std::fs::read_to_string(fixture_root().join("LINT_BASELINE.json")).unwrap();
+    let baseline = Baseline::parse(&baseline_text).unwrap();
+    let expected = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/expected.json"
+    ))
+    .unwrap();
+    assert_eq!(
+        report.to_json(&baseline),
+        expected,
+        "flipper-lint/v1 rendering drifted from tests/fixtures/expected.json; \
+         regenerate it deliberately if the schema change is intentional"
+    );
+}
+
+#[test]
+fn baseline_round_trips() {
+    let report = analyze_workspace(fixture_root()).expect("fixture tree analyzes");
+    let blessed = Baseline::bless(&report);
+    let reparsed = Baseline::parse(&blessed.to_json()).unwrap();
+    assert_eq!(blessed, reparsed);
+    assert!(report.violations(&reparsed).is_empty());
+}
+
+fn lint_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flipper-lint"))
+}
+
+#[test]
+fn cli_exit_codes_follow_the_ratchet() {
+    // At-baseline run: the committed fixture baseline matches the findings.
+    let ok = lint_cmd()
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .expect("spawn flipper-lint");
+    assert_eq!(ok.status.code(), Some(0), "at-baseline run must exit 0");
+
+    // Injected regression: against a zero baseline (absent file) every
+    // fixture violation exceeds its permitted count.
+    let fail = lint_cmd()
+        .arg("--root")
+        .arg(fixture_root())
+        .arg("--baseline")
+        .arg(fixture_root().join("no-such-baseline.json"))
+        .output()
+        .expect("spawn flipper-lint");
+    assert_eq!(fail.status.code(), Some(1), "regressions must exit 1");
+
+    // Usage errors exit 2.
+    let usage = lint_cmd()
+        .arg("--no-such-flag")
+        .output()
+        .expect("spawn flipper-lint");
+    assert_eq!(usage.status.code(), Some(2), "usage errors must exit 2");
+}

@@ -1,0 +1,8 @@
+//! Fixture: error-hygiene rule.
+pub fn load(path: &str) -> Result<String, String> {
+    Err(path.to_string())
+}
+
+pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Fixture: panic-hygiene, allow handling, and test-region skipping.
+pub mod miner;
+
+#[cfg(test)]
+mod proptests;
+
+pub fn boom(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    // lint:allow(panic-hygiene) fixture: justified by construction
+    x.expect("fixture invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: determinism rule (this path is on the result-byte path list).
+use std::collections::HashMap;
+
+/// Count distinct values.
+pub fn distinct(xs: &[u32]) -> usize {
+    let mut seen = HashMap::new();
+    for &x in xs {
+        seen.insert(x, ());
+    }
+    seen.len()
+}

@@ -1,0 +1,5 @@
+//! Declared `#[cfg(test)] mod proptests;` by lib.rs — this whole file is
+//! test-only and must produce no findings.
+pub fn would_be_flagged(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

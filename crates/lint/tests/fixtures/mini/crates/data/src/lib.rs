@@ -1,0 +1,4 @@
+//! Fixture: concurrency-discipline rule (this is not `exec.rs`).
+pub fn fanout() {
+    std::thread::spawn(|| {});
+}

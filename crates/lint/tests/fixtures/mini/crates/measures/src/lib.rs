@@ -1,0 +1,7 @@
+//! Fixture: allow-hygiene rule.
+// lint:allow(determinism) that rule accepts no allows
+pub fn x() {}
+// lint:allow(panic-hygiene)
+pub fn y() {}
+// lint:allow(made-up-rule) no such rule
+pub fn z() {}

@@ -1,0 +1,9 @@
+//! Fixture: unsafe-audit rule.
+pub fn peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    // SAFETY: fixture — the pointer comes from a live slice reference.
+    unsafe { *xs.as_ptr() }
+}

@@ -29,8 +29,6 @@
 //! assert_eq!(thresholds.label(corr, true), Label::Positive);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod bounds;
 pub mod expectation;
 mod label;

@@ -25,8 +25,6 @@
 //! assert!((0.0..1.0).contains(&u));
 //! ```
 
-#![warn(missing_docs)]
-
 use std::ops::{Range, RangeInclusive};
 
 /// SplitMix64 step: advances `state` and returns the next output.

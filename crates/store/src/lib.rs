@@ -51,8 +51,6 @@
 //! incrementally and flushes a chunk section whenever [`TARGET_CHUNK_BYTES`]
 //! of encoded transactions accumulate.
 
-#![warn(missing_docs)]
-
 mod crc32;
 mod error;
 mod reader;

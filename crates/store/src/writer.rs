@@ -201,6 +201,7 @@ fn build_dict(tax: &Taxonomy) -> (Vec<u32>, Vec<bool>, Vec<u8>) {
         if tax.is_synthetic(node) {
             // Written under the original name, like the text format: the
             // reader re-pads and re-maps to the deepest copy.
+            // lint:allow(panic-hygiene) taxonomy invariant: synthetic padding nodes are never roots
             let parent = tax.parent(node).expect("synthetic nodes are not roots");
             dict_of[node.index()] = dict_of[parent.index()];
         } else {
@@ -215,6 +216,7 @@ fn build_dict(tax: &Taxonomy) -> (Vec<u32>, Vec<bool>, Vec<u8>) {
         let name = tax.name(node).as_bytes();
         write_varint(&mut payload, name.len() as u64);
         payload.extend_from_slice(name);
+        // lint:allow(panic-hygiene) node_ids().skip(1) iterates non-root nodes only
         let parent = tax.parent(node).expect("non-root");
         let code = if parent.is_root() {
             0

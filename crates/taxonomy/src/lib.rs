@@ -33,8 +33,6 @@
 //! assert_eq!(tax.height(), 2);
 //! ```
 
-#![warn(missing_docs)]
-
 mod builder;
 pub mod dot;
 mod error;

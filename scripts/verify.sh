@@ -11,7 +11,11 @@
 #   * the FBIN storage suite (text↔fbin round-trip idempotence, streamed-
 #     vs-loaded mining equivalence, truncation/corruption behavior),
 #   * the façade acceptance suite (Session/Sweep bit-identical to the
-#     single-shot paths, flipper-results/v1 golden bytes),
+#     single-shot paths, flipper-results/v1 golden bytes, repeated-run
+#     byte identity),
+#   * flipper-lint (crates/lint): project-specific static analysis — the
+#     ratchet against LINT_BASELINE.json must hold (no rule above its
+#     committed count; see README "Static analysis"),
 #   * the quickstart example (the library-API walkthrough must run green),
 #   * a few-second `quickbench --smoke` running the engine × threads grid,
 #     the counting-kernel rows and the storage IO rows, so a mis-wired
@@ -50,6 +54,9 @@ cargo test --release -q -p flipper-integration --test store_roundtrip
 
 echo "== api façade: session/sweep equivalence + results/v1 golden under --release"
 cargo test --release -q -p flipper-integration --test facade
+
+echo "== static analysis: flipper-lint against LINT_BASELINE.json"
+cargo run --release -q -p flipper-lint -- --json
 
 echo "== docs: cargo doc --no-deps with -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
