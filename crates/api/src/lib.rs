@@ -70,7 +70,7 @@ pub use flipper_core::{
     PruningConfig, RunStats,
 };
 pub use flipper_data::format::Dataset;
-pub use flipper_data::{stats, CountingEngine};
+pub use flipper_data::{stats, CacheStats, CountingEngine, SupportCache, DEFAULT_CACHE_BUDGET};
 pub use flipper_datagen::planted::PlantedParams;
 pub use flipper_datagen::quest::QuestParams;
 pub use flipper_measures::{Measure, Thresholds};

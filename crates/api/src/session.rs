@@ -5,9 +5,10 @@ use crate::source::DataSource;
 use crate::sweep::Sweep;
 use flipper_core::stability::{bootstrap_stability, StabilityReport};
 use flipper_core::topk::{top_k_with_view, TopKConfig, TopKResult};
-use flipper_core::{mine_with_view, FlipperConfig, MiningResult};
-use flipper_data::{MultiLevelView, TransactionDb};
+use flipper_core::{mine_with_view, mine_with_view_seeded, FlipperConfig, MiningResult};
+use flipper_data::{CacheStats, MultiLevelView, SupportCache, TransactionDb};
 use flipper_taxonomy::Taxonomy;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mining session over one ingested dataset.
 ///
@@ -39,6 +40,13 @@ pub struct Session {
     view: MultiLevelView,
     database: Option<TransactionDb>,
     origin: String,
+    /// Session-level support cache: every completed seeded run deposits
+    /// its counted supports here, and later seeded runs (or sweeps) answer
+    /// matching candidates without re-counting. Supports are facts about
+    /// the ingested data alone, so entries are valid for *any*
+    /// configuration over this session. Guarded by an `RwLock` so parallel
+    /// sweep jobs can read seeds concurrently.
+    supports: RwLock<SupportCache>,
 }
 
 impl Session {
@@ -62,6 +70,7 @@ impl Session {
             view: ingested.view,
             database: ingested.database,
             origin: ingested.origin,
+            supports: RwLock::new(SupportCache::new()),
         })
     }
 
@@ -105,6 +114,84 @@ impl Session {
     pub fn mine(&self, cfg: &FlipperConfig) -> Result<MiningResult, FlipperError> {
         cfg.validate()?;
         Ok(mine_with_view(&self.taxonomy, &self.view, cfg))
+    }
+
+    /// Mine under `cfg`, seeding support counting from this session's
+    /// support cache and depositing the run's counted supports back into
+    /// it.
+    ///
+    /// Patterns, cells, and `flipper-results/v1` bytes are identical to
+    /// [`mine`](Session::mine) — supports are configuration-independent
+    /// facts about the ingested data, so a cache hit returns exactly the
+    /// value counting would have produced. Only the counting cost changes:
+    /// [`flipper_core::RunStats::seeded_supports`] reports how many
+    /// candidates were answered from the cache.
+    pub fn mine_seeded(&self, cfg: &FlipperConfig) -> Result<MiningResult, FlipperError> {
+        cfg.validate()?;
+        let result = {
+            let seeds = self.seeds_read();
+            mine_with_view_seeded(&self.taxonomy, &self.view, cfg, &seeds)
+        };
+        self.absorb_seeded(&result);
+        Ok(result)
+    }
+
+    /// [`absorb`](Session::absorb) plus seed-probe accounting: a seeded run
+    /// probed the cache once per generated candidate and was answered
+    /// [`flipper_core::RunStats::seeded_supports`] times.
+    pub(crate) fn absorb_seeded(&self, result: &MiningResult) {
+        // A fully seeded run counted nothing: every k ≥ 2 support it could
+        // deposit came out of this cache, so re-inserting them is pure
+        // overhead — skip straight to the probe accounting.
+        let fully_seeded = result.stats.candidates_generated > 0
+            && result.stats.seeded_supports == result.stats.candidates_generated;
+        if !fully_seeded {
+            self.absorb(result);
+        }
+        self.seeds_write().record_seed_round(
+            result.stats.candidates_generated,
+            result.stats.seeded_supports,
+        );
+    }
+
+    /// Deposit every `(level, itemset) → support` fact a completed run
+    /// established into the session support cache, so later seeded runs
+    /// and sweeps skip re-counting them.
+    pub fn absorb(&self, result: &MiningResult) {
+        let mut cache = self.seeds_write();
+        for (h, cell) in &result.evaluated {
+            for (set, info) in cell.iter() {
+                cache.insert(*h, set, info.support);
+            }
+        }
+    }
+
+    /// Efficiency counters of the session support cache (seed lookups and
+    /// hits accumulate over [`mine_seeded`](Session::mine_seeded) and
+    /// seeded sweeps).
+    pub fn support_cache_stats(&self) -> CacheStats {
+        self.seeds_read().stats()
+    }
+
+    /// Number of cached `(level, itemset) → support` facts.
+    pub fn support_cache_len(&self) -> usize {
+        self.seeds_read().len()
+    }
+
+    /// Drop every cached support fact and reset the cache counters.
+    pub fn clear_support_cache(&self) {
+        self.seeds_write().clear();
+    }
+
+    /// Read-lock the support cache. Lock poisoning is ignored: the cache
+    /// holds plain data whose every state is valid (a half-absorbed run
+    /// just means fewer seeds), so a panicked writer cannot corrupt it.
+    pub(crate) fn seeds_read(&self) -> RwLockReadGuard<'_, SupportCache> {
+        self.supports.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn seeds_write(&self) -> RwLockWriteGuard<'_, SupportCache> {
+        self.supports.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Top-K most-flipping search ([`flipper_core::topk`]) over the cached
@@ -194,6 +281,36 @@ mod tests {
         let first = session.mine(&cfg).unwrap();
         let second = session.mine(&cfg).unwrap();
         assert_eq!(first.patterns, second.patterns);
+    }
+
+    #[test]
+    fn mine_seeded_matches_mine_and_reuses_supports() {
+        let (_, session) = planted_session();
+        let cfg = counts_cfg();
+        let plain = session.mine(&cfg).unwrap();
+        let cold = session.mine_seeded(&cfg).unwrap();
+        assert_eq!(cold.patterns, plain.patterns);
+        assert_eq!(cold.cells, plain.cells);
+        assert_eq!(cold.stats.seeded_supports, 0, "cache starts empty");
+        assert!(session.support_cache_len() > 0);
+
+        let warm = session.mine_seeded(&cfg).unwrap();
+        assert_eq!(warm.patterns, plain.patterns);
+        assert_eq!(warm.cells, plain.cells);
+        assert!(
+            warm.stats.seeded_supports > 0,
+            "second seeded run answers candidates from the session cache"
+        );
+        let stats = session.support_cache_stats();
+        assert!(stats.seed_lookups >= stats.seed_hits && stats.seed_hits > 0);
+
+        // Different config, same session: supports are data facts.
+        let mut other = counts_cfg();
+        other.pruning = flipper_core::PruningConfig::BASIC;
+        let seeded_other = session.mine_seeded(&other).unwrap();
+        let plain_other = session.mine(&other).unwrap();
+        assert_eq!(seeded_other.patterns, plain_other.patterns);
+        assert_eq!(seeded_other.cells, plain_other.cells);
     }
 
     #[test]

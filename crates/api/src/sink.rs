@@ -24,14 +24,16 @@
 //!       "totals": { "patterns", "positive", "negative" },
 //!       "cells": [ { "level", "k", "evaluated", "frequent",
 //!                    "positive", "negative", "alive" } ],
-//!       "stats": { ... counters ..., "counter": { ... engine counters ... } } } ] }
+//!       "stats": { ... search counters ... } } ] }
 //! ```
 //!
 //! The document deliberately records only **result-determining** inputs and
-//! **deterministic** outputs: the execution knobs (`engine`, `threads`) and
-//! wall-clock timings are excluded, so the bytes are identical at every
-//! thread count and on every machine — the property the golden-file test
-//! pins. Timings belong to the `flipper-quickbench/v1` schema instead.
+//! **deterministic** outputs: the execution knobs (`engine`, `threads`,
+//! `cache_budget`), the engine's internal work counters, and wall-clock
+//! timings are all excluded, so the bytes are identical at every thread
+//! count, under every counting engine and cache budget, and on every
+//! machine — the property the golden-file test pins. Timings and engine
+//! counters belong to the `flipper-quickbench/v1` schema instead.
 
 use crate::error::FlipperError;
 use flipper_core::{FlipperConfig, FlippingPattern, MinSupports, MiningResult};
@@ -340,9 +342,7 @@ impl<W: Write> ResultSink for JsonWriter<W> {
              \"dead_parent_cells\":{},\"frequent_found\":{},\
              \"positive_found\":{},\"negative_found\":{},\"tpg_cap\":{},\
              \"sibp_banned_items\":{},\"peak_resident_itemsets\":{},\
-             \"total_stored_itemsets\":{},\"counter\":{{\
-             \"db_scans\":{},\"subset_tests\":{},\"intersections\":{},\
-             \"candidates_counted\":{},\"prefix_reuses\":{}}}}}}}",
+             \"total_stored_itemsets\":{}}}}}",
             s.cells_evaluated,
             s.candidates_generated,
             s.pruned_by_sibp,
@@ -355,11 +355,6 @@ impl<W: Write> ResultSink for JsonWriter<W> {
             s.sibp_banned_items,
             s.peak_resident_itemsets,
             s.total_stored_itemsets,
-            s.counter.db_scans,
-            s.counter.subset_tests,
-            s.counter.intersections,
-            s.counter.candidates_counted,
-            s.counter.prefix_reuses,
         ));
         self.w.write_all(out.as_bytes()).map_err(write_err)
     }
@@ -500,10 +495,15 @@ mod tests {
         assert_eq!(doc.matches("{\"label\":").count(), 2);
         assert!(doc.contains("\"pruning\":\"flipping+tpg+sibp\""));
         assert!(doc.contains("\"min_support\":{\"counts\":[5]}"));
-        // Execution knobs are deliberately absent.
+        // Execution knobs and engine work counters are deliberately
+        // absent: the bytes must be identical across engines, thread
+        // counts and cache budgets.
         assert!(!doc.contains("threads"));
         assert!(!doc.contains("engine"));
         assert!(!doc.contains("elapsed"));
+        assert!(!doc.contains("\"counter\""));
+        assert!(!doc.contains("intersections"));
+        assert!(!doc.contains("cache"));
         // Structural balance (stand-in for a JSON parser offline).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());

@@ -7,12 +7,26 @@
 //! over `flipper_data::exec` workers, and returns labeled results in
 //! submission order — each bit-identical to calling
 //! [`Session::mine`](crate::Session::mine) with that configuration alone.
+//!
+//! Two cost levers ride on top, neither of which can change any result:
+//!
+//! * **Deduplication** — points that agree on every result-determining
+//!   field (measure, thresholds, supports, pruning, `max_k`) mine once;
+//!   the repeats reuse the result and are flagged via
+//!   [`SweepRun::duplicate_of`].
+//! * **Support seeding** (default on, [`Sweep::with_seeding`]) — runs
+//!   answer `(level, itemset)` supports already counted by earlier runs
+//!   from the session's [`flipper_data::SupportCache`] and deposit their
+//!   own counts back for the next sweep.
 
 use crate::error::FlipperError;
 use crate::session::Session;
-use flipper_core::{mine_with_view, FlipperConfig, MiningResult, PruningConfig};
+use flipper_core::{
+    mine_with_view, mine_with_view_seeded, FlipperConfig, MinSupports, MiningResult, PruningConfig,
+};
 use flipper_data::{exec, CountingEngine};
 use flipper_measures::Thresholds;
+use std::collections::BTreeMap;
 
 /// One γ/ε grid point: `Some((label, thresholds))` when the pair satisfies
 /// the paper's `ε < γ` constraint, `None` otherwise. The single source of
@@ -37,6 +51,33 @@ pub struct SweepRun {
     pub config: FlipperConfig,
     /// Its mining result.
     pub result: MiningResult,
+    /// `Some(label)` when this point's result-determining fields matched
+    /// an earlier point, whose result was reused instead of re-mined.
+    /// Engine, thread count and cache budget never change results, so
+    /// points differing only in those are duplicates by construction.
+    pub duplicate_of: Option<String>,
+}
+
+/// The fields of a configuration that can change the mined result. Two
+/// points with equal keys produce bit-identical results, so the sweep mines
+/// the first and reuses it for the rest. Floats are keyed by their exact
+/// bit patterns — no epsilon games.
+fn result_key(cfg: &FlipperConfig) -> String {
+    let min_support = match &cfg.min_support {
+        MinSupports::Counts(v) => format!("c{v:?}"),
+        MinSupports::Fractions(v) => {
+            let bits: Vec<u64> = v.iter().map(|f| f.to_bits()).collect();
+            format!("f{bits:?}")
+        }
+    };
+    format!(
+        "{:?}|g{:016x}|e{:016x}|{min_support}|{:?}|k{:?}",
+        cfg.measure,
+        cfg.thresholds.gamma.to_bits(),
+        cfg.thresholds.epsilon.to_bits(),
+        cfg.pruning,
+        cfg.max_k,
+    )
 }
 
 /// Builder for a labeled set of mining runs over one [`Session`].
@@ -69,6 +110,7 @@ pub struct Sweep<'s> {
     session: &'s Session,
     points: Vec<(String, FlipperConfig)>,
     jobs: usize,
+    seed_supports: bool,
 }
 
 impl<'s> Sweep<'s> {
@@ -79,7 +121,19 @@ impl<'s> Sweep<'s> {
             session,
             points: Vec::new(),
             jobs: 1,
+            seed_supports: true,
         }
+    }
+
+    /// Toggle seeding from the session support cache (default on). Seeded
+    /// points answer already-counted `(level, itemset)` supports from
+    /// earlier completed runs instead of re-counting them, and deposit
+    /// their own counts back for the next sweep. Results are identical
+    /// either way — supports are data facts, independent of any
+    /// configuration — so turning this off only changes counting cost.
+    pub fn with_seeding(mut self, seed_supports: bool) -> Self {
+        self.seed_supports = seed_supports;
+        self
     }
 
     /// Shard the sweep's *runs* over `jobs` scoped workers (`0` =
@@ -167,25 +221,69 @@ impl<'s> Sweep<'s> {
     /// as [`FlipperError::Config`] — the same category
     /// [`Session::mine`](crate::Session::mine) reports for the identical
     /// configuration, so frontends can map config failures uniformly.
+    ///
+    /// Points whose result-determining fields (`result_key`) match an
+    /// earlier point are not re-mined: they receive the first point's
+    /// result and carry [`SweepRun::duplicate_of`] naming it. An
+    /// engine × thread matrix therefore mines exactly once.
     pub fn run(self) -> Result<Vec<SweepRun>, FlipperError> {
         for (_, cfg) in &self.points {
             cfg.validate()?;
         }
         let session = self.session;
-        let results = exec::map_slice_chunks(self.jobs, &self.points, |chunk| {
-            chunk
-                .iter()
-                .map(|(_, cfg)| mine_with_view(session.taxonomy(), session.view(), cfg))
-                .collect::<Vec<_>>()
-        });
+        // Partition into unique points (mined) and duplicates (reused):
+        // per point, the slot of its result in the unique-result vector,
+        // plus the index of the original point when it is a repeat.
+        let mut first_of: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        let mut unique: Vec<&(String, FlipperConfig)> = Vec::new();
+        let mut assignment: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.points.len());
+        for (i, point) in self.points.iter().enumerate() {
+            match first_of.entry(result_key(&point.1)) {
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    let &(orig, slot) = e.get();
+                    assignment.push((slot, Some(orig)));
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((i, unique.len()));
+                    assignment.push((unique.len(), None));
+                    unique.push(point);
+                }
+            }
+        }
+        let results: Vec<MiningResult> = {
+            // Hold the read lock across the whole sweep: every job seeds
+            // from the same cache snapshot, concurrently.
+            let seeds = self.seed_supports.then(|| session.seeds_read());
+            exec::map_slice_chunks(self.jobs, &unique, |chunk| {
+                chunk
+                    .iter()
+                    .map(|(_, cfg)| match &seeds {
+                        Some(s) => {
+                            mine_with_view_seeded(session.taxonomy(), session.view(), cfg, s)
+                        }
+                        None => mine_with_view(session.taxonomy(), session.view(), cfg),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        if self.seed_supports {
+            for result in &results {
+                session.absorb_seeded(result);
+            }
+        }
         Ok(self
             .points
-            .into_iter()
-            .zip(results.into_iter().flatten())
-            .map(|((label, config), result)| SweepRun {
+            .iter()
+            .cloned()
+            .zip(assignment)
+            .map(|((label, config), (slot, orig))| SweepRun {
                 label,
                 config,
-                result,
+                result: results[slot].clone(),
+                duplicate_of: orig.map(|i| self.points[i].0.clone()),
             })
             .collect())
     }
@@ -254,6 +352,68 @@ mod tests {
                 assert_eq!(run.result.cells, solo.cells, "jobs={jobs} {}", run.label);
             }
         }
+    }
+
+    #[test]
+    fn engine_thread_matrix_mines_once_and_flags_duplicates() {
+        let s = session();
+        let runs = s
+            .sweep()
+            .engine_threads(
+                &base(),
+                &[CountingEngine::Tidset, CountingEngine::Bitset],
+                &[1, 2],
+            )
+            .run()
+            .unwrap();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].duplicate_of, None, "first point actually mines");
+        for run in &runs[1..] {
+            assert_eq!(
+                run.duplicate_of.as_deref(),
+                Some("tidset/t1"),
+                "{}: engine/threads never change results",
+                run.label
+            );
+            assert_eq!(run.result.patterns, runs[0].result.patterns);
+            assert_eq!(run.result.cells, runs[0].result.cells);
+        }
+        // Distinct thresholds stay distinct.
+        let grid = s
+            .sweep()
+            .thresholds_grid(&base(), &[0.5, 0.4], &[0.1])
+            .run()
+            .unwrap();
+        assert!(grid.iter().all(|r| r.duplicate_of.is_none()));
+    }
+
+    #[test]
+    fn seeded_sweeps_match_unseeded_and_hit_the_support_cache() {
+        let s = session();
+        let grid = |seed: bool| {
+            s.sweep()
+                .with_seeding(seed)
+                .thresholds_grid(&base(), &[0.5, 0.3], &[0.1, 0.2])
+                .run()
+                .unwrap()
+        };
+        let cold = grid(true);
+        assert!(s.support_cache_len() > 0, "sweep deposits counted supports");
+        let warm = grid(true);
+        let stats = s.support_cache_stats();
+        assert!(
+            stats.seed_hits > 0,
+            "second sweep must be answered from the cache: {stats:?}"
+        );
+        let unseeded = grid(false);
+        for ((c, w), u) in cold.iter().zip(&warm).zip(&unseeded) {
+            assert_eq!(c.result.patterns, w.result.patterns, "{}", c.label);
+            assert_eq!(c.result.patterns, u.result.patterns, "{}", c.label);
+            assert_eq!(c.result.cells, w.result.cells, "{}", c.label);
+            assert_eq!(c.result.cells, u.result.cells, "{}", c.label);
+        }
+        s.clear_support_cache();
+        assert_eq!(s.support_cache_len(), 0);
     }
 
     #[test]

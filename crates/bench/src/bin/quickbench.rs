@@ -1,8 +1,10 @@
 //! Dependency-free fallback for `benches/paper_benches.rs`: times the same
 //! configurations with the `std::time::Instant` harness in
 //! [`flipper_bench::timing`] and prints fixed-width tables, plus the
-//! execution-layer grid (counting engine × worker threads) and the
-//! counting-kernel rows (prefix-cached vs naive per-candidate).
+//! execution-layer grid (counting engine × worker threads), the
+//! counting-kernel rows (prefix-cached and cell-cached vs naive
+//! per-candidate) and the sweep-seeding rows (support-cache-seeded vs cold
+//! γ/ε grids).
 //!
 //! Scale with `--scale <f>` (default 0.2 so a full run stays interactive;
 //! 1.0 matches the criterion bench inputs) and sample count with
@@ -13,14 +15,15 @@
 //! `flipper-quickbench/v1` JSON report (see [`flipper_bench::report`]) —
 //! the machine-readable baseline future PRs regress against.
 
+use flipper_api::Session;
 use flipper_bench::report::{write_report, BenchRow};
 use flipper_bench::timing::{time_fn, Timing};
 use flipper_bench::{flag_from_args, opt_from_args, print_table, scale_from_args};
 use flipper_core::{mine_with_view, FlipperConfig, MinSupports, PruningConfig};
 use flipper_data::format::{read_dataset, write_dataset};
 use flipper_data::{
-    naive_tidset_counts, BitsetCounter, CountingEngine, Itemset, MultiLevelView, SupportCounter,
-    TidsetCounter,
+    naive_tidset_counts, BitsetCounter, CellCache, CountingEngine, Itemset, MultiLevelView,
+    SupportCounter, TidsetCounter, DEFAULT_CACHE_BUDGET,
 };
 use flipper_datagen::quest::{generate, QuestParams};
 use flipper_datagen::surrogate::groceries;
@@ -194,6 +197,26 @@ fn counting_kernel_rows(n: usize, warmup: usize, samples: usize, report: &mut Ve
     let t_bitset = time_fn("bitset-prefix/k3", warmup, samples, || {
         bc.count_shard(h, &batch)
     });
+
+    // Cross-cell cache rows: cold pays the first-visit cost of populating a
+    // fresh `CellCache`; warm answers every (k−1)-prefix from memory so the
+    // kernel only performs the final per-candidate intersection.
+    let mut tcc = TidsetCounter::new(&view);
+    let t_cache_cold = time_fn("tidset-cache-cold/k3", warmup, samples, || {
+        let mut cache = CellCache::new(DEFAULT_CACHE_BUDGET);
+        tcc.count_batch_cached(h, &batch, 1, &mut cache)
+    });
+    let mut warm = CellCache::new(DEFAULT_CACHE_BUDGET);
+    assert_eq!(
+        tcc.count_batch_cached(h, &batch, 1, &mut warm),
+        reference,
+        "cell-cached tidset kernel diverged from the naive reference"
+    );
+    let t_cache_warm = time_fn("tidset-cache-warm/k3", warmup, samples, || {
+        tcc.count_batch_cached(h, &batch, 1, &mut warm)
+    });
+    let cache_stats = warm.stats();
+
     report.push(BenchRow::new(
         "kernel",
         "quest",
@@ -214,13 +237,38 @@ fn counting_kernel_rows(n: usize, warmup: usize, samples: usize, report: &mut Ve
         1,
         t_bitset.clone(),
     ));
+    report.push(BenchRow::new(
+        "kernel",
+        "quest",
+        n,
+        "tidset-cache-cold",
+        1,
+        t_cache_cold.clone(),
+    ));
+    report.push(
+        BenchRow::new(
+            "kernel",
+            "quest",
+            n,
+            "tidset-cache-warm",
+            1,
+            t_cache_warm.clone(),
+        )
+        .with_cache(cache_stats),
+    );
     print_table(
         &format!(
             "counting kernels (quest, N = {n}, leaf level, {} k=3 candidates)",
             batch.len()
         ),
         &["config", "median_ms", "min_ms", "mean_ms"],
-        &[t_naive.cells(), t_prefix.cells(), t_bitset.cells()],
+        &[
+            t_naive.cells(),
+            t_prefix.cells(),
+            t_bitset.cells(),
+            t_cache_cold.cells(),
+            t_cache_warm.cells(),
+        ],
     );
     let (naive_med, prefix_med) = (t_naive.median.as_secs_f64(), t_prefix.median.as_secs_f64());
     if prefix_med > 0.0 {
@@ -230,6 +278,89 @@ fn counting_kernel_rows(n: usize, warmup: usize, samples: usize, report: &mut Ve
             100.0 * kernel_stats.prefix_reuses as f64 / kernel_stats.candidates_counted as f64,
             kernel_stats.prefix_reuses,
             kernel_stats.candidates_counted,
+        );
+    }
+    let warm_med = t_cache_warm.median.as_secs_f64();
+    if warm_med > 0.0 {
+        println!(
+            "  warm cell-cache speedup over naive: {:.2}x  (hit rate {:.0}%, {} KiB resident)",
+            naive_med / warm_med,
+            100.0 * cache_stats.hit_rate(),
+            cache_stats.bytes_resident / 1024,
+        );
+    }
+}
+
+/// Sweep-seeding rows: the same γ/ε grid swept cold (seeding off, every
+/// point counts all of its candidates) vs seeded (the session's support
+/// cache answers already-counted `(h, itemset)` supports). Both sweeps run
+/// on a session with a prebuilt view so the comparison isolates counting
+/// cost; the seeded session is warmed by one throwaway sweep first. The
+/// grid runs the `scan` engine — the paper's disk model, where counting is
+/// the dominant cost and skipping it shows the cache's full value (the
+/// vertical engines' prefix kernels already amortize most of what seeding
+/// saves).
+fn sweep_seeding_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<BenchRow>) {
+    let ds = generate(&QuestParams::default().with_transactions(n)).into_dataset();
+    let base = FlipperConfig::new(
+        Thresholds::new(0.3, 0.1),
+        MinSupports::Fractions(vec![0.001, 0.0001, 0.00006, 0.00003]),
+    )
+    .with_pruning(PruningConfig::BASIC)
+    .with_engine(CountingEngine::Scan);
+    let gammas = [0.5, 0.4, 0.3];
+    let epsilons = [0.25, 0.1];
+
+    let cold_session = Session::open(&ds).expect("open session");
+    let t_cold = time_fn("sweep-cold/6pt", warmup, samples, || {
+        cold_session
+            .sweep()
+            .with_seeding(false)
+            .thresholds_grid(&base, &gammas, &epsilons)
+            .run()
+            .expect("cold sweep")
+    });
+
+    let seeded_session = Session::open(&ds).expect("open session");
+    seeded_session
+        .sweep()
+        .thresholds_grid(&base, &gammas, &epsilons)
+        .run()
+        .expect("warmup sweep");
+    let t_seeded = time_fn("sweep-seeded/6pt", warmup, samples, || {
+        seeded_session
+            .sweep()
+            .thresholds_grid(&base, &gammas, &epsilons)
+            .run()
+            .expect("seeded sweep")
+    });
+    let cache_stats = seeded_session.support_cache_stats();
+
+    report.push(BenchRow::new(
+        "sweep",
+        "quest",
+        n,
+        "cold",
+        1,
+        t_cold.clone(),
+    ));
+    report.push(
+        BenchRow::new("sweep", "quest", n, "seeded", 1, t_seeded.clone()).with_cache(cache_stats),
+    );
+    print_table(
+        &format!("sweep seeding (quest, N = {n}, 3×2 γ/ε grid, basic/thr10, scan engine)"),
+        &["config", "median_ms", "min_ms", "mean_ms"],
+        &[t_cold.cells(), t_seeded.cells()],
+    );
+    let (cold_med, seeded_med) = (t_cold.median.as_secs_f64(), t_seeded.median.as_secs_f64());
+    if seeded_med > 0.0 && cache_stats.seed_lookups > 0 {
+        println!(
+            "  seeded sweep speedup over cold: {:.2}x  (seed hit rate {:.0}%: {} of {} supports, {} cached)",
+            cold_med / seeded_med,
+            100.0 * cache_stats.seed_hits as f64 / cache_stats.seed_lookups as f64,
+            cache_stats.seed_hits,
+            cache_stats.seed_lookups,
+            seeded_session.support_cache_len(),
         );
     }
 }
@@ -292,14 +423,18 @@ fn storage_io_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<Ben
 }
 
 /// Few-second CI smoke: the full engine × threads grid, the counting-kernel
-/// comparison (naive vs prefix-cached, with a built-in bit-identity
-/// assertion) and the storage/IO rows at toy scale. Any engine regressing
+/// comparison (naive vs prefix-cached vs cell-cached, with a built-in
+/// bit-identity assertion), the sweep-seeding comparison and the
+/// storage/IO rows at toy scale. Any engine regressing
 /// by an order of magnitude shows up immediately in the printed medians;
 /// any mis-wired engine/thread combination, kernel divergence or broken
 /// format round-trip panics the run.
 fn run_smoke(report: &mut Vec<BenchRow>) {
     exec_layer_grid(300, 0, 1, report);
     counting_kernel_rows(300, 0, 1, report);
+    // The sweep rows need enough transactions for scan counting to dominate
+    // the per-point cost, or the seeded-vs-cold signal drowns in overhead.
+    sweep_seeding_rows(800, 0, 1, report);
     storage_io_rows(300, 0, 1, report);
     println!("\nquickbench --smoke PASSED");
 }
@@ -398,6 +533,9 @@ fn main() {
 
     // Counting kernels: prefix-cached vs naive on the k=3-heavy leaf batch.
     counting_kernel_rows(1000, warmup, samples, &mut report);
+
+    // Sweep seeding: cold vs support-cache-seeded γ/ε grids.
+    sweep_seeding_rows(1000, warmup, samples, &mut report);
 
     // Storage/IO: text parse vs FBIN load vs streamed ingestion, N = 1000.
     storage_io_rows(1000, warmup, samples, &mut report);

@@ -8,7 +8,7 @@
 //! order, minimal string escaping.
 
 use crate::timing::Timing;
-use flipper_data::CounterStats;
+use flipper_data::{CacheStats, CounterStats};
 
 /// One benchmark measurement destined for the JSON report.
 #[derive(Debug, Clone)]
@@ -31,6 +31,12 @@ pub struct BenchRow {
     /// Counting-engine work statistics for the run, when the experiment
     /// surfaces them (mining runs do; storage rows do not).
     pub stats: Option<CounterStats>,
+    /// Cache-efficiency statistics (prefix-cache hit rates, bytes
+    /// resident, support-cache seeding), when the experiment measures the
+    /// caching layer. Serialized *after* `stats` so the fixed field-order
+    /// prefix `bench,…,median_ns` that `scripts/bench_check.sh` keys rows
+    /// by is unchanged.
+    pub cache: Option<CacheStats>,
 }
 
 impl BenchRow {
@@ -52,12 +58,19 @@ impl BenchRow {
             threads,
             timing,
             stats: None,
+            cache: None,
         }
     }
 
     /// Attach counting-engine statistics.
     pub fn with_stats(mut self, stats: CounterStats) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Attach cache-efficiency statistics.
+    pub fn with_cache(mut self, cache: CacheStats) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -70,10 +83,27 @@ impl BenchRow {
                 s.db_scans, s.subset_tests, s.intersections, s.candidates_counted, s.prefix_reuses
             ),
         };
+        let cache = match &self.cache {
+            None => "null".to_string(),
+            Some(c) => format!(
+                "{{\"lookups\":{},\"exact_hits\":{},\"parent_hits\":{},\
+                 \"hit_rate\":{:.4},\"insertions\":{},\"evicted_cells\":{},\
+                 \"bytes_resident\":{},\"seed_lookups\":{},\"seed_hits\":{}}}",
+                c.lookups,
+                c.exact_hits,
+                c.parent_hits,
+                c.hit_rate(),
+                c.insertions,
+                c.evicted_cells,
+                c.bytes_resident,
+                c.seed_lookups,
+                c.seed_hits
+            ),
+        };
         format!(
             "{{\"bench\":{},\"dataset\":{},\"n\":{},\"config\":{},\"engine\":{},\
              \"threads\":{},\"samples\":{},\"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\
-             \"stats\":{}}}",
+             \"stats\":{},\"cache\":{}}}",
             json_string(self.bench),
             json_string(self.dataset),
             self.n,
@@ -85,6 +115,7 @@ impl BenchRow {
             self.timing.min.as_nanos(),
             self.timing.mean.as_nanos(),
             stats,
+            cache,
         )
     }
 }
@@ -161,8 +192,33 @@ mod tests {
         assert!(doc.contains("\"engine\":\"tidset\""));
         assert!(doc.contains("\"threads\":2"));
         assert!(doc.contains("\"prefix_reuses\":5"));
+        assert!(doc.contains("\"cache\":null"));
         // Rows are comma-separated: exactly one separator for two rows.
         assert_eq!(doc.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn cache_block_serializes_after_stats() {
+        let r = row().with_cache(CacheStats {
+            lookups: 8,
+            exact_hits: 4,
+            parent_hits: 2,
+            insertions: 3,
+            evicted_cells: 1,
+            bytes_resident: 4096,
+            seed_lookups: 10,
+            seed_hits: 9,
+        });
+        let doc = render_report(&[r]);
+        // The fixed field-order prefix bench_check.sh keys on is intact…
+        assert!(doc.contains("\"bench\":\"exec_grid\",\"dataset\":\"quest\",\"n\":300"));
+        // …and the cache block follows the stats block.
+        let stats_at = doc.find("\"stats\":").unwrap();
+        let cache_at = doc.find("\"cache\":{").unwrap();
+        assert!(cache_at > stats_at);
+        assert!(doc.contains("\"hit_rate\":0.7500"));
+        assert!(doc.contains("\"bytes_resident\":4096"));
+        assert!(doc.contains("\"seed_hits\":9"));
     }
 
     #[test]

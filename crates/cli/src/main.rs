@@ -44,11 +44,13 @@ USAGE:
                    [--variant basic|flipping|tpg|full]
                    [--engine tidset|scan|bitset|auto] [--top K] [--max-k K]
                    [--threads N]   (0 = all cores, default 1)
+                   [--cache-budget BYTES]   (e.g. 4M; 0 disables, default 16M)
                    [--output-json FILE]
   flipper sweep    --input FILE [--gammas F1,F2,...] [--epsilons F1,F2,...]
                    [--variants v1,v2,...|all] [--engines e1,e2,...|all]
                    [--minsup F1,F2,...] [--measure NAME] [--threads N]
-                   [--jobs N] [--output-json FILE]
+                   [--jobs N] [--cache-budget BYTES] [--seed-supports on|off]
+                   [--output-json FILE]
   flipper convert  --input FILE --out FILE [--to text|fbin]
   flipper topk     --input FILE --k N [--minsup F1,F2,...]
   flipper stats    --input FILE
@@ -62,6 +64,13 @@ defaults from a `.fbin` extension. `sweep` ingests the dataset ONCE and runs
 the whole grid against the cached view; `--jobs` shards the runs themselves
 over workers. `--output-json` writes the machine-readable
 `flipper-results/v1` report.
+
+`--cache-budget` caps the per-worker cross-cell prefix cache (suffixes K/M/G;
+0 disables it). `--seed-supports` (sweep, default on) answers supports
+already counted by earlier grid points from a session-level cache. Sweep
+points that differ only in execution knobs (engine, threads) mine once — the
+repeats are marked `= <label>` in the table. None of these switches can
+change any mined result; they only change how much counting costs.
 
 EXIT CODES:  0 success · 1 data/I-O/config error · 2 usage error
 
@@ -158,6 +167,23 @@ fn get_f64_list(flags: &Flags, key: &str) -> Result<Option<Vec<f64>>, FlipperErr
             .collect::<Result<Vec<f64>, _>>()
             .map(Some),
     }
+}
+
+/// Parse a byte-size flag: a plain integer with an optional `K`/`M`/`G`
+/// suffix (powers of 1024, case-insensitive), e.g. `--cache-budget 4M`.
+fn get_bytes(flags: &Flags, key: &str, default: usize) -> Result<usize, FlipperError> {
+    let Some(v) = flags.get(key) else {
+        return Ok(default);
+    };
+    let bad = || FlipperError::usage(format!("--{key} expects BYTES like 65536 or 4M, got {v:?}"));
+    let (digits, shift) = match v.trim_end().chars().last() {
+        Some('k') | Some('K') => (&v[..v.len() - 1], 10),
+        Some('m') | Some('M') => (&v[..v.len() - 1], 20),
+        Some('g') | Some('G') => (&v[..v.len() - 1], 30),
+        _ => (v.as_str(), 0),
+    };
+    let n: usize = digits.trim().parse().map_err(|_| bad())?;
+    n.checked_mul(1usize << shift).ok_or_else(bad)
 }
 
 fn input_path(flags: &Flags) -> Result<&String, FlipperError> {
@@ -302,6 +328,7 @@ fn base_config(flags: &Flags) -> Result<FlipperConfig, FlipperError> {
         min_support: parse_minsup(flags)?,
         measure: parse_measure(flags)?,
         threads: get_usize(flags, "threads", 1)?,
+        cache_budget: get_bytes(flags, "cache-budget", flipper_api::DEFAULT_CACHE_BUDGET)?,
         ..Default::default()
     };
     if let Some(name) = flags.get("variant") {
@@ -387,6 +414,15 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
             .collect::<Result<_, _>>()?,
     };
     let jobs = get_usize(flags, "jobs", 1)?;
+    let seed_supports = match flags.get("seed-supports").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(FlipperError::usage(format!(
+                "--seed-supports expects on or off, got {other:?}"
+            )))
+        }
+    };
 
     // Build the whole labeled grid from the flags alone, so an empty grid
     // is reported before the (possibly expensive) ingestion starts.
@@ -431,7 +467,7 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
     let json_out = open_json_output(flags)?;
 
     let session = open_session(flags, base.threads)?;
-    let mut sweep = session.sweep().with_jobs(jobs);
+    let mut sweep = session.sweep().with_jobs(jobs).with_seeding(seed_supports);
     for (label, cfg) in points {
         sweep = sweep.add(label, cfg);
     }
@@ -443,18 +479,32 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
     let runs = sweep.run()?;
 
     println!(
-        "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10}",
+        "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10}  note",
         "label", "flips", "pos", "neg", "candidates", "time(ms)"
     );
+    let mut skipped = 0usize;
     for run in &runs {
+        let note = match &run.duplicate_of {
+            Some(orig) => {
+                skipped += 1;
+                format!("= {orig}")
+            }
+            None => String::new(),
+        };
         println!(
-            "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10.1}",
+            "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10.1}  {note}",
             run.label,
             run.result.patterns.len(),
             run.result.total_positive(),
             run.result.total_negative(),
             run.result.stats.candidates_generated,
             run.result.stats.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    if skipped > 0 {
+        eprintln!(
+            "{skipped} of {n_runs} points matched an earlier point on every \
+             result-determining field and reused its result (marked `= <label>`)"
         );
     }
 
@@ -582,7 +632,8 @@ mod tests {
         let doc = std::fs::read_to_string(&json).unwrap();
         assert!(doc.contains("\"schema\": \"flipper-results/v1\""));
         assert!(doc.contains("{\"label\":\"mine\""));
-        // The execution-layer flags: auto engine selection + sharding.
+        // The execution-layer flags: auto engine selection + sharding, with
+        // the prefix cache disabled (results are identical either way).
         run(&strs(&[
             "mine",
             "--input",
@@ -591,6 +642,8 @@ mod tests {
             "auto",
             "--threads",
             "2",
+            "--cache-budget",
+            "0",
             "--top",
             "1",
         ]))
@@ -609,6 +662,10 @@ mod tests {
             "all",
             "--jobs",
             "2",
+            "--cache-budget",
+            "1M",
+            "--seed-supports",
+            "on",
             "--output-json",
             &sweep_json,
         ]))
@@ -688,6 +745,38 @@ mod tests {
     fn generate_rejects_unknown_kind() {
         let err = run(&strs(&["generate", "--kind", "nope"])).unwrap_err();
         assert!(err.to_string().contains("unknown dataset kind"));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn cache_budget_parses_sizes_and_suffixes() {
+        let parse = |v: &str| {
+            let mut f = Flags::new();
+            f.insert("cache-budget".to_string(), v.to_string());
+            get_bytes(&f, "cache-budget", 7)
+        };
+        assert_eq!(get_bytes(&Flags::new(), "cache-budget", 7).unwrap(), 7);
+        assert_eq!(parse("0").unwrap(), 0);
+        assert_eq!(parse("65536").unwrap(), 65536);
+        assert_eq!(parse("4K").unwrap(), 4 << 10);
+        assert_eq!(parse("4m").unwrap(), 4 << 20);
+        assert_eq!(parse("2G").unwrap(), 2 << 30);
+        for bad in ["", "M", "4.5M", "1T", "99999999999999999999G"] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_seed_supports_value() {
+        let err = run(&strs(&[
+            "sweep",
+            "--input",
+            "/nonexistent",
+            "--seed-supports",
+            "maybe",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("on or off"));
         assert_eq!(err.exit_code(), 2);
     }
 

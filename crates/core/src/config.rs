@@ -194,6 +194,13 @@ pub struct FlipperConfig {
     /// exactly `n`. Results and statistics are bit-identical at every
     /// setting.
     pub threads: usize,
+    /// Byte budget per worker slot for the cross-cell prefix cache
+    /// ([`flipper_data::cache`]): materialized `(k−1)`-prefix intersections
+    /// are kept across cells so the next k-column extends them instead of
+    /// rebuilding from level singletons. `0` disables the cache; the
+    /// default is [`flipper_data::DEFAULT_CACHE_BUDGET`] (16 MiB). Results
+    /// and reported statistics are bit-identical at every budget.
+    pub cache_budget: usize,
 }
 
 impl Default for FlipperConfig {
@@ -206,6 +213,7 @@ impl Default for FlipperConfig {
             engine: CountingEngine::default(),
             max_k: None,
             threads: 1,
+            cache_budget: flipper_data::DEFAULT_CACHE_BUDGET,
         }
     }
 }
@@ -248,6 +256,13 @@ impl FlipperConfig {
     /// Set the worker-thread count (`0` = auto-detect, `1` = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Set the per-worker byte budget of the cross-cell prefix cache
+    /// (`0` disables it). Never changes results or statistics.
+    pub fn with_cache_budget(mut self, cache_budget: usize) -> Self {
+        self.cache_budget = cache_budget;
         self
     }
 
@@ -349,16 +364,30 @@ mod tests {
         .with_measure(flipper_measures::Measure::Cosine)
         .with_engine(CountingEngine::Scan)
         .with_max_k(3)
-        .with_threads(4);
+        .with_threads(4)
+        .with_cache_budget(1 << 20);
         assert_eq!(cfg.pruning, PruningConfig::BASIC);
         assert_eq!(cfg.measure, flipper_measures::Measure::Cosine);
         assert_eq!(cfg.max_k, Some(3));
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.cache_budget, 1 << 20);
     }
 
     #[test]
     fn default_is_sequential() {
         assert_eq!(FlipperConfig::default().threads, 1);
+    }
+
+    #[test]
+    fn default_cache_budget_is_enabled() {
+        assert_eq!(
+            FlipperConfig::default().cache_budget,
+            flipper_data::DEFAULT_CACHE_BUDGET
+        );
+        assert_eq!(
+            FlipperConfig::default().with_cache_budget(0).cache_budget,
+            0
+        );
     }
 
     #[test]

@@ -36,17 +36,25 @@
 //!
 //! # Execution
 //!
-//! Support counting goes through the sharded execution layer
-//! ([`SupportCounter::count_batch_sharded`]): with `cfg.threads != 1` each
-//! cell's candidate batch is chunked over scoped worker threads. Results
-//! and statistics are bit-identical at every thread count.
+//! Support counting goes through the cache-aware sharded execution layer
+//! ([`SupportCounter::count_batch_cached`]): with `cfg.threads != 1` each
+//! cell's candidate batch is chunked over scoped worker threads, and every
+//! worker slot owns a budgeted cross-cell prefix cache
+//! ([`flipper_data::CellCache`], budget from `cfg.cache_budget`) so the
+//! `(k-1)`-prefixes materialized for one cell seed the next cell's
+//! counting. Seeded runs ([`mine_with_view_seeded`]) additionally answer
+//! candidates from a session-level [`SupportCache`] before counting.
+//! Results and statistics are bit-identical at every thread count, cache
+//! budget, and seed-cache state.
 
 use crate::cell::{Cell, ItemsetInfo};
 use crate::config::FlipperConfig;
 use crate::results::{CellSummary, ChainLevel, FlippingPattern, MiningResult};
 use crate::stats::{RunStats, Stopwatch};
 use flipper_data::tidset::intersect_many;
-use flipper_data::{Itemset, MultiLevelView, SupportCounter, TransactionDb};
+use flipper_data::{
+    CellCache, Itemset, MultiLevelView, SupportCache, SupportCounter, TransactionDb,
+};
 use flipper_measures::{CorrelationMeasure, Label, Thresholds};
 use flipper_taxonomy::{NodeId, Taxonomy};
 use std::collections::{BTreeMap, BTreeSet};
@@ -62,6 +70,26 @@ pub fn mine(tax: &Taxonomy, db: &TransactionDb, cfg: &FlipperConfig) -> MiningRe
 /// Mine all flipping patterns using a prebuilt [`MultiLevelView`].
 pub fn mine_with_view(tax: &Taxonomy, view: &MultiLevelView, cfg: &FlipperConfig) -> MiningResult {
     Miner::new(tax, view, cfg).run()
+}
+
+/// Mine with a prebuilt view *and* a session-level support seed cache.
+///
+/// Every candidate found in `seeds` skips counting entirely and is charged
+/// to [`RunStats::seeded_supports`]; everything else is counted as usual.
+/// Supports are facts about the data alone — independent of measure,
+/// thresholds, pruning, engine, or thread count — so seeding from any
+/// completed run over the same view is sound and the mined patterns,
+/// labels, and `flipper-results/v1` bytes are identical to an unseeded
+/// run.
+pub fn mine_with_view_seeded(
+    tax: &Taxonomy,
+    view: &MultiLevelView,
+    cfg: &FlipperConfig,
+    seeds: &SupportCache,
+) -> MiningResult {
+    let mut miner = Miner::new(tax, view, cfg);
+    miner.seeds = Some(seeds);
+    miner.run()
 }
 
 /// Per-row mutable state. Ordered maps throughout: every iteration over
@@ -100,6 +128,13 @@ struct Miner<'a> {
     /// Resolved worker-thread count for sharded counting (1 = sequential).
     threads: usize,
     counter: Box<dyn SupportCounter + 'a>,
+    /// Cross-cell prefix cache handed to every counting batch
+    /// ([`SupportCounter::count_batch_cached`]); budget from
+    /// `cfg.cache_budget`, disabled at budget 0.
+    cache: CellCache,
+    /// Session-level support seeds ([`mine_with_view_seeded`]); `None` for
+    /// plain runs.
+    seeds: Option<&'a SupportCache>,
     /// Per-level absolute minimum supports (index `h-1`).
     thetas: Vec<u64>,
     /// Level-1 ancestor of every node (index = node id).
@@ -175,6 +210,8 @@ impl<'a> Miner<'a> {
             view,
             threads: flipper_data::exec::effective_threads(cfg.threads),
             counter,
+            cache: CellCache::new(cfg.cache_budget),
+            seeds: None,
             thetas,
             top_cat,
             rows,
@@ -448,6 +485,45 @@ impl<'a> Miner<'a> {
 
     // ---- evaluation -------------------------------------------------------
 
+    /// Count supports for a sorted candidate batch: answer what the seed
+    /// cache already knows, count the rest through the cross-cell cached
+    /// path. Seeded supports are exact values from a completed run, so the
+    /// merged vector is identical to counting everything.
+    fn count_supports(&mut self, h: usize, candidates: &[Itemset]) -> Vec<u64> {
+        let seeds = self.seeds.filter(|s| !s.is_empty());
+        let Some(seeds) = seeds else {
+            return self
+                .counter
+                .count_batch_cached(h, candidates, self.threads, &mut self.cache);
+        };
+        let mut out = vec![0u64; candidates.len()];
+        let mut unknown: Vec<Itemset> = Vec::new();
+        let mut unknown_at: Vec<usize> = Vec::new();
+        for (i, set) in candidates.iter().enumerate() {
+            match seeds.get(h, set) {
+                Some(sup) => {
+                    out[i] = sup;
+                    self.stats.seeded_supports += 1;
+                }
+                None => {
+                    unknown_at.push(i);
+                    unknown.push(set.clone());
+                }
+            }
+        }
+        if !unknown.is_empty() {
+            // `unknown` preserves the sorted order of `candidates`, so the
+            // prefix-group kernels see a well-formed batch.
+            let counted =
+                self.counter
+                    .count_batch_cached(h, &unknown, self.threads, &mut self.cache);
+            for (i, sup) in unknown_at.into_iter().zip(counted) {
+                out[i] = sup;
+            }
+        }
+        out
+    }
+
     /// Evaluate cell `Q(h,k)`: generate, count, label, compute chain
     /// aliveness, record statistics.
     fn eval_cell(&mut self, h: usize, k: usize) {
@@ -458,9 +534,7 @@ impl<'a> Miner<'a> {
         let theta = self.thetas[h - 1];
         let thresholds: Thresholds = self.cfg.thresholds;
         let measure = self.cfg.measure;
-        let supports = self
-            .counter
-            .count_batch_sharded(h, &candidates, self.threads);
+        let supports = self.count_supports(h, &candidates);
 
         let mut cell = Cell::new();
         // Per-item max correlation for SIBP, indexed by `NodeId::index()` —
@@ -695,6 +769,7 @@ impl<'a> Miner<'a> {
     fn finish(mut self, t0: Stopwatch) -> MiningResult {
         let patterns = self.extract_patterns();
         self.stats.counter = self.counter.stats();
+        self.stats.cache = self.cache.stats();
         self.stats.elapsed = t0.elapsed();
         let mut evaluated: Vec<(usize, Cell)> = Vec::new();
         for (h, row) in self.rows.into_iter().enumerate() {
@@ -932,6 +1007,62 @@ mod tests {
             "only cross-category level-2 pairs: {}",
             c22.evaluated
         );
+    }
+
+    #[test]
+    fn cache_budget_never_changes_results_or_stats() {
+        let (tax, db) = toy();
+        let base = mine(&tax, &db, &toy_config(PruningConfig::FULL));
+        for budget in [0usize, 256, 4096, usize::MAX] {
+            for threads in [1usize, 4] {
+                let cfg = toy_config(PruningConfig::FULL)
+                    .with_cache_budget(budget)
+                    .with_threads(threads);
+                let r = mine(&tax, &db, &cfg);
+                assert_eq!(
+                    r.patterns, base.patterns,
+                    "budget={budget} threads={threads}"
+                );
+                assert_eq!(r.cells, base.cells, "budget={budget} threads={threads}");
+                assert_eq!(
+                    r.stats.counter, base.stats.counter,
+                    "counter stats must be budget- and thread-invariant \
+                     (budget={budget} threads={threads})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_mining_matches_unseeded_and_skips_counting() {
+        let (tax, db) = toy();
+        let view = MultiLevelView::build(&db, &tax);
+        let cfg = toy_config(PruningConfig::FULL);
+        let plain = mine_with_view(&tax, &view, &cfg);
+
+        // Seed a cache with every support the plain run established.
+        let mut seeds = SupportCache::new();
+        for (h, cell) in &plain.evaluated {
+            for (set, info) in cell.iter() {
+                seeds.insert(*h, set, info.support);
+            }
+        }
+        let seeded = mine_with_view_seeded(&tax, &view, &cfg, &seeds);
+        assert_eq!(seeded.patterns, plain.patterns);
+        assert_eq!(seeded.cells, plain.cells);
+        assert!(
+            seeded.stats.seeded_supports > 0,
+            "a fully-seeded rerun must answer candidates from the cache"
+        );
+        assert_eq!(plain.stats.seeded_supports, 0);
+
+        // A seed cache for a *different* config still yields identical
+        // results: supports are config-independent data facts.
+        let alt = FlipperConfig::new(Thresholds::new(0.8, 0.1), MinSupports::Counts(vec![1]));
+        let alt_plain = mine_with_view(&tax, &view, &alt);
+        let alt_seeded = mine_with_view_seeded(&tax, &view, &alt, &seeds);
+        assert_eq!(alt_seeded.patterns, alt_plain.patterns);
+        assert_eq!(alt_seeded.cells, alt_plain.cells);
     }
 
     #[test]

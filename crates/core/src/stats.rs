@@ -1,7 +1,7 @@
 //! Run statistics: hardware-independent cost counters backing the paper's
 //! performance figures.
 
-use flipper_data::CounterStats;
+use flipper_data::{CacheStats, CounterStats};
 use std::time::{Duration, Instant};
 
 /// The one sanctioned wall-clock in the result path.
@@ -71,9 +71,20 @@ pub struct RunStats {
     /// Total itemsets ever stored (BASIC keeps everything; Flipper far
     /// less).
     pub total_stored_itemsets: u64,
+    /// Supports answered from a session-level seed cache instead of being
+    /// counted ([`crate::mine_with_view_seeded`]); `0` on unseeded runs.
+    /// Excluded from serialized results: seeding never changes them, only
+    /// how much counting they cost.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub seeded_supports: u64,
     /// Counting-engine statistics.
     #[cfg_attr(feature = "serde", serde(skip))]
     pub counter: CounterStats,
+    /// Cross-cell prefix-cache efficiency counters. Excluded from
+    /// serialized results for the same reason as `counter`: hit rates are
+    /// an engine/runtime property, not a property of the mined patterns.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub cache: CacheStats,
     /// Wall-clock duration of the mining run.
     #[cfg_attr(feature = "serde", serde(skip))]
     pub elapsed: Duration,

@@ -168,6 +168,39 @@ impl SupportCounter for AutoCounter<'_> {
         }
     }
 
+    /// Cached counting dispatch: tidset and bitset levels run their cached
+    /// kernels against the caller's [`crate::CellCache`]; scan levels have
+    /// no per-group prefix state to cache and use the plain
+    /// transaction-chunked path. Cache keys include `h`, so the two cached
+    /// kernels never see each other's entries even through one shared cache.
+    fn count_batch_cached(
+        &mut self,
+        h: usize,
+        candidates: &[Itemset],
+        threads: usize,
+        cache: &mut crate::cache::CellCache,
+    ) -> Vec<u64> {
+        match self.choices[h - 1] {
+            CountingEngine::Tidset => crate::counting::cached_group_sharded(
+                self,
+                h,
+                candidates,
+                threads,
+                cache,
+                |c: &Self, h, chunk, shard| c.tidset.count_shard_cached(h, chunk, shard),
+            ),
+            CountingEngine::Bitset => crate::counting::cached_group_sharded(
+                self,
+                h,
+                candidates,
+                threads,
+                cache,
+                |c: &Self, h, chunk, shard| c.bitset.count_shard_cached(h, chunk, shard),
+            ),
+            _ => self.count_batch_sharded(h, candidates, threads),
+        }
+    }
+
     fn merge_stats(&mut self, delta: &CounterStats) {
         self.stats.merge(delta);
     }

@@ -6,10 +6,11 @@
 //! AND + popcount is both smaller and faster. [`BitsetCounter`] uses
 //! bitmaps for dense items and falls back to tid-lists for sparse ones.
 
-use crate::counting::prefix_groups;
+use crate::cache::{CachedPrefix, CellCache, PrefixCache};
+use crate::counting::{cached_group_sharded, prefix_groups};
 use crate::itemset::Itemset;
 use crate::projection::MultiLevelView;
-use crate::tidset::{intersect_size, intersect_size_many};
+use crate::tidset::{intersect_into, intersect_size, intersect_size_many};
 use flipper_taxonomy::NodeId;
 use std::collections::HashMap;
 
@@ -70,26 +71,91 @@ impl Bitmap {
     }
 
     /// Popcount of the AND of all `maps` (must share the same length).
+    ///
+    /// The two-map case — the prefix-kernel hot path — and the general fold
+    /// both run in fixed-width 4×u64 blocks with a scalar tail and no
+    /// data-dependent early exit, so LLVM autovectorizes the AND+popcount
+    /// without any explicit SIMD.
     pub fn and_count(maps: &[&Bitmap]) -> u64 {
-        let Some(first) = maps.first() else { return 0 };
-        debug_assert!(maps.iter().all(|m| m.len == first.len));
-        let mut n = 0u64;
-        for w in 0..first.words.len() {
-            let mut acc = first.words[w];
-            for m in &maps[1..] {
-                acc &= m.words[w];
-                if acc == 0 {
-                    break;
+        match maps {
+            [] => 0,
+            [a] => a.count_ones(),
+            [a, b] => {
+                debug_assert_eq!(a.len, b.len);
+                let mut n = 0u64;
+                let mut ca = a.words.chunks_exact(4);
+                let mut cb = b.words.chunks_exact(4);
+                for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+                    n += (wa[0] & wb[0]).count_ones() as u64
+                        + (wa[1] & wb[1]).count_ones() as u64
+                        + (wa[2] & wb[2]).count_ones() as u64
+                        + (wa[3] & wb[3]).count_ones() as u64;
                 }
+                for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+                    n += (x & y).count_ones() as u64;
+                }
+                n
             }
-            n += acc.count_ones() as u64;
+            maps => {
+                let first = maps[0];
+                debug_assert!(maps.iter().all(|m| m.len == first.len));
+                let words = first.words.len();
+                let mut n = 0u64;
+                let mut w = 0;
+                while w + 4 <= words {
+                    let mut acc = [
+                        first.words[w],
+                        first.words[w + 1],
+                        first.words[w + 2],
+                        first.words[w + 3],
+                    ];
+                    for m in &maps[1..] {
+                        acc[0] &= m.words[w];
+                        acc[1] &= m.words[w + 1];
+                        acc[2] &= m.words[w + 2];
+                        acc[3] &= m.words[w + 3];
+                    }
+                    n += acc[0].count_ones() as u64
+                        + acc[1].count_ones() as u64
+                        + acc[2].count_ones() as u64
+                        + acc[3].count_ones() as u64;
+                    w += 4;
+                }
+                while w < words {
+                    let mut acc = first.words[w];
+                    for m in &maps[1..] {
+                        acc &= m.words[w];
+                    }
+                    n += acc.count_ones() as u64;
+                    w += 1;
+                }
+                n
+            }
         }
-        n
     }
 
     /// Popcount of AND between a bitmap and a sorted tid-list (hybrid path).
+    ///
+    /// Probes four tids per iteration with branchless bit tests; the one
+    /// up-front bounds check on the largest tid replaces a per-probe assert.
     pub fn and_tids_count(&self, tids: &[u32]) -> u64 {
-        tids.iter().filter(|&&t| self.get(t as usize)).count() as u64
+        if let Some(&max) = tids.last() {
+            assert!(
+                (max as usize) < self.len,
+                "bit {max} out of range {}",
+                self.len
+            );
+        }
+        let bit = |t: u32| (self.words[t as usize / 64] >> (t % 64)) & 1;
+        let mut n = 0u64;
+        let mut chunks = tids.chunks_exact(4);
+        for c in chunks.by_ref() {
+            n += bit(c[0]) + bit(c[1]) + bit(c[2]) + bit(c[3]);
+        }
+        for &t in chunks.remainder() {
+            n += bit(t);
+        }
+        n
     }
 
     /// Overwrite this bitmap with a copy of `other`, reusing the existing
@@ -180,6 +246,202 @@ impl<'v> BitsetCounter<'v> {
     /// How many items are bitmap-backed at level `h` (diagnostics).
     pub fn dense_items(&self, h: usize) -> usize {
         self.bitmaps[h - 1].len()
+    }
+
+    /// [`crate::SupportCounter::count_shard`] with a cross-cell prefix
+    /// cache, hybrid flavor: a multi-member `k ≥ 3` group resolves its
+    /// prefix by exact hit (copy the cached bitmap/tid-list), parent hit
+    /// (`k ≥ 4`: one combine of the cached `(k−2)`-prefix with the last
+    /// prefix item, across all four dense/sparse pairings), or the full
+    /// rebuild, which caches its result for the next batch.
+    ///
+    /// The uncached kernel charges every multi-member group `k−2`
+    /// intersections plus one per member *unconditionally* (no early exit
+    /// on empty prefixes), so the cached kernel charges exactly the same
+    /// regardless of which path resolved the prefix — counts and stats are
+    /// bit-identical to the uncached kernel at every budget and thread
+    /// count. Singleton `k ≥ 3` groups keep the fused early-exit path
+    /// untouched (nothing to cache), and `k = 2` prefixes are borrowed
+    /// straight from the view as before.
+    pub fn count_shard_cached(
+        &self,
+        h: usize,
+        candidates: &[Itemset],
+        cache: &mut PrefixCache,
+    ) -> (Vec<u64>, crate::counting::CounterStats) {
+        use crate::counting::SupportCounter as _;
+        if !cache.enabled() {
+            return self.count_shard(h, candidates);
+        }
+        /// The group's shared prefix, in whichever representation resolved.
+        enum Prefix<'a> {
+            Bits(&'a Bitmap),
+            Tids(&'a [u32]),
+        }
+        let lv = self.view.level(h);
+        let maps = &self.bitmaps[h - 1];
+        let mut stats = crate::counting::CounterStats {
+            candidates_counted: candidates.len() as u64,
+            ..Default::default()
+        };
+        let mut counts = vec![0u64; candidates.len()];
+        let mut dense: Vec<&Bitmap> = Vec::new();
+        let mut sparse: Vec<&[u32]> = Vec::new();
+        let mut prefix_bm = Bitmap::zeros(0);
+        let mut prefix_tids: Vec<u32> = Vec::new();
+        for group in prefix_groups(candidates) {
+            let items = candidates[group.start].items();
+            let k = items.len();
+            if k == 0 {
+                continue; // empty itemsets count 0 transactions
+            }
+            if k == 1 {
+                for i in group {
+                    counts[i] = lv.item_support(candidates[i].items()[0]);
+                }
+                continue;
+            }
+            if k >= 3 && group.len() == 1 {
+                // Fused singleton path, identical to the uncached kernel.
+                stats.intersections += (k - 1) as u64;
+                dense.clear();
+                sparse.clear();
+                for &it in items {
+                    match maps.get(&it) {
+                        Some(m) => dense.push(m),
+                        None => sparse.push(lv.tidset(it)),
+                    }
+                }
+                counts[group.start] = match (dense.is_empty(), sparse.is_empty()) {
+                    (true, _) => intersect_size_many(&sparse),
+                    (false, true) => Bitmap::and_count(&dense),
+                    (false, false) => {
+                        sparse.sort_by_key(|s| s.len());
+                        sparse[0]
+                            .iter()
+                            .filter(|&&t| {
+                                dense.iter().all(|m| m.get(t as usize))
+                                    && sparse[1..].iter().all(|s| s.binary_search(&t).is_ok())
+                            })
+                            .count() as u64
+                    }
+                };
+                continue;
+            }
+            let prefix = if k == 2 {
+                match maps.get(&items[0]) {
+                    Some(m) => Prefix::Bits(m),
+                    None => Prefix::Tids(lv.tidset(items[0])),
+                }
+            } else {
+                stats.prefix_reuses += (group.len() - 1) as u64;
+                stats.intersections += (k - 2) as u64;
+                let prefix_items = &items[..k - 1];
+                // `None` = unresolved, `Some(true)` = bitmap scratch,
+                // `Some(false)` = tid-list scratch.
+                let mut repr = match cache.lookup(h, prefix_items) {
+                    Some(CachedPrefix::Bits(b)) => {
+                        prefix_bm.copy_from(b);
+                        Some(true)
+                    }
+                    Some(CachedPrefix::Tids(t)) => {
+                        prefix_tids.clear();
+                        prefix_tids.extend_from_slice(t);
+                        Some(false)
+                    }
+                    None => None,
+                };
+                if repr.is_some() {
+                    cache.stats_mut().exact_hits += 1;
+                } else if k >= 4 {
+                    // Parent hit: combine the cached (k−2)-prefix with the
+                    // last prefix item, whatever the two representations.
+                    let bridge = items[k - 2];
+                    repr = match (cache.lookup(h, &items[..k - 2]), maps.get(&bridge)) {
+                        (Some(CachedPrefix::Bits(p)), Some(m)) => {
+                            prefix_bm.copy_from(p);
+                            prefix_bm.and_assign(m);
+                            Some(true)
+                        }
+                        (Some(CachedPrefix::Bits(p)), None) => {
+                            prefix_tids.clear();
+                            prefix_tids.extend(
+                                lv.tidset(bridge)
+                                    .iter()
+                                    .copied()
+                                    .filter(|&t| p.get(t as usize)),
+                            );
+                            Some(false)
+                        }
+                        (Some(CachedPrefix::Tids(p)), Some(m)) => {
+                            prefix_tids.clear();
+                            prefix_tids.extend(p.iter().copied().filter(|&t| m.get(t as usize)));
+                            Some(false)
+                        }
+                        (Some(CachedPrefix::Tids(p)), None) => {
+                            intersect_into(p, lv.tidset(bridge), &mut prefix_tids);
+                            Some(false)
+                        }
+                        (None, _) => None,
+                    };
+                    if let Some(bits) = repr {
+                        cache.stats_mut().parent_hits += 1;
+                        let value = if bits {
+                            CachedPrefix::Bits(prefix_bm.clone())
+                        } else {
+                            CachedPrefix::Tids(prefix_tids.clone())
+                        };
+                        cache.insert(h, prefix_items, value);
+                    }
+                }
+                match repr {
+                    Some(true) => Prefix::Bits(&prefix_bm),
+                    Some(false) => Prefix::Tids(&prefix_tids),
+                    None => {
+                        // Full rebuild, exactly like the uncached kernel —
+                        // then cache the result for the next batch.
+                        dense.clear();
+                        sparse.clear();
+                        for &it in prefix_items {
+                            match maps.get(&it) {
+                                Some(m) => dense.push(m),
+                                None => sparse.push(lv.tidset(it)),
+                            }
+                        }
+                        if sparse.is_empty() {
+                            prefix_bm.copy_from(dense[0]);
+                            for m in &dense[1..] {
+                                prefix_bm.and_assign(m);
+                            }
+                            cache.insert(h, prefix_items, CachedPrefix::Bits(prefix_bm.clone()));
+                            Prefix::Bits(&prefix_bm)
+                        } else {
+                            sparse.sort_by_key(|s| s.len());
+                            let base = sparse[0];
+                            prefix_tids.clear();
+                            prefix_tids.extend(base.iter().copied().filter(|&t| {
+                                dense.iter().all(|m| m.get(t as usize))
+                                    && sparse[1..].iter().all(|s| s.binary_search(&t).is_ok())
+                            }));
+                            cache.insert(h, prefix_items, CachedPrefix::Tids(prefix_tids.clone()));
+                            Prefix::Tids(&prefix_tids)
+                        }
+                    }
+                }
+            };
+            for i in group {
+                stats.intersections += 1;
+                // lint:allow(panic-hygiene) group members are k >= 2 itemsets by the prefix-split precondition
+                let last = *candidates[i].items().last().expect("k >= 2");
+                counts[i] = match (&prefix, maps.get(&last)) {
+                    (Prefix::Bits(p), Some(m)) => Bitmap::and_count(&[p, m]),
+                    (Prefix::Bits(p), None) => p.and_tids_count(lv.tidset(last)),
+                    (Prefix::Tids(p), Some(m)) => m.and_tids_count(p),
+                    (Prefix::Tids(p), None) => intersect_size(p, lv.tidset(last)),
+                };
+            }
+        }
+        (counts, stats)
     }
 }
 
@@ -316,6 +578,23 @@ impl crate::counting::SupportCounter for BitsetCounter<'_> {
             }
         }
         (counts, stats)
+    }
+
+    fn count_batch_cached(
+        &mut self,
+        h: usize,
+        candidates: &[Itemset],
+        threads: usize,
+        cache: &mut CellCache,
+    ) -> Vec<u64> {
+        cached_group_sharded(
+            self,
+            h,
+            candidates,
+            threads,
+            cache,
+            |c: &Self, h, chunk, shard| c.count_shard_cached(h, chunk, shard),
+        )
     }
 
     fn merge_stats(&mut self, delta: &crate::counting::CounterStats) {

@@ -48,6 +48,7 @@
 //! and a sharded run reports bit-identical counts *and stats* regardless of
 //! thread count.
 
+use crate::cache::{CachedPrefix, CellCache, PrefixCache};
 use crate::exec;
 use crate::itemset::Itemset;
 use crate::projection::{LevelView, MultiLevelView};
@@ -150,6 +151,29 @@ pub trait SupportCounter: Sync {
         threads: usize,
     ) -> Vec<u64> {
         group_sharded(self, h, candidates, threads)
+    }
+
+    /// [`Self::count_batch_sharded`] with a cross-cell prefix cache: prefix
+    /// intersections materialized by earlier batches (typically the
+    /// `(h, k−1)` cell of the same mining run) are reused instead of being
+    /// rebuilt from level singletons.
+    ///
+    /// Counts **and reported statistics** are bit-identical to the uncached
+    /// path at every thread count and cache budget — the cached kernels
+    /// charge the work an uncached run would have performed, so
+    /// [`CounterStats`] stays a pure function of `(candidates, data)`. The
+    /// default ignores the cache (right for engines with no per-group
+    /// prefix state, like the scan engine); the vertical engines override
+    /// it.
+    fn count_batch_cached(
+        &mut self,
+        h: usize,
+        candidates: &[Itemset],
+        threads: usize,
+        cache: &mut CellCache,
+    ) -> Vec<u64> {
+        let _ = cache;
+        self.count_batch_sharded(h, candidates, threads)
     }
 
     /// Work statistics accumulated so far.
@@ -290,6 +314,56 @@ pub(crate) fn group_sharded<C: SupportCounter + ?Sized>(
     counts
 }
 
+/// The sharded driver behind the vertical engines'
+/// [`SupportCounter::count_batch_cached`]: like [`group_sharded`], but each
+/// worker slot runs `shard_fn` against its own [`PrefixCache`]
+/// ([`CellCache::shards_mut`] / [`crate::exec::map_group_chunks_with`]).
+/// Chunk `i` always pairs with cache slot `i`, so the cache stays
+/// merge-free and warm across batches without any cross-thread state.
+/// A disabled cache falls straight through to the uncached sharded path.
+pub(crate) fn cached_group_sharded<C, F>(
+    counter: &mut C,
+    h: usize,
+    candidates: &[Itemset],
+    threads: usize,
+    cache: &mut CellCache,
+    shard_fn: F,
+) -> Vec<u64>
+where
+    C: SupportCounter + ?Sized,
+    F: Fn(&C, usize, &[Itemset], &mut PrefixCache) -> (Vec<u64>, CounterStats) + Sync,
+{
+    if !cache.enabled() {
+        return counter.count_batch_sharded(h, candidates, threads);
+    }
+    let threads = exec::effective_threads(threads);
+    if threads <= 1 || candidates.len() < MIN_SHARD_CANDIDATES {
+        let (counts, mut delta) = shard_fn(counter, h, candidates, cache.shard());
+        delta.merge(&counter.batch_stats(h, candidates));
+        counter.merge_stats(&delta);
+        return counts;
+    }
+    let shards = {
+        let shared = &*counter;
+        exec::map_group_chunks_with(
+            threads,
+            candidates,
+            same_prefix_group,
+            cache.shards_mut(threads),
+            |chunk, shard| shard_fn(shared, h, chunk, shard),
+        )
+    };
+    let mut counts = Vec::with_capacity(candidates.len());
+    let mut delta = CounterStats::default();
+    for (shard_counts, shard_stats) in shards {
+        counts.extend(shard_counts);
+        delta.merge(&shard_stats);
+    }
+    delta.merge(&counter.batch_stats(h, candidates));
+    counter.merge_stats(&delta);
+    counts
+}
+
 /// The transaction-chunked sharding strategy for grouped-scan counting over
 /// `lv`: one split pass instead of one full pass per worker. Per-range
 /// partial counts sum element-wise and subset tests sum across ranges, so
@@ -338,6 +412,119 @@ impl<'v> TidsetCounter<'v> {
             view,
             stats: CounterStats::default(),
         }
+    }
+
+    /// [`SupportCounter::count_shard`] with a cross-cell prefix cache.
+    ///
+    /// Per `k ≥ 3` group the kernel resolves the `(k−1)`-prefix in cost
+    /// order: an **exact hit** copies the cached intersection; a **parent
+    /// hit** (`k ≥ 4`) extends the cached `(k−2)`-prefix — the one the
+    /// `(h, k−1)` cell materialized — by a single intersection with the
+    /// last prefix item; a miss falls back to the full shortest-first
+    /// rebuild and caches the (non-empty) result for the next batch.
+    ///
+    /// Statistics are charged *as if uncached*, exactly: a non-empty final
+    /// prefix means every shortest-first intermediate is a non-empty
+    /// superset, so the uncached rebuild performs exactly `k−2`
+    /// intersections with no early exit — which is what both hit paths
+    /// charge. A parent hit whose extension comes up empty is discarded
+    /// and the full rebuild runs instead (its early-exit op count depends
+    /// on list-length order, so only the rebuild itself can charge it);
+    /// empty prefixes are likewise never cached. Counts and stats are
+    /// therefore bit-identical to [`SupportCounter::count_shard`] at every
+    /// budget and thread count.
+    pub fn count_shard_cached(
+        &self,
+        h: usize,
+        candidates: &[Itemset],
+        cache: &mut PrefixCache,
+    ) -> (Vec<u64>, CounterStats) {
+        if !cache.enabled() {
+            return self.count_shard(h, candidates);
+        }
+        let lv = self.view.level(h);
+        let mut stats = CounterStats {
+            candidates_counted: candidates.len() as u64,
+            ..CounterStats::default()
+        };
+        let mut counts = vec![0u64; candidates.len()];
+        let mut scratch = PrefixScratch::default();
+        for group in prefix_groups(candidates) {
+            let items = candidates[group.start].items();
+            let k = items.len();
+            if k == 0 {
+                continue; // empty itemsets count 0 transactions
+            }
+            if k == 1 {
+                for i in group {
+                    counts[i] = lv.tidset(candidates[i].items()[0]).len() as u64;
+                }
+                continue;
+            }
+            if k == 2 {
+                let prefix = lv.tidset(items[0]);
+                if prefix.is_empty() {
+                    continue;
+                }
+                for i in group {
+                    stats.intersections += 1;
+                    // lint:allow(panic-hygiene) group members are k >= 2 itemsets by the prefix-split precondition
+                    let last = *candidates[i].items().last().expect("k >= 2");
+                    counts[i] = intersect_size(prefix, lv.tidset(last));
+                }
+                continue;
+            }
+            stats.prefix_reuses += (group.len() - 1) as u64;
+            let prefix_items = &items[..k - 1];
+            // Exact hit: the prefix itself was materialized by an earlier
+            // batch (cached entries are never empty).
+            let exact = match cache.lookup(h, prefix_items) {
+                Some(CachedPrefix::Tids(t)) => {
+                    scratch.acc.clear();
+                    scratch.acc.extend_from_slice(t);
+                    true
+                }
+                _ => false,
+            };
+            let mut resolved = exact;
+            if exact {
+                cache.stats_mut().exact_hits += 1;
+                stats.intersections += (k - 2) as u64;
+            } else if k >= 4 {
+                // Parent hit: extend the (k−2)-prefix the previous column
+                // cached by one intersection with the last prefix item.
+                let extended = match cache.lookup(h, &items[..k - 2]) {
+                    Some(CachedPrefix::Tids(t)) => {
+                        intersect_into(t, lv.tidset(items[k - 2]), &mut scratch.next);
+                        true
+                    }
+                    _ => false,
+                };
+                if extended && !scratch.next.is_empty() {
+                    std::mem::swap(&mut scratch.acc, &mut scratch.next);
+                    cache.stats_mut().parent_hits += 1;
+                    stats.intersections += (k - 2) as u64;
+                    cache.insert(h, prefix_items, CachedPrefix::Tids(scratch.acc.clone()));
+                    resolved = true;
+                }
+            }
+            if !resolved {
+                scratch.materialize(lv, prefix_items, &mut stats.intersections);
+                if !scratch.acc.is_empty() {
+                    cache.insert(h, prefix_items, CachedPrefix::Tids(scratch.acc.clone()));
+                }
+            }
+            if scratch.acc.is_empty() {
+                continue; // all members count 0; no further intersections
+            }
+            for i in group {
+                stats.intersections += 1;
+                // lint:allow(panic-hygiene) group members are k >= 2 itemsets by the prefix-split precondition
+                let last = *candidates[i].items().last().expect("k >= 2");
+                counts[i] = intersect_size(&scratch.acc, lv.tidset(last));
+            }
+        }
+        (counts, stats)
     }
 }
 
@@ -397,6 +584,23 @@ impl SupportCounter for TidsetCounter<'_> {
             }
         }
         (counts, stats)
+    }
+
+    fn count_batch_cached(
+        &mut self,
+        h: usize,
+        candidates: &[Itemset],
+        threads: usize,
+        cache: &mut CellCache,
+    ) -> Vec<u64> {
+        cached_group_sharded(
+            self,
+            h,
+            candidates,
+            threads,
+            cache,
+            |c: &Self, h, chunk, shard| c.count_shard_cached(h, chunk, shard),
+        )
     }
 
     fn merge_stats(&mut self, delta: &CounterStats) {
@@ -964,6 +1168,112 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Build a random view plus sorted k=3 and k=4 batches whose prefixes
+    /// chain across columns ({n0,n1,·} then {n0,n1,n2,·}), the shape the
+    /// miner's zigzag produces.
+    fn cached_fixture() -> (Taxonomy, crate::transaction::TransactionDb) {
+        let tax = Taxonomy::uniform(3, 3, 2).unwrap();
+        let leaves = tax.leaves().to_vec();
+        let mut rng = Xoshiro256pp::seed_from_u64(0xCAC4E);
+        let rows: Vec<Vec<NodeId>> = (0..160)
+            .map(|_| {
+                let w = rng.gen_range(3..=6);
+                (0..w)
+                    .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                    .collect()
+            })
+            .collect();
+        (tax, TransactionDb::new(rows).unwrap())
+    }
+
+    fn chained_batches(tax: &Taxonomy) -> (Vec<Itemset>, Vec<Itemset>) {
+        let nodes = tax.nodes_at_level(2).unwrap().to_vec();
+        let mut b3: Vec<Itemset> = Vec::new();
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                for &x in &nodes[j + 1..] {
+                    b3.push(Itemset::new(vec![nodes[i], nodes[j], x]));
+                }
+            }
+        }
+        b3.sort_unstable();
+        let mut b4: Vec<Itemset> = nodes[3..]
+            .iter()
+            .map(|&x| Itemset::new(vec![nodes[0], nodes[1], nodes[2], x]))
+            .collect();
+        b4.sort_unstable();
+        (b3, b4)
+    }
+
+    /// The tentpole invariant: cached counting is bit-identical — counts
+    /// AND reported stats — to the uncached path for every vertical engine,
+    /// thread count and cache budget, including budget 0 (degenerates to
+    /// the uncached behavior) and cross-batch warm caches.
+    #[test]
+    fn cached_counting_matches_uncached_across_budgets_and_threads() {
+        let (tax, db) = cached_fixture();
+        let view = MultiLevelView::build(&db, &tax);
+        let (b3, b4) = chained_batches(&tax);
+        assert!(b3.len() >= MIN_SHARD_CANDIDATES, "exercise sharding");
+        for engine in [
+            CountingEngine::Tidset,
+            CountingEngine::Bitset,
+            CountingEngine::Auto,
+        ] {
+            let mut base = engine.make(&view);
+            let expect3 = base.count_batch(2, &b3);
+            let expect4 = base.count_batch(2, &b4);
+            assert_eq!(expect3, naive_tidset_counts(&view, 2, &b3));
+            assert_eq!(expect4, naive_tidset_counts(&view, 2, &b4));
+            for threads in [1usize, 2, 7] {
+                for budget in [0usize, 2048, usize::MAX] {
+                    let mut cache = CellCache::new(budget);
+                    let mut c = engine.make(&view);
+                    let got3 = c.count_batch_cached(2, &b3, threads, &mut cache);
+                    let got4 = c.count_batch_cached(2, &b4, threads, &mut cache);
+                    assert_eq!(got3, expect3, "{engine:?} t={threads} b={budget}");
+                    assert_eq!(got4, expect4, "{engine:?} t={threads} b={budget}");
+                    assert_eq!(
+                        c.stats(),
+                        base.stats(),
+                        "{engine:?} stats diverge at t={threads} b={budget}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cache-efficiency accounting: a repeated batch exact-hits its
+    /// prefixes, the next k-column parent-hits the prefixes the previous
+    /// column materialized, and a zero budget records nothing.
+    #[test]
+    fn cross_cell_cache_hits_are_observable() {
+        let (tax, db) = cached_fixture();
+        let view = MultiLevelView::build(&db, &tax);
+        let (b3, b4) = chained_batches(&tax);
+        let mut cache = CellCache::new(usize::MAX);
+        let mut tc = TidsetCounter::new(&view);
+        tc.count_batch_cached(2, &b3, 1, &mut cache);
+        let cold = cache.stats();
+        assert!(cold.insertions > 0, "cold run populates the cache");
+        assert_eq!(cold.exact_hits, 0);
+        tc.count_batch_cached(2, &b3, 1, &mut cache);
+        let warm = cache.stats();
+        assert!(warm.exact_hits > 0, "repeated batch exact-hits");
+        tc.count_batch_cached(2, &b4, 1, &mut cache);
+        let next_col = cache.stats();
+        assert!(
+            next_col.parent_hits > 0,
+            "k=4 prefixes extend the cached k=3 prefixes"
+        );
+        assert!(next_col.bytes_resident > 0);
+        // Budget 0: nothing probed, nothing stored.
+        let mut off = CellCache::disabled();
+        let mut tc = TidsetCounter::new(&view);
+        tc.count_batch_cached(2, &b3, 1, &mut off);
+        assert_eq!(off.stats(), crate::cache::CacheStats::default());
     }
 
     #[test]

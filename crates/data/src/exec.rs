@@ -160,6 +160,67 @@ where
     run_ranges(ranges, |r| f(&items[r]))
 }
 
+/// [`map_group_chunks`] with one mutable state slot per chunk: chunk `i`
+/// (in range order) always runs against `states[i]`, whatever thread
+/// executes it. The cached counting kernels use this to hand every worker
+/// slot its own prefix cache — state never migrates between slots, so a
+/// rerun at the same thread count sees the same warm caches and results
+/// stay deterministic.
+///
+/// # Panics
+/// Panics when `states` has fewer slots than chunks; propagates panics from
+/// worker threads.
+pub fn map_group_chunks_with<'a, T, S, R, F, B>(
+    threads: usize,
+    items: &'a [T],
+    same_group: B,
+    states: &mut [S],
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+    F: Fn(&'a [T], &mut S) -> R + Sync,
+    B: Fn(&T, &T) -> bool,
+{
+    let threads = effective_threads(threads);
+    let ranges = group_chunk_ranges(items.len(), threads, |a, b| {
+        same_group(&items[a], &items[b])
+    });
+    assert!(
+        states.len() >= ranges.len(),
+        "need one state slot per chunk: {} < {}",
+        states.len(),
+        ranges.len()
+    );
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .zip(states.iter_mut())
+            .map(|(r, st)| f(&items[r], st))
+            .collect();
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut slots = ranges.into_iter().zip(states.iter_mut());
+        // lint:allow(panic-hygiene) chunk planning emits at least one range when items is non-empty
+        let (first_range, first_state) = slots.next().expect("ranges.len() > 1");
+        let handles: Vec<_> = slots
+            .map(|(r, st)| s.spawn(move || f(&items[r], st)))
+            .collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(f(&items[first_range], first_state));
+        out.extend(
+            handles
+                .into_iter()
+                // lint:allow(panic-hygiene) worker closures don't panic; a poisoned join must propagate loudly
+                .map(|h| h.join().expect("exec worker panicked")),
+        );
+        out
+    })
+}
+
 /// Shard a slice into contiguous chunks and run `f` over each, returning one
 /// result per chunk in order. Convenience wrapper over [`map_chunks`].
 pub fn map_slice_chunks<'a, T, R, F>(threads: usize, items: &'a [T], f: F) -> Vec<R>
@@ -276,6 +337,42 @@ mod tests {
                 assert_ne!(w[0].last(), w[1].first(), "threads={threads}: split group");
             }
         }
+    }
+
+    #[test]
+    fn map_group_chunks_with_pins_state_to_chunk_order() {
+        let items: Vec<u32> = (0..100).map(|i| i / 5).collect(); // groups of 5
+        for threads in [1usize, 2, 4, 7] {
+            let mut states = vec![Vec::<u32>::new(); threads];
+            let per_chunk = map_group_chunks_with(
+                threads,
+                &items,
+                |a, b| a == b,
+                &mut states,
+                |chunk, st: &mut Vec<u32>| {
+                    st.extend_from_slice(chunk);
+                    chunk.to_vec()
+                },
+            );
+            // Concatenation is the identity, exactly like map_group_chunks.
+            let flat: Vec<u32> = per_chunk.iter().flatten().copied().collect();
+            assert_eq!(flat, items, "threads={threads}");
+            // State slot i recorded exactly chunk i, in order.
+            for (i, chunk) in per_chunk.iter().enumerate() {
+                assert_eq!(&states[i], chunk, "threads={threads} slot={i}");
+            }
+            for st in &states[per_chunk.len()..] {
+                assert!(st.is_empty(), "unused slots untouched");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state slot per chunk")]
+    fn map_group_chunks_with_requires_enough_slots() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut states = vec![0u32; 1];
+        let _ = map_group_chunks_with(4, &items, |_, _| false, &mut states, |c, _| c.len());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`mod@exec`] — dependency-free scoped-thread sharding;
 //!   [`SupportCounter::count_batch_sharded`] counts a batch over a worker
 //!   pool with bit-identical counts and stats at every thread count;
+//! * [`mod@cache`] — the budgeted cross-cell prefix cache and the
+//!   session-level support cache behind
+//!   [`SupportCounter::count_batch_cached`];
 //! * [`mod@format`] — a text interchange format bundling taxonomy + data;
 //! * [`stats`] — dataset statistics.
 //!
@@ -40,6 +43,7 @@
 
 pub mod auto;
 pub mod bitset;
+pub mod cache;
 mod counting;
 pub mod exec;
 pub mod format;
@@ -54,6 +58,9 @@ mod transaction;
 
 pub use auto::AutoCounter;
 pub use bitset::{Bitmap, BitsetCounter};
+pub use cache::{
+    CacheStats, CachedPrefix, CellCache, PrefixCache, SupportCache, DEFAULT_CACHE_BUDGET,
+};
 pub use counting::{
     naive_tidset_counts, prefix_groups, same_prefix_group, CounterStats, CountingEngine,
     ScanCounter, SupportCounter, TidsetCounter, MIN_SHARD_CANDIDATES,

@@ -33,32 +33,30 @@ pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
 pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     out.clear();
     out.reserve(a.len().min(b.len()));
+    // Branch-free cursor advance: both indices move by a comparison mask
+    // instead of a three-way `match`, leaving only the (rare, predictable)
+    // equality push as a branch.
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            out.push(x);
         }
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
     }
 }
 
 fn merge_intersect_size(a: &[u32], b: &[u32]) -> u64 {
+    // Fully branchless merge: the match count and both cursors advance by
+    // comparison masks, so the loop body carries no unpredictable branch
+    // and compiles to straight-line cmov/setcc code.
     let (mut i, mut j, mut n) = (0, 0, 0u64);
     while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                n += 1;
-                i += 1;
-                j += 1;
-            }
-        }
+        let (x, y) = (a[i], b[j]);
+        n += u64::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
     }
     n
 }

@@ -98,6 +98,29 @@ fn sweep_points_equal_solo_runs() {
     for (name, ds, base) in cases() {
         let session = Session::open(&ds).unwrap();
         for jobs in [1usize, 4] {
+            // Unseeded, duplicate-free sweep: every deterministic statistic
+            // (including engine counters) matches the solo run exactly.
+            let strict = session
+                .sweep()
+                .with_jobs(jobs)
+                .with_seeding(false)
+                .pruning_variants(&base)
+                .run()
+                .unwrap();
+            assert_eq!(strict.len(), 4);
+            for run in &strict {
+                assert_eq!(run.duplicate_of, None, "{name}: distinct configs");
+                let solo = session.mine(&run.config).unwrap();
+                assert_results_equal(
+                    &run.result,
+                    &solo,
+                    &format!("{name} jobs={jobs} {}", run.label),
+                );
+            }
+            // Seeded sweep with an engine × thread tail: those points only
+            // differ in execution knobs, so they are served as duplicates —
+            // and every point's *results* still equal the solo run (seeding
+            // and dedup change counting cost, never patterns or cells).
             let runs = session
                 .sweep()
                 .with_jobs(jobs)
@@ -106,13 +129,18 @@ fn sweep_points_equal_solo_runs() {
                 .run()
                 .unwrap();
             assert_eq!(runs.len(), 6);
+            for run in &runs[4..] {
+                assert_eq!(
+                    run.duplicate_of.as_deref(),
+                    Some(base.pruning.name()),
+                    "{name}: engine/threads points repeat the base config"
+                );
+            }
             for run in &runs {
                 let solo = session.mine(&run.config).unwrap();
-                assert_results_equal(
-                    &run.result,
-                    &solo,
-                    &format!("{name} jobs={jobs} {}", run.label),
-                );
+                let ctx = format!("{name} jobs={jobs} {}", run.label);
+                assert_eq!(run.result.patterns, solo.patterns, "{ctx}: patterns");
+                assert_eq!(run.result.cells, solo.cells, "{ctx}: cell summaries");
             }
         }
     }

@@ -114,6 +114,7 @@ const DETERMINISM_FILES: &[&str] = &[
     "crates/core/src/topk.rs",
     "crates/core/src/ranking.rs",
     "crates/core/src/results.rs",
+    "crates/data/src/cache.rs",
     "crates/api/src/sink.rs",
     "crates/api/src/session.rs",
     "crates/api/src/sweep.rs",

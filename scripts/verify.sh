@@ -28,10 +28,10 @@
 #
 #   ./scripts/verify.sh
 #
-# Clippy and rustfmt run afterwards as non-blocking advisory steps: their
-# findings are printed but do not fail verification. See
-# scripts/bench_check.sh for the advisory perf comparison against the
-# committed BENCH_smoke.json medians.
+# Three advisory, non-blocking steps ride along: scripts/bench_check.sh
+# compares a fresh smoke run against the *committed* BENCH_smoke.json
+# medians (±30%) before the baseline is re-blessed, and clippy/rustfmt run
+# at the end. Their findings are printed but never fail verification.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -63,6 +63,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "== examples: quickstart (release)"
 cargo run --release -q -p flipper-integration --example quickstart >/dev/null
+
+set +e
+echo "== advisory: bench_check vs committed BENCH_smoke.json (non-blocking)"
+if ./scripts/bench_check.sh; then
+    echo "bench_check: done (advisory only)"
+else
+    echo "bench_check: failed to run; advisory only, tier-1 still continues"
+fi
+set -e
 
 echo "== execution layer + storage: quickbench --smoke (writes BENCH_smoke.json)"
 cargo run --release -q --bin quickbench -- --smoke --json BENCH_smoke.json
