@@ -64,7 +64,10 @@ impl Session {
         source: impl DataSource,
         threads: usize,
     ) -> Result<Session, FlipperError> {
-        let ingested = source.ingest(threads)?;
+        let ingested = {
+            let _span = flipper_obs::span("session.ingest");
+            source.ingest(threads)?
+        };
         Ok(Session {
             taxonomy: ingested.taxonomy,
             view: ingested.view,

@@ -254,14 +254,20 @@ impl<'s> Sweep<'s> {
             // Hold the read lock across the whole sweep: every job seeds
             // from the same cache snapshot, concurrently.
             let seeds = self.seed_supports.then(|| session.seeds_read());
+            let _sweep_span = flipper_obs::span("sweep.run")
+                .arg("points", self.points.len() as u64)
+                .arg("unique", unique.len() as u64);
             exec::map_slice_chunks(self.jobs, &unique, |chunk| {
                 chunk
                     .iter()
-                    .map(|(_, cfg)| match &seeds {
-                        Some(s) => {
-                            mine_with_view_seeded(session.taxonomy(), session.view(), cfg, s)
+                    .map(|(label, cfg)| {
+                        let _point_span = flipper_obs::span_labeled("sweep.point", label);
+                        match &seeds {
+                            Some(s) => {
+                                mine_with_view_seeded(session.taxonomy(), session.view(), cfg, s)
+                            }
+                            None => mine_with_view(session.taxonomy(), session.view(), cfg),
                         }
-                        None => mine_with_view(session.taxonomy(), session.view(), cfg),
                     })
                     .collect::<Vec<_>>()
             })

@@ -23,7 +23,7 @@ use flipper_core::{mine_with_view, FlipperConfig, MinSupports, PruningConfig};
 use flipper_data::format::{read_dataset, write_dataset};
 use flipper_data::{
     naive_tidset_counts, BitsetCounter, CellCache, CountingEngine, Itemset, MultiLevelView,
-    SupportCounter, TidsetCounter, DEFAULT_CACHE_BUDGET,
+    SupportCache, SupportCounter, TidsetCounter, DEFAULT_CACHE_BUDGET,
 };
 use flipper_datagen::quest::{generate, QuestParams};
 use flipper_datagen::surrogate::groceries;
@@ -365,6 +365,141 @@ fn sweep_seeding_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<
     }
 }
 
+/// Observability overhead rows: the same mine timed with the flipper-obs
+/// recorder off (`mine-bare`) and on (`mine-traced`, draining the captured
+/// spans after every sample the way the CLI does per run). The traced
+/// median is the number the "< 2% overhead" acceptance row tracks; both
+/// rows land in the JSON report so the baseline catches instrumentation
+/// creep.
+fn obs_overhead_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<BenchRow>) {
+    let data = generate(&QuestParams::default().with_transactions(n));
+    let view = MultiLevelView::build(&data.db, &data.taxonomy);
+    let cfg = FlipperConfig::new(
+        Thresholds::new(0.3, 0.1),
+        MinSupports::Fractions(vec![0.001, 0.0001, 0.00006, 0.00003]),
+    )
+    .with_pruning(PruningConfig::BASIC);
+
+    flipper_obs::disable();
+    let _ = flipper_obs::drain();
+    let t_bare = time_fn("mine-bare", warmup, samples, || {
+        mine_with_view(&data.taxonomy, &view, &cfg)
+    });
+    flipper_obs::enable();
+    let t_traced = time_fn("mine-traced", warmup, samples, || {
+        let r = mine_with_view(&data.taxonomy, &view, &cfg);
+        let capture = flipper_obs::drain();
+        (r, capture.events.len())
+    });
+    flipper_obs::disable();
+    let _ = flipper_obs::drain();
+
+    report.push(BenchRow::new(
+        "obs",
+        "quest",
+        n,
+        "mine-bare",
+        1,
+        t_bare.clone(),
+    ));
+    report.push(BenchRow::new(
+        "obs",
+        "quest",
+        n,
+        "mine-traced",
+        1,
+        t_traced.clone(),
+    ));
+    print_table(
+        &format!("observability overhead (quest, N = {n}, basic/thr10)"),
+        &["config", "median_ms", "min_ms", "mean_ms"],
+        &[t_bare.cells(), t_traced.cells()],
+    );
+    let (bare_med, traced_med) = (t_bare.median.as_secs_f64(), t_traced.median.as_secs_f64());
+    if bare_med > 0.0 {
+        println!(
+            "  recorder overhead (traced vs bare median): {:+.2}%",
+            100.0 * (traced_med - bare_med) / bare_med
+        );
+    }
+}
+
+/// Support-cache probe rows: the old per-candidate `BTreeMap` probe
+/// (`probe-get`, one `(h, itemset.clone())` range lookup per candidate)
+/// vs the sorted-batch range-merge (`probe-merge`, one cursor walked in
+/// lockstep with the candidate batch). The synthetic cache interleaves
+/// resident and missing candidates so both hit and miss paths are on the
+/// timed path, and both probes are asserted to agree before timing.
+fn seeding_probe_rows(warmup: usize, samples: usize, report: &mut Vec<BenchRow>) {
+    const H: usize = 3;
+    let candidates: Vec<Itemset> = (0..20_000usize)
+        .map(|i| {
+            Itemset::new(vec![
+                NodeId::from_index(i),
+                NodeId::from_index(i + 1),
+                NodeId::from_index(i + 2),
+            ])
+        })
+        .collect();
+    let mut cache = SupportCache::new();
+    for (i, cand) in candidates.iter().enumerate() {
+        // Every other candidate is resident, plus off-batch neighbours the
+        // merge cursor has to skip over.
+        if i % 2 == 0 {
+            cache.insert(H, cand, i as u64 + 1);
+        }
+        cache.insert(H + 1, cand, 1);
+    }
+
+    let probe_get = || {
+        let mut hits = 0u64;
+        for cand in &candidates {
+            if cache.get(H, cand).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    };
+    let probe_merge = || cache.seed_batch(H, &candidates, |_, _| {});
+    assert_eq!(
+        probe_get(),
+        probe_merge(),
+        "range-merge probe diverged from per-candidate probe"
+    );
+
+    let t_get = time_fn("probe-get", warmup, samples, probe_get);
+    let t_merge = time_fn("probe-merge", warmup, samples, probe_merge);
+    let n = candidates.len();
+    report.push(BenchRow::new(
+        "seeding",
+        "synthetic",
+        n,
+        "probe-get",
+        1,
+        t_get.clone(),
+    ));
+    report.push(BenchRow::new(
+        "seeding",
+        "synthetic",
+        n,
+        "probe-merge",
+        1,
+        t_merge.clone(),
+    ));
+    print_table(
+        &format!("support-cache probes ({n} sorted candidates, 50% resident)"),
+        &["config", "median_ms", "min_ms", "mean_ms"],
+        &[t_get.cells(), t_merge.cells()],
+    );
+    let (get_med, merge_med) = (t_get.median.as_secs_f64(), t_merge.median.as_secs_f64());
+    if merge_med > 0.0 {
+        println!(
+            "  range-merge speedup over per-candidate get: {:.2}x",
+            get_med / merge_med
+        );
+    }
+}
+
 /// Storage/IO rows on a quest dataset of `n` transactions: text parse vs
 /// FBIN full load vs FBIN streamed ingestion (chunks → sharded projector),
 /// all from memory so only the format work is measured. Prints the encoded
@@ -435,6 +570,8 @@ fn run_smoke(report: &mut Vec<BenchRow>) {
     // The sweep rows need enough transactions for scan counting to dominate
     // the per-point cost, or the seeded-vs-cold signal drowns in overhead.
     sweep_seeding_rows(800, 0, 1, report);
+    obs_overhead_rows(300, 0, 3, report);
+    seeding_probe_rows(0, 1, report);
     storage_io_rows(300, 0, 1, report);
     println!("\nquickbench --smoke PASSED");
 }
@@ -536,6 +673,12 @@ fn main() {
 
     // Sweep seeding: cold vs support-cache-seeded γ/ε grids.
     sweep_seeding_rows(1000, warmup, samples, &mut report);
+
+    // Observability: recorder-off vs recorder-on medians for the same mine.
+    obs_overhead_rows(1000, warmup, samples, &mut report);
+
+    // Support-cache probes: per-candidate get vs sorted-batch range-merge.
+    seeding_probe_rows(warmup, samples, &mut report);
 
     // Storage/IO: text parse vs FBIN load vs streamed ingestion, N = 1000.
     storage_io_rows(1000, warmup, samples, &mut report);

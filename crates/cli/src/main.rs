@@ -45,12 +45,12 @@ USAGE:
                    [--engine tidset|scan|bitset|auto] [--top K] [--max-k K]
                    [--threads N]   (0 = all cores, default 1)
                    [--cache-budget BYTES]   (e.g. 4M; 0 disables, default 16M)
-                   [--output-json FILE]
+                   [--output-json FILE] [--trace FILE] [--timings]
   flipper sweep    --input FILE [--gammas F1,F2,...] [--epsilons F1,F2,...]
                    [--variants v1,v2,...|all] [--engines e1,e2,...|all]
                    [--minsup F1,F2,...] [--measure NAME] [--threads N]
                    [--jobs N] [--cache-budget BYTES] [--seed-supports on|off]
-                   [--output-json FILE]
+                   [--output-json FILE] [--trace FILE]
   flipper convert  --input FILE --out FILE [--to text|fbin]
   flipper topk     --input FILE --k N [--minsup F1,F2,...]
   flipper stats    --input FILE
@@ -71,6 +71,13 @@ already counted by earlier grid points from a session-level cache. Sweep
 points that differ only in execution knobs (engine, threads) mine once — the
 repeats are marked `= <label>` in the table. None of these switches can
 change any mined result; they only change how much counting costs.
+
+`--trace FILE` records the run with the flipper-obs recorder and writes a
+`flipper-trace/v1` Chrome trace-event JSON (open it in chrome://tracing or
+Perfetto). `--timings` (mine) prints a per-phase timing table plus counter
+and cache statistics from the same recorder. Both are observability-only:
+mined results and `flipper-results/v1` bytes are identical with or without
+them, at every thread count.
 
 EXIT CODES:  0 success · 1 data/I-O/config error · 2 usage error
 
@@ -117,7 +124,11 @@ fn run(args: &[String]) -> Result<(), FlipperError> {
 
 type Flags = HashMap<String, String>;
 
-/// Parse `--key value` pairs after the subcommand.
+/// Flags that take no value (presence means "on").
+const BOOL_FLAGS: &[&str] = &["timings"];
+
+/// Parse `--key value` pairs (and bare [`BOOL_FLAGS`]) after the
+/// subcommand.
 fn parse_flags(args: &[String]) -> Result<Flags, FlipperError> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -125,6 +136,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, FlipperError> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| FlipperError::usage(format!("expected --flag, got {:?}", args[i])))?;
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "on".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| FlipperError::usage(format!("flag --{key} needs a value")))?
@@ -369,17 +385,100 @@ fn open_json_output(flags: &Flags) -> Result<Option<JsonOutput<'_>>, FlipperErro
     }
 }
 
+/// Enable the flipper-obs recorder (clearing any stale capture) when
+/// `--trace` or `--timings` asks for one.
+fn start_recorder(record: bool) {
+    if record {
+        flipper_obs::enable();
+        let _ = flipper_obs::drain();
+    }
+}
+
+/// Stop recording and write the `flipper-trace/v1` file, if requested.
+fn finish_recorder(
+    record: bool,
+    trace_out: Option<&String>,
+) -> Result<Option<flipper_obs::Capture>, FlipperError> {
+    if !record {
+        return Ok(None);
+    }
+    let capture = flipper_obs::drain();
+    flipper_obs::disable();
+    if let Some(path) = trace_out {
+        std::fs::write(path, capture.render_trace())
+            .map_err(|e| FlipperError::io(format!("write {path}"), e))?;
+        eprintln!(
+            "wrote flipper-trace/v1 trace ({} events) to {path}",
+            capture.events.len()
+        );
+    }
+    Ok(Some(capture))
+}
+
+/// Print the `--timings` per-phase summary sourced from the recorder plus
+/// the run statistics that `flipper-results/v1` deliberately leaves out
+/// (timings, counter and cache counters are execution facts, not results).
+fn print_timings(capture: &flipper_obs::Capture, stats: &flipper_api::RunStats) {
+    println!();
+    println!(
+        "{:<16} {:>8} {:>12} {:>12}",
+        "phase", "calls", "total(ms)", "mean(us)"
+    );
+    for row in capture.phase_rows() {
+        let total_ms = row.total_ns as f64 / 1e6;
+        let mean_us = row.total_ns as f64 / 1e3 / row.calls as f64;
+        println!(
+            "{:<16} {:>8} {:>12.2} {:>12.1}",
+            row.name, row.calls, total_ms, mean_us
+        );
+    }
+    println!("run:     {}", stats.summary());
+    let c = &stats.counter;
+    println!(
+        "counter: db_scans={} subset_tests={} intersections={} counted={} prefix_reuses={}",
+        c.db_scans, c.subset_tests, c.intersections, c.candidates_counted, c.prefix_reuses
+    );
+    let k = &stats.cache;
+    println!(
+        "cache:   lookups={} exact={} parent={} hit_rate={:.1}% insertions={} evicted_cells={} \
+         resident={}B seed_lookups={} seed_hits={}",
+        k.lookups,
+        k.exact_hits,
+        k.parent_hits,
+        k.hit_rate() * 100.0,
+        k.insertions,
+        k.evicted_cells,
+        k.bytes_resident,
+        k.seed_lookups,
+        k.seed_hits
+    );
+    if stats.seeded_supports > 0 {
+        println!(
+            "seeded:  {} supports answered without counting",
+            stats.seeded_supports
+        );
+    }
+}
+
 fn cmd_mine(flags: &Flags) -> Result<(), FlipperError> {
     let cfg = base_config(flags)?;
+    let trace_out = flags.get("trace");
+    let timings = flags.contains_key("timings");
+    let record = trace_out.is_some() || timings;
     let json_out = open_json_output(flags)?;
+    start_recorder(record);
     let session = open_session(flags, cfg.threads)?;
     let result = session.mine(&cfg)?;
+    let capture = finish_recorder(record, trace_out)?;
 
     let top = get_usize(flags, "top", usize::MAX)?;
     let stdout = std::io::stdout();
     let mut report = TextReport::new(stdout.lock()).with_top(top);
     report.consume("mine", session.taxonomy(), &cfg, &result)?;
     report.finish()?;
+    if let (Some(capture), true) = (&capture, timings) {
+        print_timings(capture, &result.stats);
+    }
 
     if let Some((mut json, path)) = json_out {
         json.consume("mine", session.taxonomy(), &cfg, &result)?;
@@ -465,6 +564,8 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
     }
     let n_runs = points.len();
     let json_out = open_json_output(flags)?;
+    let trace_out = flags.get("trace");
+    start_recorder(trace_out.is_some());
 
     let session = open_session(flags, base.threads)?;
     let mut sweep = session.sweep().with_jobs(jobs).with_seeding(seed_supports);
@@ -477,6 +578,7 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
         session.num_transactions()
     );
     let runs = sweep.run()?;
+    finish_recorder(trace_out.is_some(), trace_out)?;
 
     println!(
         "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10}  note",
@@ -707,6 +809,59 @@ mod tests {
         .unwrap();
         run(&strs(&["stats", "--input", &fbin])).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_and_timings_do_not_change_results() {
+        let dir = std::env::temp_dir().join(format!("flipper-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("planted.txt").to_string_lossy().to_string();
+        let base_json = dir.join("base.json").to_string_lossy().to_string();
+        let traced_json = dir.join("traced.json").to_string_lossy().to_string();
+        let trace = dir.join("t.json").to_string_lossy().to_string();
+        run(&strs(&["generate", "--kind", "planted", "--out", &path])).unwrap();
+        let mine = |extra: &[&str]| {
+            let mut args = strs(&["mine", "--input", &path, "--threads", "2", "--top", "1"]);
+            args.extend(strs(extra));
+            run(&args).unwrap();
+        };
+        mine(&["--output-json", &base_json]);
+        mine(&[
+            "--output-json",
+            &traced_json,
+            "--trace",
+            &trace,
+            "--timings",
+        ]);
+        // The hard invariant: recording must not perturb result bytes.
+        assert_eq!(
+            std::fs::read(&base_json).unwrap(),
+            std::fs::read(&traced_json).unwrap(),
+            "flipper-results/v1 bytes must be identical with --trace on/off"
+        );
+        // The emitted trace is a valid flipper-trace/v1 document covering
+        // the pipeline phases.
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        let stats = flipper_obs::validate_trace(&doc).expect("trace must parse and nest");
+        for name in [
+            "session.ingest",
+            "view.build",
+            "mine.run",
+            "mine.cell",
+            "mine.count",
+            "cache.cell",
+            "exec.shard",
+        ] {
+            assert!(stats.names.contains(name), "trace is missing span {name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timings_flag_is_boolean() {
+        let f = parse_flags(&strs(&["--timings", "--top", "3"])).unwrap();
+        assert_eq!(f["timings"], "on");
+        assert_eq!(f["top"], "3");
     }
 
     #[test]

@@ -490,28 +490,42 @@ impl<'a> Miner<'a> {
     /// path. Seeded supports are exact values from a completed run, so the
     /// merged vector is identical to counting everything.
     fn count_supports(&mut self, h: usize, candidates: &[Itemset]) -> Vec<u64> {
+        let _span = flipper_obs::span("mine.count")
+            .arg("h", h as u64)
+            .arg("batch", candidates.len() as u64);
+        flipper_obs::observe("flipper_batch_candidates", candidates.len() as u64);
         let seeds = self.seeds.filter(|s| !s.is_empty());
         let Some(seeds) = seeds else {
             return self
                 .counter
                 .count_batch_cached(h, candidates, self.threads, &mut self.cache);
         };
+        // One ordered range-merge over the seed cache instead of a map
+        // probe (plus an `Itemset` clone for the probe key) per candidate;
+        // `gen_candidates` sorts and dedups, which `seed_batch` requires.
         let mut out = vec![0u64; candidates.len()];
-        let mut unknown: Vec<Itemset> = Vec::new();
-        let mut unknown_at: Vec<usize> = Vec::new();
+        let mut known = vec![false; candidates.len()];
+        let hits = {
+            let _seed_span = flipper_obs::span("mine.seed").arg("h", h as u64);
+            seeds.seed_batch(h, candidates, |i, sup| {
+                out[i] = sup;
+                known[i] = true;
+            })
+        };
+        self.stats.seeded_supports += hits;
+        if hits as usize == candidates.len() {
+            return out;
+        }
+        let miss = candidates.len() - hits as usize;
+        let mut unknown: Vec<Itemset> = Vec::with_capacity(miss);
+        let mut unknown_at: Vec<usize> = Vec::with_capacity(miss);
         for (i, set) in candidates.iter().enumerate() {
-            match seeds.get(h, set) {
-                Some(sup) => {
-                    out[i] = sup;
-                    self.stats.seeded_supports += 1;
-                }
-                None => {
-                    unknown_at.push(i);
-                    unknown.push(set.clone());
-                }
+            if !known[i] {
+                unknown_at.push(i);
+                unknown.push(set.clone());
             }
         }
-        if !unknown.is_empty() {
+        {
             // `unknown` preserves the sorted order of `candidates`, so the
             // prefix-group kernels see a well-formed batch.
             let counted =
@@ -527,14 +541,40 @@ impl<'a> Miner<'a> {
     /// Evaluate cell `Q(h,k)`: generate, count, label, compute chain
     /// aliveness, record statistics.
     fn eval_cell(&mut self, h: usize, k: usize) {
-        let candidates = self.gen_candidates(h, k);
+        let _cell_span = flipper_obs::span("mine.cell")
+            .arg("h", h as u64)
+            .arg("k", k as u64);
+        let candidates = {
+            let _gen_span = flipper_obs::span("mine.gen")
+                .arg("h", h as u64)
+                .arg("k", k as u64);
+            self.gen_candidates(h, k)
+        };
         self.stats.cells_evaluated += 1;
         self.stats.candidates_generated += candidates.len() as u64;
 
         let theta = self.thetas[h - 1];
         let thresholds: Thresholds = self.cfg.thresholds;
         let measure = self.cfg.measure;
+        // Snapshot cache counters around counting so the trace carries one
+        // `cache.cell` event per cell with the hit/miss deltas it caused.
+        let cache_before = flipper_obs::enabled().then(|| self.cache.stats());
         let supports = self.count_supports(h, &candidates);
+        if let Some(before) = cache_before {
+            let after = self.cache.stats();
+            flipper_obs::event(
+                "cache.cell",
+                &[
+                    ("h", h as u64),
+                    ("k", k as u64),
+                    ("lookups", after.lookups - before.lookups),
+                    ("exact_hits", after.exact_hits - before.exact_hits),
+                    ("parent_hits", after.parent_hits - before.parent_hits),
+                    ("insertions", after.insertions - before.insertions),
+                    ("evicted", after.evicted_cells - before.evicted_cells),
+                ],
+            );
+        }
 
         let mut cell = Cell::new();
         // Per-item max correlation for SIBP, indexed by `NodeId::index()` —
@@ -673,6 +713,7 @@ impl<'a> Miner<'a> {
     // ---- driving loops ----------------------------------------------------
 
     fn run(mut self) -> MiningResult {
+        let _run_span = flipper_obs::span("mine.run");
         let t0 = Stopwatch::start();
         let height = self.tax.height();
         if height == 1 {
@@ -771,6 +812,32 @@ impl<'a> Miner<'a> {
         self.stats.counter = self.counter.stats();
         self.stats.cache = self.cache.stats();
         self.stats.elapsed = t0.elapsed();
+        if flipper_obs::enabled() {
+            // Charge the run's totals to the metrics registry in bulk —
+            // one locked pass per run, nothing per candidate.
+            let s = &self.stats;
+            flipper_obs::counter_add("flipper_cells_evaluated_total", s.cells_evaluated);
+            flipper_obs::counter_add("flipper_candidates_generated_total", s.candidates_generated);
+            flipper_obs::counter_add("flipper_frequent_found_total", s.frequent_found);
+            flipper_obs::counter_add("flipper_seeded_supports_total", s.seeded_supports);
+            flipper_obs::counter_add("flipper_db_scans_total", s.counter.db_scans);
+            flipper_obs::counter_add("flipper_subset_tests_total", s.counter.subset_tests);
+            flipper_obs::counter_add("flipper_intersections_total", s.counter.intersections);
+            flipper_obs::counter_add(
+                "flipper_candidates_counted_total",
+                s.counter.candidates_counted,
+            );
+            flipper_obs::counter_add("flipper_prefix_reuses_total", s.counter.prefix_reuses);
+            flipper_obs::counter_add("flipper_cache_lookups_total", s.cache.lookups);
+            flipper_obs::counter_add("flipper_cache_exact_hits_total", s.cache.exact_hits);
+            flipper_obs::counter_add("flipper_cache_parent_hits_total", s.cache.parent_hits);
+            flipper_obs::counter_add("flipper_cache_insertions_total", s.cache.insertions);
+            flipper_obs::counter_add("flipper_cache_evicted_cells_total", s.cache.evicted_cells);
+            flipper_obs::gauge_set(
+                "flipper_cache_bytes_resident",
+                i64::try_from(s.cache.bytes_resident).unwrap_or(i64::MAX),
+            );
+        }
         let mut evaluated: Vec<(usize, Cell)> = Vec::new();
         for (h, row) in self.rows.into_iter().enumerate() {
             // BTreeMap iteration is ascending by `k` already.

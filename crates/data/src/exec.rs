@@ -11,9 +11,30 @@
 //! The thread-count convention used across the workspace: `0` means
 //! "auto-detect" ([`available_threads`]), `1` means sequential (no threads
 //! are spawned), `n ≥ 2` means exactly `n` workers.
+//!
+//! When the `flipper-obs` recorder is enabled, every chunk runs under an
+//! `exec.shard` span that records its worker slot and the queue wait
+//! (time between the pool dispatching the batch and the chunk starting to
+//! run) next to the run time; with the recorder disabled the only cost is
+//! one atomic load per chunk.
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+
+/// Run one chunk under an `exec.shard` observability span tagged with its
+/// worker slot. Slot 0 is the calling thread; spawned workers are 1-based
+/// in spawn order — the same slot identity `map_group_chunks_with` pins
+/// its state slices to.
+#[inline]
+fn traced_chunk<R>(slot: usize, spawn_stamp: u64, f: impl FnOnce() -> R) -> R {
+    if !flipper_obs::enabled() {
+        return f();
+    }
+    flipper_obs::with_shard(slot as u32, || {
+        let _span = flipper_obs::shard_span(slot as u64, spawn_stamp);
+        f()
+    })
+}
 
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
@@ -68,14 +89,22 @@ where
     F: Fn(Range<usize>) -> R + Sync,
 {
     if ranges.len() <= 1 {
-        return ranges.into_iter().map(f).collect();
+        return ranges
+            .into_iter()
+            .map(|r| traced_chunk(0, 0, || f(r)))
+            .collect();
     }
     let first = ranges.remove(0);
     let f = &f;
     std::thread::scope(|s| {
-        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || f(r))).collect();
+        let spawn_stamp = flipper_obs::stamp();
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| s.spawn(move || traced_chunk(i + 1, spawn_stamp, || f(r))))
+            .collect();
         let mut out = Vec::with_capacity(handles.len() + 1);
-        out.push(f(first));
+        out.push(traced_chunk(0, spawn_stamp, || f(first)));
         out.extend(
             handles
                 .into_iter()
@@ -198,19 +227,25 @@ where
         return ranges
             .into_iter()
             .zip(states.iter_mut())
-            .map(|(r, st)| f(&items[r], st))
+            .map(|(r, st)| traced_chunk(0, 0, || f(&items[r], st)))
             .collect();
     }
     let f = &f;
     std::thread::scope(|s| {
+        let spawn_stamp = flipper_obs::stamp();
         let mut slots = ranges.into_iter().zip(states.iter_mut());
         // lint:allow(panic-hygiene) chunk planning emits at least one range when items is non-empty
         let (first_range, first_state) = slots.next().expect("ranges.len() > 1");
         let handles: Vec<_> = slots
-            .map(|(r, st)| s.spawn(move || f(&items[r], st)))
+            .enumerate()
+            .map(|(i, (r, st))| {
+                s.spawn(move || traced_chunk(i + 1, spawn_stamp, || f(&items[r], st)))
+            })
             .collect();
         let mut out = Vec::with_capacity(handles.len() + 1);
-        out.push(f(&items[first_range], first_state));
+        out.push(traced_chunk(0, spawn_stamp, || {
+            f(&items[first_range], first_state)
+        }));
         out.extend(
             handles
                 .into_iter()

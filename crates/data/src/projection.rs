@@ -104,6 +104,7 @@ impl MultiLevelView {
     /// Panics if the database is not valid for `tax` (items that are not
     /// leaves at the taxonomy height).
     pub fn build_with_threads(db: &TransactionDb, tax: &Taxonomy, threads: usize) -> Self {
+        let _span = flipper_obs::span("view.build").arg("rows", db.rows().len() as u64);
         let mut builder = MultiLevelViewBuilder::new(tax, threads);
         builder
             .push_chunk(db.rows())

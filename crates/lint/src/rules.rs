@@ -103,10 +103,16 @@ struct Allow {
 /// Crates whose library code must not panic.
 const PANIC_CRATES: &[&str] = &["api", "core", "data", "store", "taxonomy", "measures"];
 
-/// Modules that determine `flipper-results/v1` bytes. `core/src/stats.rs`
-/// is deliberately absent: it hosts the one sanctioned wall-clock read
-/// ([`Stopwatch`](../../core/src/stats.rs)) whose `elapsed` field the
-/// JSON writer excludes from result bytes by construction.
+/// Modules that determine `flipper-results/v1` bytes, plus the flipper-obs
+/// hot-path modules the miner calls into (a nondeterministic container or
+/// clock read there could perturb recording order or, worse, leak timing
+/// into results). `core/src/stats.rs` is deliberately absent: it hosts the
+/// one sanctioned wall-clock read ([`Stopwatch`](../../core/src/stats.rs))
+/// whose `elapsed` field the JSON writer excludes from result bytes by
+/// construction. `obs/src/clock.rs` is absent for the same reason — it is
+/// the observability counterpart of `Stopwatch`, the only module in
+/// flipper-obs allowed to touch `Instant`, and its readings only ever flow
+/// into traces and metrics, never into result bytes.
 const DETERMINISM_FILES: &[&str] = &[
     "crates/core/src/miner.rs",
     "crates/core/src/cell.rs",
@@ -118,6 +124,10 @@ const DETERMINISM_FILES: &[&str] = &[
     "crates/api/src/sink.rs",
     "crates/api/src/session.rs",
     "crates/api/src/sweep.rs",
+    "crates/obs/src/recorder.rs",
+    "crates/obs/src/span.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/trace.rs",
 ];
 
 /// The one module allowed to touch `std::thread` — shard-invariance of its
@@ -561,6 +571,21 @@ mod tests {
         let f = run("crates/core/src/cell.rs", src);
         assert_eq!(live(&f, "determinism"), 1);
         assert_eq!(live(&f, "allow-hygiene"), 1);
+    }
+
+    #[test]
+    fn determinism_scope_covers_obs_hot_paths_but_not_its_clock() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }";
+        for rel in [
+            "crates/obs/src/recorder.rs",
+            "crates/obs/src/span.rs",
+            "crates/obs/src/metrics.rs",
+            "crates/obs/src/trace.rs",
+        ] {
+            assert_eq!(live(&run(rel, src), "determinism"), 2, "{rel}");
+        }
+        // The obs clock is the sanctioned timer, like core/src/stats.rs.
+        assert_eq!(live(&run("crates/obs/src/clock.rs", src), "determinism"), 0);
     }
 
     #[test]

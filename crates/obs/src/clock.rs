@@ -1,0 +1,51 @@
+//! The recorder's monotonic clock.
+//!
+//! This is the **only** module in `flipper-obs` allowed to touch
+//! `std::time::Instant`, mirroring `flipper_core::stats::Stopwatch`: both
+//! are sanctioned timers that live outside the determinism lint scope
+//! because they measure work without ever feeding back into mining
+//! results. Every other `flipper-obs` module is covered by the
+//! `determinism` rule in `flipper-lint` and must route timestamps through
+//! [`now_ns`].
+//!
+//! Timestamps are nanoseconds since a process-wide epoch captured the
+//! first time the clock is touched (normally when the recorder is
+//! enabled). Using a single epoch keeps every span in one trace on one
+//! timeline regardless of which thread recorded it.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Pin the process-wide epoch, if it has not been pinned yet.
+///
+/// Called by `Recorder::enable` so that trace timestamps start near zero
+/// for the traced run instead of at process start.
+pub fn init_epoch() {
+    let _ = EPOCH.get_or_init(Instant::now);
+}
+
+/// Nanoseconds elapsed since the recorder epoch.
+///
+/// The first call pins the epoch, so the very first timestamp is 0. The
+/// value is monotonic and saturates at `u64::MAX` (~584 years), which is
+/// unreachable in practice.
+pub fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    let nanos = epoch.elapsed().as_nanos();
+    u64::try_from(nanos).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        init_epoch();
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

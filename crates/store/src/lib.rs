@@ -120,11 +120,16 @@ pub fn stream_view<R: Read>(
     threads: usize,
 ) -> Result<(Taxonomy, MultiLevelView), StoreError> {
     let (taxonomy, mut chunks) = reader.into_parts();
+    let build_span = flipper_obs::span("view.build");
     let mut builder = MultiLevelViewBuilder::new(&taxonomy, threads);
     for chunk in chunks.by_ref() {
-        builder.push_chunk(&chunk?)?;
+        let span = flipper_obs::span("store.chunk");
+        let chunk = chunk?;
+        builder.push_chunk(&chunk)?;
+        drop(span.arg("rows", chunk.len() as u64));
     }
     let view = builder.finish()?;
+    drop(build_span.arg("rows", chunks.transactions_seen()));
     Ok((taxonomy, view))
 }
 

@@ -17,8 +17,13 @@
 #     ratchet against LINT_BASELINE.json must hold (no rule above its
 #     committed count; see README "Static analysis"),
 #   * the quickstart example (the library-API walkthrough must run green),
+#   * the observability suite plus a traced smoke mine: `flipper mine
+#     --trace` on a planted dataset must emit a `flipper-trace/v1` document
+#     that parses, nests per lane and covers the pipeline's span names
+#     (checked by the flipper-obs `validate_trace` example),
 #   * a few-second `quickbench --smoke` running the engine × threads grid,
-#     the counting-kernel rows and the storage IO rows, so a mis-wired
+#     the counting-kernel rows, the observability-overhead rows, the
+#     support-cache probe rows and the storage IO rows, so a mis-wired
 #     engine, a perf cliff or a broken format fails loudly; `--json` writes
 #     the machine-readable BENCH_smoke.json baseline.
 #
@@ -63,6 +68,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "== examples: quickstart (release)"
 cargo run --release -q -p flipper-integration --example quickstart >/dev/null
+
+echo "== observability: obs suite + traced smoke mine under --release"
+cargo test --release -q -p flipper-integration --test obs_trace
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+cargo run --release -q -p flipper-cli -- generate --kind planted \
+    --out "$OBS_TMP/planted.fbin" >/dev/null
+cargo run --release -q -p flipper-cli -- mine --input "$OBS_TMP/planted.fbin" \
+    --threads 2 --trace "$OBS_TMP/trace.json" --timings >/dev/null
+cargo run --release -q -p flipper-obs --example validate_trace -- \
+    "$OBS_TMP/trace.json" \
+    --expect session.ingest,view.build,mine.run,mine.cell,mine.count,cache.cell
 
 set +e
 echo "== advisory: bench_check vs committed BENCH_smoke.json (non-blocking)"
