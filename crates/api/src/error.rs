@@ -12,6 +12,7 @@
 use flipper_core::ConfigError;
 use flipper_data::format::FormatError;
 use flipper_data::DataError;
+use flipper_guard::GuardError;
 use flipper_store::StoreError;
 use flipper_taxonomy::TaxonomyError;
 use std::error::Error;
@@ -46,6 +47,21 @@ pub enum FlipperError {
     /// an unknown name, a request that needs state the session does not
     /// hold. CLIs conventionally map this to exit code 2.
     Usage(String),
+    /// The run was cancelled through its
+    /// [`CancelToken`](flipper_guard::CancelToken) before it finished.
+    /// CLIs map this to exit code 3.
+    Cancelled,
+    /// The run's deadline expired before it finished. CLIs map this to
+    /// exit code 3, like [`FlipperError::Cancelled`].
+    Timeout,
+    /// A worker or miner panicked and the panic was trapped at a named
+    /// site instead of unwinding into (and aborting) the caller.
+    Panicked {
+        /// Where the panic was trapped (`"mine"`, `"sweep.point"`).
+        site: String,
+        /// The panic message.
+        message: String,
+    },
 }
 
 impl FlipperError {
@@ -63,11 +79,15 @@ impl FlipperError {
     }
 
     /// The conventional process exit code for this error: `2` for usage
-    /// errors (matching `grep`, `diff` and friends), `1` for everything
-    /// else (I/O, data, configuration).
+    /// errors (matching `grep`, `diff` and friends), `3` for interrupted
+    /// runs ([`Cancelled`](FlipperError::Cancelled) /
+    /// [`Timeout`](FlipperError::Timeout) — distinguishable from real
+    /// failures, so timeout-wrapping scripts can retry), `1` for
+    /// everything else (I/O, data, configuration, trapped panics).
     pub fn exit_code(&self) -> u8 {
         match self {
             FlipperError::Usage(_) => 2,
+            FlipperError::Cancelled | FlipperError::Timeout => 3,
             _ => 1,
         }
     }
@@ -95,6 +115,11 @@ impl fmt::Display for FlipperError {
             FlipperError::Data(_) => write!(f, "data error"),
             FlipperError::Config(_) => write!(f, "invalid mining configuration"),
             FlipperError::Usage(message) => write!(f, "{message}"),
+            FlipperError::Cancelled => write!(f, "operation cancelled"),
+            FlipperError::Timeout => write!(f, "operation deadline exceeded"),
+            FlipperError::Panicked { site, message } => {
+                write!(f, "panic trapped at {site}: {message}")
+            }
         }
     }
 }
@@ -107,7 +132,21 @@ impl Error for FlipperError {
             FlipperError::Taxonomy(e) => Some(e),
             FlipperError::Data(e) => Some(e),
             FlipperError::Config(e) => Some(e),
-            FlipperError::Parse { .. } | FlipperError::Usage(_) => None,
+            FlipperError::Parse { .. }
+            | FlipperError::Usage(_)
+            | FlipperError::Cancelled
+            | FlipperError::Timeout
+            | FlipperError::Panicked { .. } => None,
+        }
+    }
+}
+
+impl From<GuardError> for FlipperError {
+    fn from(e: GuardError) -> Self {
+        match e {
+            GuardError::Cancelled => FlipperError::Cancelled,
+            GuardError::TimedOut => FlipperError::Timeout,
+            GuardError::Panicked { site, message } => FlipperError::Panicked { site, message },
         }
     }
 }
@@ -162,6 +201,39 @@ mod tests {
             FlipperError::from(ConfigError::EmptySupports).exit_code(),
             1
         );
+        assert_eq!(FlipperError::Cancelled.exit_code(), 3);
+        assert_eq!(FlipperError::Timeout.exit_code(), 3);
+        assert_eq!(
+            FlipperError::Panicked {
+                site: "mine".into(),
+                message: "boom".into(),
+            }
+            .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn guard_errors_map_by_variant() {
+        let e: FlipperError = GuardError::Cancelled.into();
+        assert!(matches!(e, FlipperError::Cancelled));
+        assert_eq!(e.to_string(), "operation cancelled");
+        assert!(e.source().is_none());
+
+        let e: FlipperError = GuardError::TimedOut.into();
+        assert!(matches!(e, FlipperError::Timeout));
+        assert_eq!(e.to_string(), "operation deadline exceeded");
+
+        let e: FlipperError = GuardError::Panicked {
+            site: "sweep.point".into(),
+            message: "index out of bounds".into(),
+        }
+        .into();
+        assert_eq!(
+            e.to_string(),
+            "panic trapped at sweep.point: index out of bounds"
+        );
+        assert_eq!(e.render_chain(), format!("error: {e}"));
     }
 
     #[test]

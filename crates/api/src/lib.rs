@@ -48,6 +48,7 @@
 //! # Ok::<(), flipper_api::FlipperError>(())
 //! ```
 
+mod checkpoint;
 mod error;
 pub mod io;
 mod session;
@@ -55,11 +56,12 @@ mod sink;
 mod source;
 mod sweep;
 
+pub use checkpoint::{CheckpointRow, SweepJournal};
 pub use error::FlipperError;
 pub use session::Session;
 pub use sink::{emit_runs, JsonWriter, ResultSink, TextReport, TopK, TopKEntry};
 pub use source::{DataSource, FbinSource, Generator, Ingested, PathSource, TextSource};
-pub use sweep::{threshold_point, Sweep, SweepRun};
+pub use sweep::{threshold_point, Sweep, SweepOutcome, SweepRun};
 
 // Re-exported conveniences: the types a façade caller needs to configure a
 // run and read its results, so frontends depend on `flipper-api` alone.
@@ -73,5 +75,7 @@ pub use flipper_data::format::Dataset;
 pub use flipper_data::{stats, CacheStats, CountingEngine, SupportCache, DEFAULT_CACHE_BUDGET};
 pub use flipper_datagen::planted::PlantedParams;
 pub use flipper_datagen::quest::QuestParams;
+pub use flipper_guard::{CancelToken, GuardError};
 pub use flipper_measures::{Measure, Thresholds};
+pub use flipper_store::{QuarantinedChunk, SalvageReport};
 pub use flipper_taxonomy::{RebalancePolicy, Taxonomy};

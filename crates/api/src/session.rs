@@ -5,8 +5,13 @@ use crate::source::DataSource;
 use crate::sweep::Sweep;
 use flipper_core::stability::{bootstrap_stability, StabilityReport};
 use flipper_core::topk::{top_k_with_view, TopKConfig, TopKResult};
-use flipper_core::{mine_with_view, mine_with_view_seeded, FlipperConfig, MiningResult};
+use flipper_core::{
+    mine_with_view, mine_with_view_guarded, mine_with_view_seeded, mine_with_view_seeded_guarded,
+    FlipperConfig, MiningResult,
+};
 use flipper_data::{CacheStats, MultiLevelView, SupportCache, TransactionDb};
+use flipper_guard::CancelToken;
+use flipper_store::SalvageReport;
 use flipper_taxonomy::Taxonomy;
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -47,6 +52,10 @@ pub struct Session {
     /// configuration over this session. Guarded by an `RwLock` so parallel
     /// sweep jobs can read seeds concurrently.
     supports: RwLock<SupportCache>,
+    /// What salvage ingestion quarantined, when the session was opened via
+    /// [`open_salvage_path`](Session::open_salvage_path). `None` for every
+    /// strict open path.
+    salvage: Option<SalvageReport>,
 }
 
 impl Session {
@@ -74,6 +83,7 @@ impl Session {
             database: ingested.database,
             origin: ingested.origin,
             supports: RwLock::new(SupportCache::new()),
+            salvage: None,
         })
     }
 
@@ -81,6 +91,60 @@ impl Session {
     /// (shorthand for [`PathSource`](crate::PathSource)).
     pub fn open_path(path: impl Into<std::path::PathBuf>) -> Result<Session, FlipperError> {
         Session::open(crate::PathSource::new(path))
+    }
+
+    /// Open a session on a **damaged** FBIN file, mining what is readable:
+    /// chunks that fail their CRC or decode are quarantined (skipped with a
+    /// [`SalvageReport`] entry) instead of failing the whole ingestion, and
+    /// a file cut short mid-stream ends gracefully at the last intact
+    /// chunk. The report is kept on the session
+    /// ([`salvage_report`](Session::salvage_report)) so frontends can print
+    /// a degradation notice and stamp machine-readable output.
+    ///
+    /// Header or dictionary corruption is still fatal — without the
+    /// dictionary no chunk can be decoded — as are real I/O errors. Text
+    /// datasets are rejected with [`FlipperError::Usage`]: the text parser
+    /// already reports the exact failing line, so salvage adds nothing.
+    pub fn open_salvage_path(path: impl AsRef<std::path::Path>) -> Result<Session, FlipperError> {
+        Session::open_salvage_path_with_threads(path, 1)
+    }
+
+    /// [`open_salvage_path`](Session::open_salvage_path), sharding the
+    /// ingestion-time projection over `threads` workers.
+    pub fn open_salvage_path_with_threads(
+        path: impl AsRef<std::path::Path>,
+        threads: usize,
+    ) -> Result<Session, FlipperError> {
+        let path = path.as_ref();
+        if crate::io::detect_format(path)? != crate::io::FileFormat::Fbin {
+            return Err(FlipperError::usage(format!(
+                "salvage applies to FBIN files only, and {} is a text dataset \
+                 (the text parser already reports the exact failing line)",
+                path.display()
+            )));
+        }
+        let file = std::fs::File::open(path)
+            .map_err(|e| FlipperError::io(format!("open {}", path.display()), e))?;
+        let (taxonomy, view, report) = {
+            let _span = flipper_obs::span("session.ingest");
+            flipper_store::salvage_view(std::io::BufReader::new(file), threads)?
+        };
+        Ok(Session {
+            taxonomy,
+            view,
+            database: None,
+            origin: format!("fbin file {} (salvage)", path.display()),
+            supports: RwLock::new(SupportCache::new()),
+            salvage: Some(report),
+        })
+    }
+
+    /// The salvage report, when this session was opened via
+    /// [`open_salvage_path`](Session::open_salvage_path); `None` for strict
+    /// open paths. [`SalvageReport::is_degraded`] distinguishes a clean
+    /// salvage (nothing was wrong) from an actually degraded one.
+    pub fn salvage_report(&self) -> Option<&SalvageReport> {
+        self.salvage.as_ref()
     }
 
     /// The dataset taxonomy.
@@ -117,6 +181,45 @@ impl Session {
     pub fn mine(&self, cfg: &FlipperConfig) -> Result<MiningResult, FlipperError> {
         cfg.validate()?;
         Ok(mine_with_view(&self.taxonomy, &self.view, cfg))
+    }
+
+    /// [`mine`](Session::mine) under a [`CancelToken`]: the run checks the
+    /// token at cell boundaries and stops early with
+    /// [`FlipperError::Cancelled`] / [`FlipperError::Timeout`], and a panic
+    /// anywhere inside the miner is trapped into
+    /// [`FlipperError::Panicked`] instead of unwinding into the caller.
+    /// With a live token the result is bit-identical to
+    /// [`mine`](Session::mine) — the guard adds one relaxed atomic load per
+    /// cell.
+    pub fn mine_guarded(
+        &self,
+        cfg: &FlipperConfig,
+        token: &CancelToken,
+    ) -> Result<MiningResult, FlipperError> {
+        cfg.validate()?;
+        Ok(mine_with_view_guarded(
+            &self.taxonomy,
+            &self.view,
+            cfg,
+            token,
+        )?)
+    }
+
+    /// [`mine_seeded`](Session::mine_seeded) under a [`CancelToken`]; see
+    /// [`mine_guarded`](Session::mine_guarded) for the guard semantics. An
+    /// interrupted run absorbs nothing into the session support cache.
+    pub fn mine_seeded_guarded(
+        &self,
+        cfg: &FlipperConfig,
+        token: &CancelToken,
+    ) -> Result<MiningResult, FlipperError> {
+        cfg.validate()?;
+        let result = {
+            let seeds = self.seeds_read();
+            mine_with_view_seeded_guarded(&self.taxonomy, &self.view, cfg, &seeds, token)?
+        };
+        self.absorb_seeded(&result);
+        Ok(result)
     }
 
     /// Mine under `cfg`, seeding support counting from this session's
@@ -387,6 +490,115 @@ mod tests {
             let sharded = Session::open_with_threads(&data, threads).unwrap();
             assert_eq!(sharded.view(), sequential.view(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn guarded_mine_matches_plain_and_interrupts_typed() {
+        let (_, session) = planted_session();
+        let cfg = counts_cfg();
+        let plain = session.mine(&cfg).unwrap();
+
+        let live = CancelToken::new();
+        let guarded = session.mine_guarded(&cfg, &live).unwrap();
+        assert_eq!(guarded.patterns, plain.patterns);
+        assert_eq!(guarded.cells, plain.cells);
+        let seeded = session.mine_seeded_guarded(&cfg, &live).unwrap();
+        assert_eq!(seeded.patterns, plain.patterns);
+
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = session.mine_guarded(&cfg, &cancelled).unwrap_err();
+        assert!(matches!(err, FlipperError::Cancelled), "{err}");
+        assert_eq!(err.exit_code(), 3);
+        let err = session.mine_seeded_guarded(&cfg, &cancelled).unwrap_err();
+        assert!(matches!(err, FlipperError::Cancelled), "{err}");
+
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let err = session.mine_guarded(&cfg, &expired).unwrap_err();
+        assert!(matches!(err, FlipperError::Timeout), "{err}");
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    /// Byte spans of the FBIN chunk sections in `bytes` (walked from the
+    /// fixed 8-byte header: tag, u32 LE length, payload, u32 CRC).
+    fn chunk_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut at = 8usize;
+        while at < bytes.len() {
+            let tag = bytes[at];
+            let len = u32::from_le_bytes(bytes[at + 1..at + 5].try_into().unwrap()) as usize;
+            let end = at + 1 + 4 + len + 4;
+            if tag == 0x02 {
+                spans.push((at, end));
+            }
+            at = end;
+        }
+        spans
+    }
+
+    #[test]
+    fn salvage_open_quarantines_damage_and_mines_the_rest() {
+        let dir = std::env::temp_dir().join(format!("flipper-api-salvage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = flipper_datagen::planted::generate(&PlantedParams::default());
+
+        // One transaction per chunk, so one damaged chunk loses one txn.
+        let mut w =
+            flipper_store::FbinWriter::with_chunk_size(Vec::new(), &data.taxonomy, 1).unwrap();
+        for txn in data.db.iter() {
+            w.write_transaction(txn).unwrap();
+        }
+        let intact = w.finish().unwrap();
+
+        // Intact file: salvage report present but not degraded, and the
+        // session mines exactly like a strict open.
+        let clean_path = dir.join("clean.fbin");
+        std::fs::write(&clean_path, &intact).unwrap();
+        let clean = Session::open_salvage_path(&clean_path).unwrap();
+        let report = clean.salvage_report().unwrap();
+        assert!(!report.is_degraded(), "{}", report.summary());
+        assert_eq!(clean.num_transactions(), data.db.len());
+        assert!(clean.database().is_none());
+        assert!(clean.origin().contains("salvage"));
+        let strict = Session::open_path(&clean_path).unwrap();
+        assert_eq!(
+            clean.mine(&counts_cfg()).unwrap().patterns,
+            strict.mine(&counts_cfg()).unwrap().patterns
+        );
+
+        // Flip one payload byte in the second chunk: strict open fails
+        // typed, salvage quarantines exactly that chunk and mines on.
+        let spans = chunk_spans(&intact);
+        assert!(spans.len() >= 3, "one chunk per transaction");
+        let mut damaged = intact.clone();
+        damaged[spans[1].0 + 6] ^= 0x20;
+        let bad_path = dir.join("damaged.fbin");
+        std::fs::write(&bad_path, &damaged).unwrap();
+        let err = Session::open_path(&bad_path).unwrap_err();
+        assert!(matches!(err, FlipperError::Store(_)), "{err}");
+        let salvaged = Session::open_salvage_path(&bad_path).unwrap();
+        let report = salvaged.salvage_report().unwrap();
+        assert!(report.is_degraded());
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].index, 1);
+        assert_eq!(salvaged.num_transactions(), data.db.len() - 1);
+        salvaged.mine(&counts_cfg()).unwrap();
+
+        // Text datasets are rejected: salvage is an FBIN affordance.
+        let text_path = dir.join("toy.txt");
+        crate::io::write_path(
+            &text_path,
+            &flipper_data::format::Dataset {
+                taxonomy: data.taxonomy.clone(),
+                db: data.db.clone(),
+            },
+            crate::io::FileFormat::Text,
+        )
+        .unwrap();
+        let err = Session::open_salvage_path(&text_path).unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!
 //! ```text
 //! { "schema": "flipper-results/v1",
+//!   "degraded": "…",   // additive; present only for partial-data runs
 //!   "runs": [
 //!     { "label": "...",
 //!       "config": { "measure", "gamma", "epsilon", "min_support",
@@ -264,6 +265,7 @@ fn render_config(out: &mut String, cfg: &FlipperConfig) {
 /// contract (byte-identical at every thread count).
 pub struct JsonWriter<W: Write> {
     w: W,
+    degraded: Option<String>,
     runs_written: usize,
     finished: bool,
 }
@@ -273,9 +275,34 @@ impl<W: Write> JsonWriter<W> {
     pub fn new(w: W) -> Self {
         JsonWriter {
             w,
+            degraded: None,
             runs_written: 0,
             finished: false,
         }
+    }
+
+    /// Stamp the document as **degraded**: results were computed from
+    /// partial data (e.g. a salvaged FBIN file with quarantined chunks),
+    /// and `note` says what was lost. The field is strictly additive — it
+    /// only appears when set, so documents from clean runs stay
+    /// byte-identical to pre-salvage goldens — and machine consumers should
+    /// treat its mere presence as "do not compare against intact-data
+    /// results".
+    pub fn with_degraded(mut self, note: impl Into<String>) -> Self {
+        self.degraded = Some(note.into());
+        self
+    }
+
+    /// The document opener: schema line, then the `degraded` stamp when
+    /// one is set, then the `runs` array.
+    fn header(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"flipper-results/v1\",\n");
+        if let Some(note) = &self.degraded {
+            out.push_str("  \"degraded\": ");
+            push_json_string(&mut out, note);
+            out.push_str(",\n");
+        }
+        out
     }
 
     /// Recover the writer after [`finish`](ResultSink::finish).
@@ -295,7 +322,8 @@ impl<W: Write> ResultSink for JsonWriter<W> {
         assert!(!self.finished, "consume after finish");
         let mut out = String::new();
         if self.runs_written == 0 {
-            out.push_str("{\n  \"schema\": \"flipper-results/v1\",\n  \"runs\": [\n");
+            out.push_str(&self.header());
+            out.push_str("  \"runs\": [\n");
         } else {
             out.push_str(",\n");
         }
@@ -363,7 +391,7 @@ impl<W: Write> ResultSink for JsonWriter<W> {
         assert!(!self.finished, "finish called twice");
         self.finished = true;
         let tail = if self.runs_written == 0 {
-            "{\n  \"schema\": \"flipper-results/v1\",\n  \"runs\": []\n}\n".to_string()
+            format!("{}  \"runs\": []\n}}\n", self.header())
         } else {
             "\n  ]\n}\n".to_string()
         };
@@ -529,6 +557,42 @@ mod tests {
         let mut sink = JsonWriter::new(Vec::new());
         sink.finish().unwrap();
         let doc = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(doc.contains("\"runs\": []"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn degraded_stamp_is_strictly_additive() {
+        let (session, cfg, result) = session_and_result();
+        let render = |degraded: Option<&str>| {
+            let mut sink = JsonWriter::new(Vec::new());
+            if let Some(note) = degraded {
+                sink = sink.with_degraded(note);
+            }
+            sink.consume("mine", session.taxonomy(), &cfg, &result)
+                .unwrap();
+            sink.finish().unwrap();
+            String::from_utf8(sink.into_inner()).unwrap()
+        };
+        let clean = render(None);
+        assert!(!clean.contains("degraded"));
+        let stamped = render(Some("quarantined 2 chunks (\"bit rot\")"));
+        assert!(stamped
+            .contains("\"degraded\": \"quarantined 2 chunks (\\\"bit rot\\\")\",\n  \"runs\""));
+        // Removing the one stamped line recovers the clean bytes exactly.
+        let stripped: String = stamped
+            .lines()
+            .filter(|l| !l.contains("\"degraded\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        assert_eq!(stripped, clean);
+
+        // Empty documents carry the stamp too.
+        let mut sink = JsonWriter::new(Vec::new()).with_degraded("salvage");
+        sink.finish().unwrap();
+        let doc = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(doc.contains("\"degraded\": \"salvage\""));
         assert!(doc.contains("\"runs\": []"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }

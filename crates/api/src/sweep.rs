@@ -19,12 +19,14 @@
 //!   from the session's [`flipper_data::SupportCache`] and deposit their
 //!   own counts back for the next sweep.
 
+use crate::checkpoint::{point_key, CheckpointRow, SweepJournal};
 use crate::error::FlipperError;
 use crate::session::Session;
 use flipper_core::{
     mine_with_view, mine_with_view_seeded, FlipperConfig, MinSupports, MiningResult, PruningConfig,
 };
 use flipper_data::{exec, CountingEngine};
+use flipper_guard::CancelToken;
 use flipper_measures::Thresholds;
 use std::collections::BTreeMap;
 
@@ -111,6 +113,7 @@ pub struct Sweep<'s> {
     points: Vec<(String, FlipperConfig)>,
     jobs: usize,
     seed_supports: bool,
+    token: Option<&'s CancelToken>,
 }
 
 impl<'s> Sweep<'s> {
@@ -122,7 +125,20 @@ impl<'s> Sweep<'s> {
             points: Vec::new(),
             jobs: 1,
             seed_supports: true,
+            token: None,
         }
+    }
+
+    /// Run the sweep under a [`CancelToken`]: the token is checked before
+    /// every point (and, inside each run, at cell boundaries — the token is
+    /// not threaded into the miner, so a sweep stops between points), and a
+    /// cancelled or expired token surfaces as
+    /// [`FlipperError::Cancelled`] / [`FlipperError::Timeout`] from
+    /// [`run`](Sweep::run). Results of points that complete are identical
+    /// with and without a live token.
+    pub fn with_token(mut self, token: &'s CancelToken) -> Self {
+        self.token = Some(token);
+        self
     }
 
     /// Toggle seeding from the session support cache (default on). Seeded
@@ -227,18 +243,45 @@ impl<'s> Sweep<'s> {
     /// result and carry [`SweepRun::duplicate_of`] naming it. An
     /// engine × thread matrix therefore mines exactly once.
     pub fn run(self) -> Result<Vec<SweepRun>, FlipperError> {
+        Ok(self.execute(None)?.runs)
+    }
+
+    /// [`run`](Sweep::run) against a [`SweepJournal`]: points the journal
+    /// already records are **skipped** and surface as
+    /// [`SweepOutcome::restored`] summaries; the remainder mine normally,
+    /// each appended to the journal (and flushed) the moment it completes.
+    /// A sweep killed mid-run — cancelled, timed out, OOM-killed — therefore
+    /// resumes from its last completed point instead of restarting.
+    pub fn run_checkpointed(self, journal: &SweepJournal) -> Result<SweepOutcome, FlipperError> {
+        self.execute(Some(journal))
+    }
+
+    fn execute(self, journal: Option<&SweepJournal>) -> Result<SweepOutcome, FlipperError> {
         for (_, cfg) in &self.points {
             cfg.validate()?;
         }
         let session = self.session;
+        // Restore already-completed points from the journal; the rest stay
+        // live. A point's journal key covers its label *and* its
+        // result-determining fields, so an edited grid never restores a
+        // stale summary.
+        let mut restored: Vec<CheckpointRow> = Vec::new();
+        let mut live: Vec<(&(String, FlipperConfig), u64)> = Vec::new();
+        for point in &self.points {
+            let key = point_key(&point.0, &result_key(&point.1));
+            match journal.and_then(|j| j.completed(key)) {
+                Some(row) => restored.push(row.clone()),
+                None => live.push((point, key)),
+            }
+        }
         // Partition into unique points (mined) and duplicates (reused):
         // per point, the slot of its result in the unique-result vector,
         // plus the index of the original point when it is a repeat.
         let mut first_of: BTreeMap<String, (usize, usize)> = BTreeMap::new();
-        let mut unique: Vec<&(String, FlipperConfig)> = Vec::new();
-        let mut assignment: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.points.len());
-        for (i, point) in self.points.iter().enumerate() {
-            match first_of.entry(result_key(&point.1)) {
+        let mut unique: Vec<(&(String, FlipperConfig), u64)> = Vec::new();
+        let mut assignment: Vec<(usize, Option<usize>)> = Vec::with_capacity(live.len());
+        for (i, &entry) in live.iter().enumerate() {
+            match first_of.entry(result_key(&entry.0 .1)) {
                 std::collections::btree_map::Entry::Occupied(e) => {
                     let &(orig, slot) = e.get();
                     assignment.push((slot, Some(orig)));
@@ -246,10 +289,11 @@ impl<'s> Sweep<'s> {
                 std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert((i, unique.len()));
                     assignment.push((unique.len(), None));
-                    unique.push(point);
+                    unique.push(entry);
                 }
             }
         }
+        let token = self.token;
         let results: Vec<MiningResult> = {
             // Hold the read lock across the whole sweep: every job seeds
             // from the same cache snapshot, concurrently.
@@ -257,20 +301,31 @@ impl<'s> Sweep<'s> {
             let _sweep_span = flipper_obs::span("sweep.run")
                 .arg("points", self.points.len() as u64)
                 .arg("unique", unique.len() as u64);
-            exec::map_slice_chunks(self.jobs, &unique, |chunk| {
+            exec::try_map_slice_chunks(self.jobs, &unique, |chunk| {
                 chunk
                     .iter()
-                    .map(|(label, cfg)| {
+                    .map(|&(point, key)| {
+                        let (label, cfg) = point;
+                        if let Some(t) = token {
+                            t.check()?;
+                        }
                         let _point_span = flipper_obs::span_labeled("sweep.point", label);
-                        match &seeds {
+                        // Trap per point: one panicking configuration fails
+                        // the sweep typed, after every worker has joined and
+                        // flushed — it cannot abort the process.
+                        let result = flipper_guard::trap("sweep.point", || match &seeds {
                             Some(s) => {
                                 mine_with_view_seeded(session.taxonomy(), session.view(), cfg, s)
                             }
                             None => mine_with_view(session.taxonomy(), session.view(), cfg),
+                        })?;
+                        if let Some(j) = journal {
+                            j.record(key, &summary_row(label, &result))?;
                         }
+                        Ok(result)
                     })
-                    .collect::<Vec<_>>()
-            })
+                    .collect::<Result<Vec<_>, FlipperError>>()
+            })?
             .into_iter()
             .flatten()
             .collect()
@@ -280,18 +335,52 @@ impl<'s> Sweep<'s> {
                 session.absorb_seeded(result);
             }
         }
-        Ok(self
-            .points
+        // Journal the duplicates too (they completed by reuse), so a
+        // resumed sweep restores them instead of re-deriving the original.
+        if let Some(j) = journal {
+            for (&(point, key), &(slot, orig)) in live.iter().zip(&assignment) {
+                if orig.is_some() {
+                    j.record(key, &summary_row(&point.0, &results[slot]))?;
+                }
+            }
+        }
+        let runs = live
             .iter()
-            .cloned()
             .zip(assignment)
-            .map(|((label, config), (slot, orig))| SweepRun {
-                label,
-                config,
+            .map(|(&(point, _), (slot, orig))| SweepRun {
+                label: point.0.clone(),
+                config: point.1.clone(),
                 result: results[slot].clone(),
-                duplicate_of: orig.map(|i| self.points[i].0.clone()),
+                duplicate_of: orig.map(|i| live[i].0 .0.clone()),
             })
-            .collect())
+            .collect();
+        Ok(SweepOutcome { runs, restored })
+    }
+}
+
+/// What [`Sweep::run_checkpointed`] returns: the points this invocation
+/// actually mined, plus summaries of the points restored from the journal.
+/// Restored points deliberately carry summaries only — the journal is a
+/// crash-recovery aid, not a second results format; rerun without the
+/// journal to regenerate full results.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Newly-mined points, in submission order (journal-restored points
+    /// removed).
+    pub runs: Vec<SweepRun>,
+    /// Points skipped because the journal already records them, in
+    /// submission order.
+    pub restored: Vec<CheckpointRow>,
+}
+
+/// The journal summary of one completed point.
+fn summary_row(label: &str, result: &MiningResult) -> CheckpointRow {
+    CheckpointRow {
+        label: label.to_string(),
+        patterns: result.patterns.len() as u64,
+        positive: result.total_positive() as u64,
+        negative: result.total_negative() as u64,
+        candidates: result.stats.candidates_generated,
     }
 }
 
@@ -437,5 +526,152 @@ mod tests {
     fn empty_sweep_returns_no_runs() {
         let s = session();
         assert!(s.sweep().run().unwrap().is_empty());
+    }
+
+    #[test]
+    fn live_token_changes_nothing_and_interrupted_tokens_surface_typed() {
+        let s = session();
+        let live = CancelToken::new();
+        let guarded = s
+            .sweep()
+            .with_token(&live)
+            .pruning_variants(&base())
+            .run()
+            .unwrap();
+        let plain = s.sweep().pruning_variants(&base()).run().unwrap();
+        assert_eq!(guarded.len(), plain.len());
+        for (g, p) in guarded.iter().zip(&plain) {
+            assert_eq!(g.result.patterns, p.result.patterns, "{}", g.label);
+            assert_eq!(g.result.cells, p.result.cells, "{}", g.label);
+        }
+
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = s
+            .sweep()
+            .with_token(&cancelled)
+            .pruning_variants(&base())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, FlipperError::Cancelled), "{err}");
+        assert_eq!(err.exit_code(), 3);
+
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let err = s
+            .sweep()
+            .with_token(&expired)
+            .pruning_variants(&base())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, FlipperError::Timeout), "{err}");
+    }
+
+    #[test]
+    fn cancelled_sweep_checkpoints_progress_and_resumes() {
+        let s = session();
+        let dir = std::env::temp_dir().join(format!("flipper-sweep-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        // First attempt: single-job for a deterministic interruption point —
+        // two points complete, the third check cancels.
+        let journal = SweepJournal::open(&path, &s).unwrap();
+        let token = CancelToken::cancel_after(3);
+        let err = s
+            .sweep()
+            .with_jobs(1)
+            .with_token(&token)
+            .pruning_variants(&base())
+            .run_checkpointed(&journal)
+            .unwrap_err();
+        assert!(matches!(err, FlipperError::Cancelled), "{err}");
+        assert_eq!(
+            journal.completed_points(),
+            0,
+            "in-memory view is a snapshot at open"
+        );
+        drop(journal);
+
+        // Resume: reopen the journal, completed points restore as summaries,
+        // the rest mine.
+        let journal = SweepJournal::open(&path, &s).unwrap();
+        let done = journal.completed_points();
+        assert_eq!(done, 2, "two points completed before the cancellation");
+        let outcome = s
+            .sweep()
+            .pruning_variants(&base())
+            .run_checkpointed(&journal)
+            .unwrap();
+        assert_eq!(outcome.restored.len(), done);
+        assert_eq!(outcome.runs.len(), 4 - done);
+        let mut labels: Vec<&str> = outcome
+            .restored
+            .iter()
+            .map(|r| r.label.as_str())
+            .chain(outcome.runs.iter().map(|r| r.label.as_str()))
+            .collect();
+        labels.sort_unstable();
+        assert_eq!(
+            labels,
+            ["basic", "flipping", "flipping+tpg", "flipping+tpg+sibp"]
+        );
+        // Restored summaries match what a fresh solo mine reports.
+        for row in &outcome.restored {
+            let pruning = PruningConfig::VARIANTS
+                .into_iter()
+                .find(|p| p.name() == row.label)
+                .unwrap();
+            let mut cfg = base();
+            cfg.pruning = pruning;
+            let solo = s.mine(&cfg).unwrap();
+            assert_eq!(row.patterns, solo.patterns.len() as u64, "{}", row.label);
+            assert_eq!(row.positive, solo.total_positive() as u64, "{}", row.label);
+            assert_eq!(row.negative, solo.total_negative() as u64, "{}", row.label);
+        }
+
+        // A third pass restores everything and mines nothing.
+        let journal = SweepJournal::open(&path, &s).unwrap();
+        let outcome = s
+            .sweep()
+            .pruning_variants(&base())
+            .run_checkpointed(&journal)
+            .unwrap();
+        assert!(outcome.runs.is_empty());
+        assert_eq!(outcome.restored.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_duplicates_are_journaled_too() {
+        let s = session();
+        let dir = std::env::temp_dir().join(format!("flipper-sweep-dup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dups.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let journal = SweepJournal::open(&path, &s).unwrap();
+        let outcome = s
+            .sweep()
+            .engine_threads(&base(), &[CountingEngine::Tidset], &[1, 2])
+            .run_checkpointed(&journal)
+            .unwrap();
+        assert_eq!(outcome.runs.len(), 2);
+        assert_eq!(outcome.runs[1].duplicate_of.as_deref(), Some("tidset/t1"));
+
+        let journal = SweepJournal::open(&path, &s).unwrap();
+        assert_eq!(
+            journal.completed_points(),
+            2,
+            "the duplicate is recorded too"
+        );
+        let outcome = s
+            .sweep()
+            .engine_threads(&base(), &[CountingEngine::Tidset], &[1, 2])
+            .run_checkpointed(&journal)
+            .unwrap();
+        assert!(outcome.runs.is_empty());
+        assert_eq!(outcome.restored.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -424,6 +424,61 @@ fn obs_overhead_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<B
     }
 }
 
+/// Guard overhead rows: the same mine timed unguarded (`mine-unguarded`)
+/// and through `mine_with_view_guarded` with a live-but-inert
+/// [`flipper_api::CancelToken`] (`mine-guarded`) — the cancellation checks,
+/// the fault-site probes and the panic trap all on the timed path with
+/// nothing firing. The guarded median is the number the "< 1% overhead"
+/// acceptance row tracks; both rows land in the JSON report so the baseline
+/// catches guard-path creep.
+fn guard_overhead_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<BenchRow>) {
+    let data = generate(&QuestParams::default().with_transactions(n));
+    let view = MultiLevelView::build(&data.db, &data.taxonomy);
+    let cfg = FlipperConfig::new(
+        Thresholds::new(0.3, 0.1),
+        MinSupports::Fractions(vec![0.001, 0.0001, 0.00006, 0.00003]),
+    )
+    .with_pruning(PruningConfig::BASIC);
+
+    let t_bare = time_fn("mine-unguarded", warmup, samples, || {
+        mine_with_view(&data.taxonomy, &view, &cfg)
+    });
+    let token = flipper_api::CancelToken::new();
+    let t_guarded = time_fn("mine-guarded", warmup, samples, || {
+        flipper_core::mine_with_view_guarded(&data.taxonomy, &view, &cfg, &token)
+            .expect("inert guard never fails")
+    });
+
+    report.push(BenchRow::new(
+        "guard",
+        "quest",
+        n,
+        "mine-unguarded",
+        1,
+        t_bare.clone(),
+    ));
+    report.push(BenchRow::new(
+        "guard",
+        "quest",
+        n,
+        "mine-guarded",
+        1,
+        t_guarded.clone(),
+    ));
+    print_table(
+        &format!("guard overhead (quest, N = {n}, basic/thr10)"),
+        &["config", "median_ms", "min_ms", "mean_ms"],
+        &[t_bare.cells(), t_guarded.cells()],
+    );
+    let (bare_med, guarded_med) = (t_bare.median.as_secs_f64(), t_guarded.median.as_secs_f64());
+    if bare_med > 0.0 {
+        println!(
+            "  guard overhead (guarded vs unguarded median): {:+.2}%",
+            100.0 * (guarded_med - bare_med) / bare_med
+        );
+    }
+}
+
 /// Support-cache probe rows: the old per-candidate `BTreeMap` probe
 /// (`probe-get`, one `(h, itemset.clone())` range lookup per candidate)
 /// vs the sorted-batch range-merge (`probe-merge`, one cursor walked in
@@ -571,6 +626,7 @@ fn run_smoke(report: &mut Vec<BenchRow>) {
     // the per-point cost, or the seeded-vs-cold signal drowns in overhead.
     sweep_seeding_rows(800, 0, 1, report);
     obs_overhead_rows(300, 0, 3, report);
+    guard_overhead_rows(300, 0, 3, report);
     seeding_probe_rows(0, 1, report);
     storage_io_rows(300, 0, 1, report);
     println!("\nquickbench --smoke PASSED");
@@ -676,6 +732,9 @@ fn main() {
 
     // Observability: recorder-off vs recorder-on medians for the same mine.
     obs_overhead_rows(1000, warmup, samples, &mut report);
+
+    // Guard: unguarded vs inert-token guarded medians for the same mine.
+    guard_overhead_rows(1000, warmup, samples, &mut report);
 
     // Support-cache probes: per-candidate get vs sorted-batch range-merge.
     seeding_probe_rows(warmup, samples, &mut report);

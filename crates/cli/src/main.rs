@@ -12,14 +12,16 @@
 //!   variants × engines) against one ingestion of the dataset;
 //! * `convert` — convert a dataset between the text and FBIN formats;
 //! * `topk` — threshold-free top-K most-flipping search;
-//! * `stats` — print dataset statistics.
+//! * `stats` — print dataset statistics;
+//! * `results-diff` — compare two `flipper-results/v1` reports.
 //!
 //! Every `--input` path is format-sniffed by magic bytes; FBIN inputs are
 //! streamed chunk by chunk, never materializing the raw database. Errors
 //! print an `error:` line followed by the `caused by:` source chain, and
-//! the process exits 2 for usage mistakes, 1 for data/I/O/configuration
-//! failures — so scripts can tell "you called it wrong" from "the data is
-//! bad".
+//! the process exits 2 for usage mistakes, 3 for cancelled or timed-out
+//! runs (`--timeout`), 1 for data/I/O/configuration failures — so scripts
+//! can tell "you called it wrong" from "it ran out of time" from "the data
+//! is bad".
 
 use flipper_api::io::{load_path, write_to, FileFormat};
 use flipper_api::{
@@ -46,14 +48,17 @@ USAGE:
                    [--threads N]   (0 = all cores, default 1)
                    [--cache-budget BYTES]   (e.g. 4M; 0 disables, default 16M)
                    [--output-json FILE] [--trace FILE] [--timings]
+                   [--timeout SECS] [--salvage]
   flipper sweep    --input FILE [--gammas F1,F2,...] [--epsilons F1,F2,...]
                    [--variants v1,v2,...|all] [--engines e1,e2,...|all]
                    [--minsup F1,F2,...] [--measure NAME] [--threads N]
                    [--jobs N] [--cache-budget BYTES] [--seed-supports on|off]
                    [--output-json FILE] [--trace FILE]
+                   [--timeout SECS] [--checkpoint FILE [--resume]]
   flipper convert  --input FILE --out FILE [--to text|fbin]
   flipper topk     --input FILE --k N [--minsup F1,F2,...]
   flipper stats    --input FILE
+  flipper results-diff FILE_A FILE_B
   flipper help
 
 Input files are auto-detected by magic bytes: FBIN binary datasets (written
@@ -79,7 +84,18 @@ and cache statistics from the same recorder. Both are observability-only:
 mined results and `flipper-results/v1` bytes are identical with or without
 them, at every thread count.
 
+`--timeout SECS` bounds a run cooperatively: the deadline is checked at
+cell/point boundaries and an expired run exits 3 with a typed error — never
+a partial report. `mine --salvage` opens a damaged FBIN input in salvage
+mode: chunks failing their CRC are quarantined (listed on stderr) and the
+rest is mined; the JSON report carries an additive \"degraded\" field. `sweep
+--checkpoint FILE` journals each completed point; after a kill or timeout,
+re-running with `--resume` skips the journaled points (restored as summary
+rows) and mines only the remainder. `results-diff` compares two
+`flipper-results/v1` reports: exit 0 when equivalent, 1 when they differ.
+
 EXIT CODES:  0 success · 1 data/I-O/config error · 2 usage error
+             · 3 cancelled or timed out
 
 EXAMPLES:
   flipper generate --kind groceries --out groceries.txt
@@ -93,7 +109,7 @@ EXAMPLES:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("{}", e.render_chain());
             if matches!(e, FlipperError::Usage(_)) {
@@ -104,17 +120,22 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), FlipperError> {
+/// Dispatch and return the process exit code for the success path (`0`
+/// everywhere except `results-diff`, which exits `1` when the documents
+/// differ — the `diff`/`cmp` convention).
+fn run(args: &[String]) -> Result<u8, FlipperError> {
+    let ok = |()| 0u8;
     match args.first().map(String::as_str) {
-        Some("generate") => cmd_generate(&parse_flags(&args[1..])?),
-        Some("mine") => cmd_mine(&parse_flags(&args[1..])?),
-        Some("sweep") => cmd_sweep(&parse_flags(&args[1..])?),
-        Some("convert") => cmd_convert(&parse_flags(&args[1..])?),
-        Some("topk") => cmd_topk(&parse_flags(&args[1..])?),
-        Some("stats") => cmd_stats(&parse_flags(&args[1..])?),
+        Some("generate") => cmd_generate(&parse_flags(&args[1..])?).map(ok),
+        Some("mine") => cmd_mine(&parse_flags(&args[1..])?).map(ok),
+        Some("sweep") => cmd_sweep(&parse_flags(&args[1..])?).map(ok),
+        Some("convert") => cmd_convert(&parse_flags(&args[1..])?).map(ok),
+        Some("topk") => cmd_topk(&parse_flags(&args[1..])?).map(ok),
+        Some("stats") => cmd_stats(&parse_flags(&args[1..])?).map(ok),
+        Some("results-diff") => cmd_results_diff(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(0)
         }
         Some(other) => Err(FlipperError::usage(format!("unknown subcommand {other:?}"))),
     }
@@ -125,7 +146,7 @@ fn run(args: &[String]) -> Result<(), FlipperError> {
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value (presence means "on").
-const BOOL_FLAGS: &[&str] = &["timings"];
+const BOOL_FLAGS: &[&str] = &["timings", "salvage", "resume"];
 
 /// Parse `--key value` pairs (and bare [`BOOL_FLAGS`]) after the
 /// subcommand.
@@ -206,6 +227,28 @@ fn input_path(flags: &Flags) -> Result<&String, FlipperError> {
     flags
         .get("input")
         .ok_or_else(|| FlipperError::usage("missing --input FILE"))
+}
+
+/// Build the `--timeout` cancel token: the run checks the deadline at
+/// cell/point boundaries and exits 3 once it passes.
+fn parse_timeout(flags: &Flags) -> Result<Option<flipper_api::CancelToken>, FlipperError> {
+    match flags.get("timeout") {
+        None => Ok(None),
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .ok()
+                .filter(|s: &f64| *s > 0.0 && s.is_finite())
+                .ok_or_else(|| {
+                    FlipperError::usage(format!(
+                        "--timeout expects a positive number of seconds, got {v:?}"
+                    ))
+                })?;
+            Ok(Some(flipper_api::CancelToken::with_timeout(
+                std::time::Duration::from_secs_f64(secs),
+            )))
+        }
+    }
 }
 
 fn parse_minsup(flags: &Flags) -> Result<MinSupports, FlipperError> {
@@ -465,10 +508,32 @@ fn cmd_mine(flags: &Flags) -> Result<(), FlipperError> {
     let trace_out = flags.get("trace");
     let timings = flags.contains_key("timings");
     let record = trace_out.is_some() || timings;
+    let token = parse_timeout(flags)?;
     let json_out = open_json_output(flags)?;
     start_recorder(record);
-    let session = open_session(flags, cfg.threads)?;
-    let result = session.mine(&cfg)?;
+    let session = if flags.contains_key("salvage") {
+        Session::open_salvage_path_with_threads(input_path(flags)?, cfg.threads)?
+    } else {
+        open_session(flags, cfg.threads)?
+    };
+    if let Some(report) = session.salvage_report() {
+        if report.is_degraded() {
+            eprintln!("degraded input ({}):", report.summary());
+            for q in &report.quarantined {
+                eprintln!(
+                    "  quarantined chunk {} at byte {}: {}",
+                    q.index, q.byte_offset, q.reason
+                );
+            }
+            eprintln!("  results below were mined from the readable remainder");
+        } else {
+            eprintln!("salvage: input is intact ({})", report.summary());
+        }
+    }
+    let result = match &token {
+        Some(t) => session.mine_guarded(&cfg, t)?,
+        None => session.mine(&cfg)?,
+    };
     let capture = finish_recorder(record, trace_out)?;
 
     let top = get_usize(flags, "top", usize::MAX)?;
@@ -480,7 +545,11 @@ fn cmd_mine(flags: &Flags) -> Result<(), FlipperError> {
         print_timings(capture, &result.stats);
     }
 
-    if let Some((mut json, path)) = json_out {
+    if let Some((json, path)) = json_out {
+        let mut json = match session.salvage_report().filter(|r| r.is_degraded()) {
+            Some(report) => json.with_degraded(report.summary()),
+            None => json,
+        };
         json.consume("mine", session.taxonomy(), &cfg, &result)?;
         json.finish()?;
         eprintln!("wrote flipper-results/v1 report to {path}");
@@ -563,12 +632,32 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
             .map_err(|e| FlipperError::usage(format!("sweep point {label}: {e}")))?;
     }
     let n_runs = points.len();
+    let token = parse_timeout(flags)?;
+    let resume = flags.contains_key("resume");
+    let checkpoint = flags.get("checkpoint");
+    if resume && checkpoint.is_none() {
+        return Err(FlipperError::usage("--resume requires --checkpoint FILE"));
+    }
+    if let Some(path) = checkpoint {
+        if std::path::Path::new(path).exists() && !resume {
+            return Err(FlipperError::usage(format!(
+                "checkpoint journal {path} already exists; pass --resume to \
+                 continue it, or remove the file to start over"
+            )));
+        }
+    }
     let json_out = open_json_output(flags)?;
     let trace_out = flags.get("trace");
     start_recorder(trace_out.is_some());
 
     let session = open_session(flags, base.threads)?;
+    let journal = checkpoint
+        .map(|path| flipper_api::SweepJournal::open(path, &session))
+        .transpose()?;
     let mut sweep = session.sweep().with_jobs(jobs).with_seeding(seed_supports);
+    if let Some(t) = &token {
+        sweep = sweep.with_token(t);
+    }
     for (label, cfg) in points {
         sweep = sweep.add(label, cfg);
     }
@@ -577,13 +666,32 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
         session.origin(),
         session.num_transactions()
     );
-    let runs = sweep.run()?;
+    let (runs, restored) = match &journal {
+        Some(journal) => {
+            let outcome = sweep.run_checkpointed(journal)?;
+            (outcome.runs, outcome.restored)
+        }
+        None => (sweep.run()?, Vec::new()),
+    };
     finish_recorder(trace_out.is_some(), trace_out)?;
 
     println!(
         "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10}  note",
         "label", "flips", "pos", "neg", "candidates", "time(ms)"
     );
+    for row in &restored {
+        println!(
+            "{:<32} {:>8} {:>6} {:>6} {:>12} {:>10}  (restored)",
+            row.label, row.patterns, row.positive, row.negative, row.candidates, "-"
+        );
+    }
+    if !restored.is_empty() {
+        eprintln!(
+            "{} of {n_runs} points restored from the checkpoint journal as \
+             summaries only; rerun without --resume for their full results",
+            restored.len()
+        );
+    }
     let mut skipped = 0usize;
     for run in &runs {
         let note = match &run.duplicate_of {
@@ -612,7 +720,10 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
 
     if let Some((mut json, path)) = json_out {
         emit_runs(&mut json, session.taxonomy(), &runs)?;
-        eprintln!("wrote flipper-results/v1 report ({n_runs} runs) to {path}");
+        eprintln!(
+            "wrote flipper-results/v1 report ({} runs) to {path}",
+            runs.len()
+        );
     }
     Ok(())
 }
@@ -664,6 +775,116 @@ fn cmd_stats(flags: &Flags) -> Result<(), FlipperError> {
         );
     }
     Ok(())
+}
+
+// ---------------------------------------------------------- results-diff
+
+/// Compare two `flipper-results/v1` reports: exit 0 when byte-identical or
+/// JSON-equivalent, 1 when they differ (label-level differences listed),
+/// 2 when either file is not a results report — the `diff`/`cmp`
+/// convention that "trouble" is distinct from "files differ".
+fn cmd_results_diff(args: &[String]) -> Result<u8, FlipperError> {
+    let [path_a, path_b] = args else {
+        return Err(FlipperError::usage(
+            "results-diff expects exactly two FILE arguments",
+        ));
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| FlipperError::io(format!("results file {path}"), e))
+    };
+    let text_a = read(path_a)?;
+    let text_b = read(path_b)?;
+    if text_a == text_b {
+        println!("identical: {path_a} and {path_b} are byte-for-byte equal");
+        return Ok(0);
+    }
+    let doc_a = parse_results(path_a, &text_a)?;
+    let doc_b = parse_results(path_b, &text_b)?;
+    if doc_a == doc_b {
+        println!("equivalent: {path_a} and {path_b} differ only in formatting");
+        return Ok(0);
+    }
+    let runs_a = runs_by_label(path_a, &doc_a)?;
+    let runs_b = runs_by_label(path_b, &doc_b)?;
+    let mut differences = 0usize;
+    for (label, run_a) in &runs_a {
+        match runs_b.get(label) {
+            None => {
+                println!("- run {label:?} only in {path_a}");
+                differences += 1;
+            }
+            Some(run_b) if run_a != run_b => {
+                println!("! run {label:?} differs between the reports");
+                differences += 1;
+            }
+            Some(_) => {}
+        }
+    }
+    for label in runs_b.keys() {
+        if !runs_a.contains_key(label) {
+            println!("+ run {label:?} only in {path_b}");
+            differences += 1;
+        }
+    }
+    if differences == 0 {
+        // Run-for-run equal, so the difference lives outside the runs
+        // array — e.g. one report carries the salvage "degraded" stamp.
+        println!("! reports differ outside the runs (e.g. a degraded stamp)");
+        differences = 1;
+    }
+    println!("{differences} difference(s)");
+    Ok(1)
+}
+
+/// Parse one report and verify its schema line; not-a-report is a usage
+/// error (exit 2), keeping exit 1 unambiguous for "the reports differ".
+fn parse_results(path: &str, text: &str) -> Result<flipper_obs::Json, FlipperError> {
+    use flipper_obs::Json;
+    let doc = flipper_obs::parse_json(text)
+        .map_err(|e| FlipperError::usage(format!("{path} is not valid JSON: {e}")))?;
+    let schema_ok = match &doc {
+        Json::Obj(map) => {
+            matches!(map.get("schema"), Some(Json::Str(s)) if s == "flipper-results/v1")
+        }
+        _ => false,
+    };
+    if !schema_ok {
+        return Err(FlipperError::usage(format!(
+            "{path} is not a flipper-results/v1 report (missing or wrong \"schema\" field)"
+        )));
+    }
+    Ok(doc)
+}
+
+/// Index a report's runs by label for the label-level diff.
+fn runs_by_label<'a>(
+    path: &str,
+    doc: &'a flipper_obs::Json,
+) -> Result<std::collections::BTreeMap<&'a str, &'a flipper_obs::Json>, FlipperError> {
+    use flipper_obs::Json;
+    let bad = || {
+        FlipperError::usage(format!(
+            "{path} has no \"runs\" array of labeled run objects"
+        ))
+    };
+    let Json::Obj(map) = doc else {
+        return Err(bad());
+    };
+    let Some(Json::Arr(runs)) = map.get("runs") else {
+        return Err(bad());
+    };
+    let mut by_label = std::collections::BTreeMap::new();
+    for run in runs {
+        let Json::Obj(fields) = run else {
+            return Err(bad());
+        };
+        let Some(Json::Str(label)) = fields.get("label") else {
+            return Err(bad());
+        };
+        by_label.insert(label.as_str(), run);
+    }
+    Ok(by_label)
 }
 
 #[cfg(test)]
@@ -1021,5 +1242,197 @@ mod tests {
             err.to_string().contains("FBIN"),
             "error should name the binary format: {err}"
         );
+    }
+
+    #[test]
+    fn timeout_flag_validates_then_expires_with_exit_3() {
+        // Zero, negative and non-numeric timeouts are usage errors, caught
+        // before the input file is touched.
+        for bad in ["0", "-1", "soon", "inf", "nan"] {
+            let err = run(&strs(&[
+                "mine",
+                "--input",
+                "/nonexistent",
+                "--timeout",
+                bad,
+            ]))
+            .unwrap_err();
+            assert!(matches!(err, FlipperError::Usage(_)), "{bad:?}: {err}");
+            assert_eq!(err.exit_code(), 2);
+        }
+        // A timeout that expires before the first deadline check surfaces
+        // as the typed Timeout error and the dedicated exit code 3.
+        let dir = std::env::temp_dir().join(format!("flipper-cli-timeout-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.txt").to_string_lossy().to_string();
+        run(&strs(&["generate", "--kind", "planted", "--out", &path])).unwrap();
+        let err = run(&strs(&[
+            "mine",
+            "--input",
+            &path,
+            "--timeout",
+            "0.000000001",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, FlipperError::Timeout), "{err}");
+        assert_eq!(err.exit_code(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salvage_mines_damaged_fbin_and_stamps_the_report() {
+        let dir = std::env::temp_dir().join(format!("flipper-cli-salvage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fbin = dir.join("p.fbin").to_string_lossy().to_string();
+        let damaged = dir.join("damaged.fbin").to_string_lossy().to_string();
+        run(&strs(&["generate", "--kind", "planted", "--out", &fbin])).unwrap();
+        // Corrupt the file's final byte: the end section's CRC.
+        let mut bytes = std::fs::read(&fbin).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xff;
+        std::fs::write(&damaged, &bytes).unwrap();
+        // Strict mining refuses the damaged file (data error, exit 1)…
+        let err = run(&strs(&["mine", "--input", &damaged, "--top", "1"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        // …salvage mode mines it and stamps the JSON report as degraded.
+        let degraded_json = dir.join("degraded.json").to_string_lossy().to_string();
+        run(&strs(&[
+            "mine",
+            "--input",
+            &damaged,
+            "--salvage",
+            "--top",
+            "1",
+            "--output-json",
+            &degraded_json,
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&degraded_json).unwrap();
+        assert!(doc.contains("\n  \"degraded\": \""), "{doc}");
+        assert!(doc.contains("checksum"), "{doc}");
+        // Salvage of an intact file is byte-identical to a strict run: the
+        // degraded stamp is strictly additive.
+        let strict_json = dir.join("strict.json").to_string_lossy().to_string();
+        let intact_json = dir.join("intact.json").to_string_lossy().to_string();
+        run(&strs(&[
+            "mine",
+            "--input",
+            &fbin,
+            "--top",
+            "1",
+            "--output-json",
+            &strict_json,
+        ]))
+        .unwrap();
+        run(&strs(&[
+            "mine",
+            "--input",
+            &fbin,
+            "--salvage",
+            "--top",
+            "1",
+            "--output-json",
+            &intact_json,
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&strict_json).unwrap(),
+            std::fs::read(&intact_json).unwrap(),
+            "salvage of an intact file must not perturb result bytes"
+        );
+        // Salvage only applies to the FBIN container.
+        let text = dir.join("p.txt").to_string_lossy().to_string();
+        run(&strs(&["convert", "--input", &fbin, "--out", &text])).unwrap();
+        let err = run(&strs(&["mine", "--input", &text, "--salvage"])).unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_checkpoint_flags_gate_and_resume_restores() {
+        let err = run(&strs(&["sweep", "--input", "/nonexistent", "--resume"])).unwrap_err();
+        assert!(err.to_string().contains("--resume requires"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
+        let dir = std::env::temp_dir().join(format!("flipper-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.txt").to_string_lossy().to_string();
+        let ckpt = dir.join("sweep.ckpt").to_string_lossy().to_string();
+        run(&strs(&["generate", "--kind", "planted", "--out", &path])).unwrap();
+        let sweep = |extra: &[&str]| {
+            let mut args = strs(&[
+                "sweep",
+                "--input",
+                &path,
+                "--gammas",
+                "0.6,0.5",
+                "--epsilons",
+                "0.35",
+            ]);
+            args.extend(strs(extra));
+            run(&args)
+        };
+        sweep(&["--checkpoint", &ckpt]).unwrap();
+        assert!(std::fs::read_to_string(&ckpt)
+            .unwrap()
+            .starts_with("flipper-sweep-ckpt/v1\n"));
+        // Re-running against an existing journal without --resume is
+        // refused before ingestion, so a finished sweep isn't clobbered.
+        let err = sweep(&["--checkpoint", &ckpt]).unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        // --resume restores every completed point instead of re-mining.
+        sweep(&["--checkpoint", &ckpt, "--resume"]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn results_diff_distinguishes_identical_equivalent_and_different() {
+        let dir = std::env::temp_dir().join(format!("flipper-cli-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.txt").to_string_lossy().to_string();
+        run(&strs(&["generate", "--kind", "planted", "--out", &path])).unwrap();
+        let mine = |gamma: &str, out: &str| {
+            run(&strs(&[
+                "mine",
+                "--input",
+                &path,
+                "--gamma",
+                gamma,
+                "--epsilon",
+                "0.35",
+                "--minsup",
+                "0.001",
+                "--top",
+                "1",
+                "--output-json",
+                out,
+            ]))
+            .unwrap();
+        };
+        let a = dir.join("a.json").to_string_lossy().to_string();
+        let b = dir.join("b.json").to_string_lossy().to_string();
+        let c = dir.join("c.json").to_string_lossy().to_string();
+        mine("0.6", &a);
+        mine("0.6", &b);
+        mine("0.5", &c);
+        // Byte-identical reports: exit 0.
+        assert_eq!(run(&strs(&["results-diff", &a, &b])).unwrap(), 0);
+        // Formatting-only difference (trailing newline): still exit 0.
+        let mut padded = std::fs::read(&b).unwrap();
+        padded.extend_from_slice(b"\n");
+        std::fs::write(&b, &padded).unwrap();
+        assert_eq!(run(&strs(&["results-diff", &a, &b])).unwrap(), 0);
+        // Different mining configuration: the runs differ, exit 1.
+        assert_eq!(run(&strs(&["results-diff", &a, &c])).unwrap(), 1);
+        // Trouble is not a diff: missing file is I/O (exit 1 via error),
+        // non-report input and wrong arity are usage (exit 2).
+        let err = run(&strs(&["results-diff", &a, "/nonexistent"])).unwrap_err();
+        assert!(matches!(err, FlipperError::Io { .. }), "{err}");
+        let err = run(&strs(&["results-diff", &a, &path])).unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&strs(&["results-diff", &a])).unwrap_err();
+        assert!(matches!(err, FlipperError::Usage(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

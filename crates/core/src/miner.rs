@@ -55,6 +55,7 @@ use flipper_data::tidset::intersect_many;
 use flipper_data::{
     CellCache, Itemset, MultiLevelView, SupportCache, SupportCounter, TransactionDb,
 };
+use flipper_guard::{CancelToken, GuardError};
 use flipper_measures::{CorrelationMeasure, Label, Thresholds};
 use flipper_taxonomy::{NodeId, Taxonomy};
 use std::collections::{BTreeMap, BTreeSet};
@@ -69,7 +70,47 @@ pub fn mine(tax: &Taxonomy, db: &TransactionDb, cfg: &FlipperConfig) -> MiningRe
 
 /// Mine all flipping patterns using a prebuilt [`MultiLevelView`].
 pub fn mine_with_view(tax: &Taxonomy, view: &MultiLevelView, cfg: &FlipperConfig) -> MiningResult {
-    Miner::new(tax, view, cfg).run()
+    Miner::new(tax, view, cfg)
+        .run()
+        .unwrap_or_else(|_| unreachable!("an unguarded run has no token to interrupt it"))
+}
+
+/// [`mine_with_view`] under a [`CancelToken`]: the token is checked at
+/// every cell boundary, so a cancel or deadline interrupts the run within
+/// one cell's worth of counting and surfaces as a typed [`GuardError`].
+/// Panics anywhere inside the run are trapped and converted too. A guarded
+/// run that completes returns bytes identical to an unguarded one — the
+/// token influences *whether* the run finishes, never *what* it computes.
+pub fn mine_with_view_guarded(
+    tax: &Taxonomy,
+    view: &MultiLevelView,
+    cfg: &FlipperConfig,
+    token: &CancelToken,
+) -> Result<MiningResult, GuardError> {
+    flipper_guard::trap("mine", || {
+        let mut miner = Miner::new(tax, view, cfg);
+        miner.token = Some(token);
+        miner.run()
+    })
+    .and_then(|r| r)
+}
+
+/// [`mine_with_view_seeded`] under a [`CancelToken`]; see
+/// [`mine_with_view_guarded`] for the interruption semantics.
+pub fn mine_with_view_seeded_guarded(
+    tax: &Taxonomy,
+    view: &MultiLevelView,
+    cfg: &FlipperConfig,
+    seeds: &SupportCache,
+    token: &CancelToken,
+) -> Result<MiningResult, GuardError> {
+    flipper_guard::trap("mine", || {
+        let mut miner = Miner::new(tax, view, cfg);
+        miner.seeds = Some(seeds);
+        miner.token = Some(token);
+        miner.run()
+    })
+    .and_then(|r| r)
 }
 
 /// Mine with a prebuilt view *and* a session-level support seed cache.
@@ -89,7 +130,9 @@ pub fn mine_with_view_seeded(
 ) -> MiningResult {
     let mut miner = Miner::new(tax, view, cfg);
     miner.seeds = Some(seeds);
-    miner.run()
+    miner
+        .run()
+        .unwrap_or_else(|_| unreachable!("an unguarded run has no token to interrupt it"))
 }
 
 /// Per-row mutable state. Ordered maps throughout: every iteration over
@@ -135,6 +178,10 @@ struct Miner<'a> {
     /// Session-level support seeds ([`mine_with_view_seeded`]); `None` for
     /// plain runs.
     seeds: Option<&'a SupportCache>,
+    /// Cooperative-cancellation token ([`mine_with_view_guarded`]); checked
+    /// at cell boundaries only, so the live fast path stays off the
+    /// per-candidate hot loops. `None` for unguarded runs.
+    token: Option<&'a CancelToken>,
     /// Per-level absolute minimum supports (index `h-1`).
     thetas: Vec<u64>,
     /// Level-1 ancestor of every node (index = node id).
@@ -212,6 +259,7 @@ impl<'a> Miner<'a> {
             counter,
             cache: CellCache::new(cfg.cache_budget),
             seeds: None,
+            token: None,
             thetas,
             top_cat,
             rows,
@@ -712,7 +760,17 @@ impl<'a> Miner<'a> {
 
     // ---- driving loops ----------------------------------------------------
 
-    fn run(mut self) -> MiningResult {
+    /// The boundary check for guarded runs: free (`Ok`) when no token is
+    /// attached, one relaxed atomic load otherwise.
+    #[inline]
+    fn check_interrupt(&self) -> Result<(), GuardError> {
+        match self.token {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
+    }
+
+    fn run(mut self) -> Result<MiningResult, GuardError> {
         let _run_span = flipper_obs::span("mine.run");
         let t0 = Stopwatch::start();
         let height = self.tax.height();
@@ -721,6 +779,7 @@ impl<'a> Miner<'a> {
             // (Table-4 style reporting) are available.
             let mut k = 2;
             while k <= self.k_cap {
+                self.check_interrupt()?;
                 self.eval_cell(1, k);
                 // lint:allow(panic-hygiene) eval_cell on the previous line always inserts the cell
                 if self.cell(1, k).expect("just inserted").frequent_count() == 0 {
@@ -728,7 +787,7 @@ impl<'a> Miner<'a> {
                 }
                 k += 1;
             }
-            return self.finish(t0);
+            return Ok(self.finish(t0));
         }
 
         // Phase 1: zigzag over rows 1 and 2.
@@ -736,6 +795,7 @@ impl<'a> Miner<'a> {
         let mut row2_done = false;
         let mut k = 2;
         while k <= self.k_cap && !(row1_done && row2_done) {
+            self.check_interrupt()?;
             if !row1_done {
                 self.eval_cell(1, k);
             }
@@ -781,6 +841,7 @@ impl<'a> Miner<'a> {
                 .unwrap_or(0);
             let mut k = 2;
             while k <= self.k_cap {
+                self.check_interrupt()?;
                 self.eval_cell(h, k);
                 let freq_here = self.cell(h, k).map_or(0, Cell::frequent_count);
                 if self.cfg.pruning.tpg {
@@ -804,7 +865,7 @@ impl<'a> Miner<'a> {
                 k += 1;
             }
         }
-        self.finish(t0)
+        Ok(self.finish(t0))
     }
 
     fn finish(mut self, t0: Stopwatch) -> MiningResult {
@@ -956,6 +1017,71 @@ mod tests {
     fn toy_config(pruning: PruningConfig) -> FlipperConfig {
         FlipperConfig::new(Thresholds::new(0.6, 0.35), MinSupports::Counts(vec![1]))
             .with_pruning(pruning)
+    }
+
+    #[test]
+    fn guarded_run_with_a_live_token_matches_unguarded() {
+        let (tax, db) = toy();
+        let view = MultiLevelView::build(&db, &tax);
+        for pruning in PruningConfig::VARIANTS {
+            let cfg = toy_config(pruning);
+            let plain = mine_with_view(&tax, &view, &cfg);
+            let token = CancelToken::new();
+            let guarded = mine_with_view_guarded(&tax, &view, &cfg, &token).unwrap();
+            assert_eq!(plain.patterns, guarded.patterns, "{}", pruning.name());
+            assert_eq!(plain.cells, guarded.cells, "{}", pruning.name());
+        }
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_at_a_cell_boundary() {
+        let (tax, db) = toy();
+        let view = MultiLevelView::build(&db, &tax);
+        let cfg = toy_config(PruningConfig::FULL);
+        // Pre-cancelled: the very first boundary check trips.
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            mine_with_view_guarded(&tax, &view, &cfg, &token).unwrap_err(),
+            GuardError::Cancelled
+        );
+        // Deterministic mid-run interruption: cancel on the 2nd check.
+        let token = CancelToken::cancel_after(2);
+        assert_eq!(
+            mine_with_view_guarded(&tax, &view, &cfg, &token).unwrap_err(),
+            GuardError::Cancelled
+        );
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_timeout() {
+        let (tax, db) = toy();
+        let view = MultiLevelView::build(&db, &tax);
+        let cfg = toy_config(PruningConfig::FULL);
+        let token = CancelToken::with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            mine_with_view_guarded(&tax, &view, &cfg, &token).unwrap_err(),
+            GuardError::TimedOut
+        );
+    }
+
+    #[test]
+    fn seeded_guarded_run_matches_plain_seeded() {
+        let (tax, db) = toy();
+        let view = MultiLevelView::build(&db, &tax);
+        let cfg = toy_config(PruningConfig::FULL);
+        let first = mine_with_view(&tax, &view, &cfg);
+        let mut seeds = SupportCache::new();
+        for (h, cell) in &first.evaluated {
+            for (set, info) in cell.iter() {
+                seeds.insert(*h, set, info.support);
+            }
+        }
+        let plain = mine_with_view_seeded(&tax, &view, &cfg, &seeds);
+        let token = CancelToken::new();
+        let guarded = mine_with_view_seeded_guarded(&tax, &view, &cfg, &seeds, &token).unwrap();
+        assert_eq!(plain.patterns, guarded.patterns);
+        assert!(guarded.stats.seeded_supports > 0);
     }
 
     #[test]

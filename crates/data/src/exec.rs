@@ -17,16 +17,34 @@
 //! (time between the pool dispatching the batch and the chunk starting to
 //! run) next to the run time; with the recorder disabled the only cost is
 //! one atomic load per chunk.
+//!
+//! # Panic isolation
+//!
+//! Every chunk closure runs under `catch_unwind`: a panicking shard no
+//! longer aborts the pool mid-scope. All workers are joined first — so
+//! flipper-obs thread-local sheets flush cleanly and no spans leak — and
+//! only then is the first panic (in **chunk order**, not wall-clock order)
+//! resumed on the calling thread, where `flipper_guard::trap` can convert
+//! it into a typed error at the API boundary. Each chunk is also a named
+//! `flipper-guard` fault-injection site (`exec.chunk`), honouring `Panic`
+//! and `Latency` faults from an armed plan.
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Run one chunk under an `exec.shard` observability span tagged with its
 /// worker slot. Slot 0 is the calling thread; spawned workers are 1-based
 /// in spawn order — the same slot identity `map_group_chunks_with` pins
-/// its state slices to.
+/// its state slices to. Also the `exec.chunk` fault-injection site.
 #[inline]
 fn traced_chunk<R>(slot: usize, spawn_stamp: u64, f: impl FnOnce() -> R) -> R {
+    match flipper_guard::fault::injected(flipper_guard::fault::SITE_EXEC_CHUNK) {
+        // lint:allow(panic-hygiene) deterministic fault injection: the pool's catch_unwind converts this into a typed error
+        Some(flipper_guard::Fault::Panic) => panic!("injected fault: worker panic"),
+        Some(flipper_guard::Fault::Latency { spins }) => flipper_guard::fault::spin(spins),
+        _ => {}
+    }
     if !flipper_obs::enabled() {
         return f();
     }
@@ -34,6 +52,27 @@ fn traced_chunk<R>(slot: usize, spawn_stamp: u64, f: impl FnOnce() -> R) -> R {
         let _span = flipper_obs::shard_span(slot as u64, spawn_stamp);
         f()
     })
+}
+
+/// Join caught chunk results, resuming the first panic **in chunk order**
+/// only after every chunk has completed (all worker sheets flushed).
+fn unwrap_chunks<R>(results: Vec<std::thread::Result<R>>) -> Vec<R> {
+    let mut out = Vec::with_capacity(results.len());
+    let mut first_panic = None;
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p);
+    }
+    out
 }
 
 /// Number of hardware threads available to this process (at least 1).
@@ -96,22 +135,30 @@ where
     }
     let first = ranges.remove(0);
     let f = &f;
-    std::thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let spawn_stamp = flipper_obs::stamp();
         let handles: Vec<_> = ranges
             .into_iter()
             .enumerate()
-            .map(|(i, r)| s.spawn(move || traced_chunk(i + 1, spawn_stamp, || f(r))))
+            .map(|(i, r)| {
+                s.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        traced_chunk(i + 1, spawn_stamp, || f(r))
+                    }))
+                })
+            })
             .collect();
         let mut out = Vec::with_capacity(handles.len() + 1);
-        out.push(traced_chunk(0, spawn_stamp, || f(first)));
-        out.extend(
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("exec worker panicked")),
-        );
+        out.push(catch_unwind(AssertUnwindSafe(|| {
+            traced_chunk(0, spawn_stamp, || f(first))
+        })));
+        // A worker can only fail its join by panicking *outside* the
+        // catch_unwind above (thread-runtime trouble); fold that payload in
+        // with the chunk panics instead of aborting the scope.
+        out.extend(handles.into_iter().map(|h| h.join().and_then(|r| r)));
         out
-    })
+    });
+    unwrap_chunks(results)
 }
 
 /// Run `f` over the chunk ranges of `0..n` and return one result per chunk,
@@ -231,7 +278,7 @@ where
             .collect();
     }
     let f = &f;
-    std::thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let spawn_stamp = flipper_obs::stamp();
         let mut slots = ranges.into_iter().zip(states.iter_mut());
         // lint:allow(panic-hygiene) chunk planning emits at least one range when items is non-empty
@@ -239,21 +286,43 @@ where
         let handles: Vec<_> = slots
             .enumerate()
             .map(|(i, (r, st))| {
-                s.spawn(move || traced_chunk(i + 1, spawn_stamp, || f(&items[r], st)))
+                s.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        traced_chunk(i + 1, spawn_stamp, || f(&items[r], st))
+                    }))
+                })
             })
             .collect();
         let mut out = Vec::with_capacity(handles.len() + 1);
-        out.push(traced_chunk(0, spawn_stamp, || {
-            f(&items[first_range], first_state)
-        }));
-        out.extend(
-            handles
-                .into_iter()
-                // lint:allow(panic-hygiene) worker closures don't panic; a poisoned join must propagate loudly
-                .map(|h| h.join().expect("exec worker panicked")),
-        );
+        out.push(catch_unwind(AssertUnwindSafe(|| {
+            traced_chunk(0, spawn_stamp, || f(&items[first_range], first_state))
+        })));
+        out.extend(handles.into_iter().map(|h| h.join().and_then(|r| r)));
         out
-    })
+    });
+    unwrap_chunks(results)
+}
+
+/// Fallible chunk mapping: shard `items` like [`map_slice_chunks`] but let
+/// each chunk return a `Result`; the first error **in chunk order** wins
+/// (deterministic regardless of which worker failed first on the clock)
+/// and every chunk still runs to completion before it is returned. This is
+/// the cancellation-aware entry: chunk closures check a
+/// [`flipper_guard::CancelToken`] at their boundaries and surface the
+/// interrupt as their error type.
+pub fn try_map_slice_chunks<'a, T, R, E, F>(
+    threads: usize,
+    items: &'a [T],
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&'a [T]) -> Result<R, E> + Sync,
+{
+    let per_chunk = map_slice_chunks(threads, items, f);
+    per_chunk.into_iter().collect()
 }
 
 /// Shard a slice into contiguous chunks and run `f` over each, returning one
@@ -426,13 +495,97 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exec worker panicked")]
-    fn worker_panic_propagates() {
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates_with_its_original_payload() {
         let _ = map_chunks(2, 10, |r| {
             if r.start > 0 {
                 panic!("boom");
             }
             r.len()
         });
+    }
+
+    #[test]
+    fn all_chunks_complete_before_a_panic_resumes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let finished = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = map_chunks(4, 8, |r| {
+                if r.start == 2 {
+                    panic!("chunk 2 dies");
+                }
+                finished.fetch_add(1, Ordering::SeqCst);
+                r.len()
+            });
+        }));
+        assert!(caught.is_err(), "the panic must still propagate");
+        assert_eq!(
+            finished.load(Ordering::SeqCst),
+            3,
+            "the surviving chunks all ran to completion first"
+        );
+    }
+
+    #[test]
+    fn first_panic_in_chunk_order_wins() {
+        // Chunks 1 and 3 both panic; the resumed payload must be chunk 1's
+        // regardless of scheduling.
+        for _ in 0..8 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = map_chunks(4, 4, |r| {
+                    if r.start == 1 {
+                        panic!("first");
+                    }
+                    if r.start == 3 {
+                        panic!("second");
+                    }
+                    r.len()
+                });
+            }));
+            let payload = caught.unwrap_err();
+            assert_eq!(payload.downcast_ref::<&str>(), Some(&"first"));
+        }
+    }
+
+    #[test]
+    fn try_map_slice_chunks_collects_or_short_circuits() {
+        let items: Vec<u64> = (0..100).collect();
+        let ok: Result<Vec<u64>, &str> =
+            try_map_slice_chunks(4, &items, |c| Ok(c.iter().sum::<u64>()));
+        assert_eq!(ok.unwrap().iter().sum::<u64>(), (0..100).sum::<u64>());
+
+        // Chunks 1 and 3 fail; the chunk-order-first error is reported.
+        let err: Result<Vec<usize>, String> = try_map_slice_chunks(4, &items, |c| {
+            if c[0] == 25 || c[0] == 75 {
+                Err(format!("chunk at {}", c[0]))
+            } else {
+                Ok(c.len())
+            }
+        });
+        assert_eq!(err.unwrap_err(), "chunk at 25");
+    }
+
+    #[test]
+    fn injected_exec_faults_are_deterministic_and_contained() {
+        use flipper_guard::fault::{arm, FaultKind, FaultPlan, SITE_EXEC_CHUNK};
+        // Latency: injected stall, identical results.
+        {
+            let _armed = arm(FaultPlan::new(3).inject(SITE_EXEC_CHUNK, 2, FaultKind::Latency));
+            let sums = map_chunks(4, 100, |r| r.sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
+        }
+        // Panic: injected worker death propagates with the injection label
+        // after all chunks complete.
+        {
+            let _armed = arm(FaultPlan::new(3).inject(SITE_EXEC_CHUNK, 2, FaultKind::Panic));
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = map_chunks(4, 100, |r| r.sum::<usize>());
+            }));
+            let payload = caught.unwrap_err();
+            assert_eq!(
+                payload.downcast_ref::<&str>(),
+                Some(&"injected fault: worker panic")
+            );
+        }
     }
 }

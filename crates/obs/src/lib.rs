@@ -132,6 +132,33 @@ mod tests {
     }
 
     #[test]
+    fn spans_survive_a_caught_panic_and_keep_recording() {
+        let _guard = recorder_lock();
+        crate::enable();
+        let _ = crate::drain();
+        // flipper-guard traps worker panics with catch_unwind; any spans
+        // open at the panic site must close during the unwind and leave the
+        // thread's sheet usable afterwards.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = crate::span("guarded");
+            let _inner = crate::span_labeled("doomed", "unwinds");
+            panic!("injected worker panic");
+        }));
+        assert!(caught.is_err());
+        {
+            let _sp = crate::span("after");
+        }
+        let capture = crate::drain();
+        crate::disable();
+        let names: Vec<&str> = capture.events.iter().map(|e| e.name).collect();
+        for name in ["guarded", "doomed", "after"] {
+            assert!(names.contains(&name), "missing span {name}: {names:?}");
+        }
+        // The unwound spans still nest properly in the rendered trace.
+        crate::validate_trace(&capture.render_trace()).unwrap();
+    }
+
+    #[test]
     fn metrics_flow_through_drain() {
         let _guard = recorder_lock();
         crate::enable();

@@ -50,6 +50,13 @@
 //! [`FbinWriter`] is the streaming producer: it accepts transactions
 //! incrementally and flushes a chunk section whenever [`TARGET_CHUNK_BYTES`]
 //! of encoded transactions accumulate.
+//!
+//! A third read path, [`FbinReader::salvage`] / [`salvage_view`], trades
+//! completeness for availability: damaged chunk sections are quarantined
+//! into a [`SalvageReport`] and mining proceeds on what survived — always
+//! flagged, never silent. Section reads and writes are also
+//! `flipper-guard` fault-injection sites, so the whole failure surface is
+//! exercised deterministically in tests.
 
 mod crc32;
 mod error;
@@ -58,7 +65,9 @@ mod varint;
 mod writer;
 
 pub use error::StoreError;
-pub use reader::{read_fbin, read_fbin_with_policy, ChunkReader, FbinReader};
+pub use reader::{
+    read_fbin, read_fbin_with_policy, ChunkReader, FbinReader, QuarantinedChunk, SalvageReport,
+};
 pub use writer::{write_fbin, FbinWriter, TARGET_CHUNK_BYTES};
 
 use flipper_data::format::Dataset;
@@ -131,6 +140,33 @@ pub fn stream_view<R: Read>(
     let view = builder.finish()?;
     drop(build_span.arg("rows", chunks.transactions_seen()));
     Ok((taxonomy, view))
+}
+
+/// Salvage ingestion: like [`stream_view`], but opened via
+/// [`FbinReader::salvage`] — chunk sections that fail their checksum or
+/// decode are quarantined instead of failing the read, and a truncated tail
+/// ends the stream gracefully. Returns the [`SalvageReport`] alongside the
+/// view; callers **must** surface [`SalvageReport::is_degraded`], because a
+/// degraded view mines only what survived. On an intact file the view (and
+/// any mining result over it) is byte-identical to [`stream_view`]'s.
+pub fn salvage_view<R: Read>(
+    r: R,
+    threads: usize,
+) -> Result<(Taxonomy, MultiLevelView, SalvageReport), StoreError> {
+    let reader = FbinReader::salvage(r)?;
+    let (taxonomy, mut chunks) = reader.into_parts();
+    let build_span = flipper_obs::span("view.build");
+    let mut builder = MultiLevelViewBuilder::new(&taxonomy, threads);
+    for chunk in chunks.by_ref() {
+        let span = flipper_obs::span("store.chunk");
+        let chunk = chunk?;
+        builder.push_chunk(&chunk)?;
+        drop(span.arg("rows", chunk.len() as u64));
+    }
+    let view = builder.finish()?;
+    drop(build_span.arg("rows", chunks.transactions_seen()));
+    let report = chunks.into_salvage_report().unwrap_or_default();
+    Ok((taxonomy, view, report))
 }
 
 /// Serialize a dataset to FBIN bytes in memory. Convenience for tests and
@@ -358,6 +394,269 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    /// `(tag, start, end)` byte spans of every section in an FBIN file,
+    /// walked off the frame headers. Test-side ground truth for picking
+    /// corruption targets.
+    fn section_spans(bytes: &[u8]) -> Vec<(u8, usize, usize)> {
+        let mut spans = Vec::new();
+        let mut i = 8; // header
+        while i < bytes.len() {
+            let tag = bytes[i];
+            let len = u32::from_le_bytes(bytes[i + 1..i + 5].try_into().unwrap()) as usize;
+            let end = i + 5 + len + 4;
+            spans.push((tag, i, end));
+            i = end;
+        }
+        spans
+    }
+
+    /// A 3-transaction file written with a 1-byte chunk target, so every
+    /// transaction lands in its own chunk section.
+    fn three_chunk_file() -> (Dataset, Vec<u8>) {
+        let ds = toy_dataset();
+        let mut out = Vec::new();
+        let mut w = FbinWriter::with_chunk_size(&mut out, &ds.taxonomy, 1).unwrap();
+        for txn in ds.db.iter() {
+            w.write_transaction(txn).unwrap();
+        }
+        w.finish().unwrap();
+        (ds, out)
+    }
+
+    #[test]
+    fn salvage_on_intact_file_matches_strict_read() {
+        let (ds, bytes) = three_chunk_file();
+        let mut reader = FbinReader::salvage(&bytes[..]).unwrap();
+        let rows: Vec<_> = reader
+            .chunks()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        let report = reader.into_parts().1.into_salvage_report().unwrap();
+        assert!(!report.is_degraded(), "intact file: {}", report.summary());
+        assert_eq!(report.chunks_kept, 3);
+        assert_eq!(report.txns_kept, 3);
+        assert_eq!(rows.len(), ds.db.len());
+        assert!(report.summary().starts_with("intact"));
+    }
+
+    #[test]
+    fn salvage_quarantines_exactly_the_damaged_chunk() {
+        let (ds, bytes) = three_chunk_file();
+        let chunks: Vec<_> = section_spans(&bytes)
+            .into_iter()
+            .filter(|(tag, _, _)| *tag == 0x02)
+            .collect();
+        assert_eq!(chunks.len(), 3);
+        // Corrupt the middle chunk's payload (skip the 5-byte frame head).
+        let (_, start, _) = chunks[1];
+        let mut corrupt = bytes.clone();
+        corrupt[start + 5] ^= 0x40;
+        // Strict mode still fails typed.
+        assert!(matches!(
+            read_fbin(&corrupt[..]).unwrap_err(),
+            StoreError::ChecksumMismatch {
+                section: "chunk",
+                ..
+            }
+        ));
+        // Salvage keeps chunks 0 and 2 and quarantines exactly chunk 1.
+        let mut reader = FbinReader::salvage(&corrupt[..]).unwrap();
+        let rows: Vec<_> = reader
+            .chunks()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        let report = reader.into_parts().1.into_salvage_report().unwrap();
+        assert!(report.is_degraded());
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].index, 1);
+        assert_eq!(report.quarantined[0].byte_offset, start as u64);
+        assert!(report.quarantined[0].reason.contains("checksum"));
+        assert_eq!(report.chunks_kept, 2);
+        assert_eq!(report.txns_kept, 2);
+        assert_eq!(rows[0], ds.db.transaction(0));
+        assert_eq!(rows[1], ds.db.transaction(2));
+        // The lost transaction is accounted for in the notes.
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("1 of 3 transactions lost")));
+    }
+
+    #[test]
+    fn salvage_survives_mid_chunk_truncation() {
+        let (ds, bytes) = three_chunk_file();
+        let chunks: Vec<_> = section_spans(&bytes)
+            .into_iter()
+            .filter(|(tag, _, _)| *tag == 0x02)
+            .collect();
+        // Cut mid-way through the second chunk section.
+        let (_, start, end) = chunks[1];
+        let cut = start + (end - start) / 2;
+        // Strict mode: typed error, never a panic.
+        assert!(read_fbin(&bytes[..cut]).is_err());
+        // Salvage mode: the intact prefix survives, the tail becomes a note.
+        let mut reader = FbinReader::salvage(&bytes[..cut]).unwrap();
+        let rows: Vec<_> = reader
+            .chunks()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        let report = reader.into_parts().1.into_salvage_report().unwrap();
+        assert_eq!(report.chunks_kept, 1);
+        assert_eq!(rows, vec![ds.db.transaction(0).to_vec()]);
+        assert!(report.is_degraded());
+        assert!(
+            report.notes.iter().any(|n| n.contains("stream ends early")),
+            "notes: {:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn every_bitflip_is_typed_in_strict_and_flagged_in_salvage() {
+        let (ds, bytes) = three_chunk_file();
+        let originals: Vec<Vec<_>> = ds.db.iter().map(<[_]>::to_vec).collect();
+        for i in 8..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            // Strict: any flip anywhere must fail typed (also covered for
+            // the default chunking by flipped_payload_byte_fails_checksum).
+            assert!(read_fbin(&corrupt[..]).is_err(), "strict flip at byte {i}");
+            // Salvage: either a typed error (pre-chunk corruption) or a
+            // result that is flagged degraded — never a silent difference,
+            // and every surviving transaction is genuine.
+            let Ok(mut reader) = FbinReader::salvage(&corrupt[..]) else {
+                continue;
+            };
+            let mut rows: Vec<Vec<_>> = Vec::new();
+            let mut failed = false;
+            for chunk in reader.chunks().by_ref() {
+                match chunk {
+                    Ok(c) => rows.extend(c),
+                    Err(_) => failed = true,
+                }
+            }
+            if failed {
+                continue; // typed error is an acceptable outcome
+            }
+            let report = reader.into_parts().1.into_salvage_report().unwrap();
+            assert!(
+                report.is_degraded(),
+                "flip at byte {i} salvaged without a degradation flag"
+            );
+            for row in &rows {
+                assert!(
+                    originals.contains(row),
+                    "flip at byte {i} fabricated transaction {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_read_faults_surface_typed_or_quarantined() {
+        use flipper_guard::fault::{self, FaultKind, FaultPlan, SITE_STORE_READ};
+        let (ds, bytes) = three_chunk_file();
+        // Hit 1 is the dictionary; hit 3 is the second chunk section.
+        for kind in [FaultKind::Io, FaultKind::BitFlip, FaultKind::Truncate] {
+            let armed = fault::arm(FaultPlan::new(0xF1F0).inject(SITE_STORE_READ, 3, kind));
+            let err = read_fbin(&bytes[..]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Io(_) | StoreError::ChecksumMismatch { .. }),
+                "{kind:?} surfaced as {err}"
+            );
+            assert_eq!(armed.fired().len(), 1, "{kind:?} did not fire");
+            drop(armed);
+            // Salvage turns the payload corruptions into quarantine.
+            if matches!(kind, FaultKind::BitFlip | FaultKind::Truncate) {
+                let _armed = fault::arm(FaultPlan::new(0xF1F0).inject(SITE_STORE_READ, 3, kind));
+                let mut reader = FbinReader::salvage(&bytes[..]).unwrap();
+                let rows: Vec<_> = reader
+                    .chunks()
+                    .collect::<Result<Vec<_>, _>>()
+                    .unwrap()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let report = reader.into_parts().1.into_salvage_report().unwrap();
+                assert_eq!(report.quarantined.len(), 1, "{kind:?}");
+                assert_eq!(report.quarantined[0].index, 1);
+                assert_eq!(rows.len(), 2);
+            }
+        }
+        // An injected latency stalls but changes nothing.
+        let _armed = fault::arm(FaultPlan::new(1).inject(SITE_STORE_READ, 2, FaultKind::Latency));
+        let back = read_fbin(&bytes[..]).unwrap();
+        assert_eq!(back.db, ds.db);
+    }
+
+    #[test]
+    fn injected_write_faults_surface_typed() {
+        use flipper_guard::fault::{self, FaultKind, FaultPlan, SITE_STORE_WRITE};
+        let ds = toy_dataset();
+        // Hit 1 is the dictionary section: the writer fails to open.
+        {
+            let _armed = fault::arm(FaultPlan::new(9).inject(SITE_STORE_WRITE, 1, FaultKind::Io));
+            let Err(err) = FbinWriter::new(Vec::new(), &ds.taxonomy) else {
+                panic!("injected write fault should fail the writer");
+            };
+            assert!(matches!(err, StoreError::Io(_)));
+        }
+        // A panic kind degrades to the same typed I/O error — the store
+        // layer never panics, not even under injection.
+        {
+            let _armed =
+                fault::arm(FaultPlan::new(9).inject(SITE_STORE_WRITE, 2, FaultKind::Panic));
+            let mut w = FbinWriter::with_chunk_size(Vec::new(), &ds.taxonomy, 1).unwrap();
+            let err = ds
+                .db
+                .iter()
+                .try_for_each(|txn| w.write_transaction(txn))
+                .unwrap_err();
+            assert!(matches!(err, StoreError::Io(_)));
+        }
+        // Latency stalls but the file still round-trips bit-identically.
+        {
+            let _armed =
+                fault::arm(FaultPlan::new(9).inject(SITE_STORE_WRITE, 1, FaultKind::Latency));
+            let delayed = to_fbin_bytes(&ds).unwrap();
+            drop(_armed);
+            assert_eq!(delayed, to_fbin_bytes(&ds).unwrap());
+        }
+    }
+
+    #[test]
+    fn salvage_view_flags_degradation_and_mines_survivors() {
+        let (ds, bytes) = three_chunk_file();
+        // Intact: identical to stream_view, not degraded.
+        let (tax, view, report) = salvage_view(&bytes[..], 1).unwrap();
+        let (tax2, view2) = stream_view(FbinReader::new(&bytes[..]).unwrap(), 1).unwrap();
+        assert_eq!(tax, tax2);
+        assert_eq!(view, view2);
+        assert!(!report.is_degraded());
+        // Damaged: the surviving two chunks still build a view.
+        let chunks: Vec<_> = section_spans(&bytes)
+            .into_iter()
+            .filter(|(tag, _, _)| *tag == 0x02)
+            .collect();
+        let mut corrupt = bytes.clone();
+        corrupt[chunks[0].1 + 5] ^= 0x01;
+        let (_, view, report) = salvage_view(&corrupt[..], 1).unwrap();
+        assert!(report.is_degraded());
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.txns_kept, 2);
+        let full = MultiLevelView::build(&ds.db, &ds.taxonomy);
+        assert_ne!(view, full, "a degraded view must differ from the full one");
     }
 
     #[test]

@@ -1,10 +1,23 @@
-//! The FBIN reader: full-load and chunk-streaming paths.
+//! The FBIN reader: full-load, chunk-streaming, and salvage paths.
 //!
 //! [`FbinReader::new`] parses the header and dictionary and rebuilds the
 //! taxonomy; from there either [`FbinReader::read_dataset`] materializes the
 //! whole database (bit-identical to parsing the text format), or
 //! [`FbinReader::chunks`] iterates transaction chunks one at a time so
 //! ingestion can run with bounded memory.
+//!
+//! [`FbinReader::salvage`] opens the same stream in **salvage mode**: chunk
+//! sections whose checksum or decode fails are quarantined — recorded in a
+//! [`SalvageReport`] with their index, byte offset and reason — instead of
+//! failing the read, and a truncated tail ends the stream gracefully with a
+//! note. Header and dictionary corruption stay fatal (without a dictionary
+//! there is nothing to salvage), and real I/O errors are never masked.
+//!
+//! Section reads are a `flipper_guard` fault-injection site
+//! ([`flipper_guard::fault::SITE_STORE_READ`]): an armed plan can fail a
+//! read with a synthetic I/O error, corrupt or truncate a payload *after*
+//! it left the stream (so framing stays aligned and the CRC must catch it),
+//! or stall it. Disarmed cost is one relaxed atomic load per section.
 
 use crate::crc32::crc32;
 use crate::error::StoreError;
@@ -12,12 +25,17 @@ use crate::varint::PayloadCursor;
 use crate::{SectionTag, FBIN_MAGIC, FBIN_VERSION};
 use flipper_data::format::{deepest_copy, Dataset};
 use flipper_data::TransactionDb;
+use flipper_guard::fault::SITE_STORE_READ;
+use flipper_guard::Fault;
 use flipper_taxonomy::{NodeId, RebalancePolicy, Taxonomy, TaxonomyBuilder};
 use std::io::Read;
 
 /// Upper bound on a single section payload. A corrupt length field fails
 /// here instead of attempting a multi-gigabyte allocation.
 const MAX_SECTION_BYTES: usize = 1 << 30;
+
+/// Byte size of the fixed FBIN header (magic + version + flags).
+const HEADER_BYTES: u64 = 8;
 
 /// Reader over an FBIN stream: header + dictionary are parsed eagerly, the
 /// transaction chunks lazily.
@@ -31,11 +49,30 @@ impl<R: Read> FbinReader<R> {
     /// [`RebalancePolicy::LeafCopy`] (the CLI default, matching the text
     /// reader).
     pub fn new(r: R) -> Result<Self, StoreError> {
-        Self::with_policy(r, RebalancePolicy::LeafCopy)
+        Self::open(r, RebalancePolicy::LeafCopy, false)
     }
 
     /// Open an FBIN stream with an explicit rebalancing policy.
-    pub fn with_policy(mut r: R, policy: RebalancePolicy) -> Result<Self, StoreError> {
+    pub fn with_policy(r: R, policy: RebalancePolicy) -> Result<Self, StoreError> {
+        Self::open(r, policy, false)
+    }
+
+    /// Open an FBIN stream in **salvage mode** with the default
+    /// [`RebalancePolicy::LeafCopy`]: damaged chunk sections are quarantined
+    /// instead of failing the read. Inspect
+    /// [`ChunkReader::salvage_report`] after draining the chunks — a
+    /// degraded report means the decoded data is a strict subset of the
+    /// file's contents.
+    pub fn salvage(r: R) -> Result<Self, StoreError> {
+        Self::open(r, RebalancePolicy::LeafCopy, true)
+    }
+
+    /// Salvage mode with an explicit rebalancing policy.
+    pub fn salvage_with_policy(r: R, policy: RebalancePolicy) -> Result<Self, StoreError> {
+        Self::open(r, policy, true)
+    }
+
+    fn open(mut r: R, policy: RebalancePolicy, salvage: bool) -> Result<Self, StoreError> {
         let mut magic = [0u8; 4];
         read_exact(&mut r, &mut magic, "header")?;
         if magic != FBIN_MAGIC {
@@ -54,7 +91,8 @@ impl<R: Read> FbinReader<R> {
                 message: format!("unknown header flags {:#06x}", u16::from_le_bytes(word)),
             });
         }
-        let (tag, payload) = read_section(&mut r)?;
+        let mut offset = HEADER_BYTES;
+        let (tag, payload) = read_section(&mut r, &mut offset)?;
         if tag != SectionTag::Dict {
             return Err(StoreError::Corrupt {
                 context: "dictionary",
@@ -70,6 +108,8 @@ impl<R: Read> FbinReader<R> {
                 state: ChunkState::Reading,
                 txns_seen: 0,
                 chunks_seen: 0,
+                offset,
+                salvage: salvage.then(SalvageReport::default),
             },
         })
     }
@@ -110,6 +150,61 @@ impl<R: Read> FbinReader<R> {
     }
 }
 
+/// One chunk section a salvage read set aside instead of decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedChunk {
+    /// 0-based index among the file's chunk sections (kept + quarantined,
+    /// in stream order).
+    pub index: u64,
+    /// Byte offset of the section's tag byte in the stream.
+    pub byte_offset: u64,
+    /// Why the chunk was set aside (checksum mismatch, decode error, …).
+    pub reason: String,
+}
+
+/// What a salvage read recovered and what it had to leave behind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Chunk sections set aside, in stream order.
+    pub quarantined: Vec<QuarantinedChunk>,
+    /// Chunk sections decoded successfully.
+    pub chunks_kept: u64,
+    /// Transactions decoded successfully.
+    pub txns_kept: u64,
+    /// Structural anomalies that ended or degraded the stream without
+    /// pointing at one specific chunk (truncated tail, totals mismatch,
+    /// trailing data, …).
+    pub notes: Vec<String>,
+}
+
+impl SalvageReport {
+    /// Did the read lose or distrust anything? `false` means the salvage
+    /// read saw a fully intact file and decoded exactly what a strict read
+    /// would have.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty() || !self.notes.is_empty()
+    }
+
+    /// One-line human-readable degradation summary.
+    pub fn summary(&self) -> String {
+        if !self.is_degraded() {
+            return format!(
+                "intact: {} chunks, {} transactions",
+                self.chunks_kept, self.txns_kept
+            );
+        }
+        let mut parts = vec![format!(
+            "kept {} chunks / {} transactions",
+            self.chunks_kept, self.txns_kept
+        )];
+        if !self.quarantined.is_empty() {
+            parts.push(format!("quarantined {} chunks", self.quarantined.len()));
+        }
+        parts.extend(self.notes.iter().cloned());
+        parts.join("; ")
+    }
+}
+
 enum ChunkState {
     /// Expecting chunk or end sections.
     Reading,
@@ -123,6 +218,10 @@ enum ChunkState {
 /// `Err` once on the first structural problem, then terminates. The end
 /// section's totals are verified before the iterator reports exhaustion, so
 /// a truncated file can never silently look complete.
+///
+/// In salvage mode (see [`FbinReader::salvage`]) structural problems inside
+/// chunk sections are quarantined into the [`SalvageReport`] instead, and
+/// only real I/O errors or pre-chunk corruption still yield `Err`.
 pub struct ChunkReader<R: Read> {
     r: R,
     /// Dictionary index → leaf node (deepest synthetic copy, matching how
@@ -131,12 +230,28 @@ pub struct ChunkReader<R: Read> {
     state: ChunkState,
     txns_seen: u64,
     chunks_seen: u64,
+    /// Byte offset of the next section's tag byte.
+    offset: u64,
+    /// `Some` iff this reader salvages; accumulates the degradation record.
+    salvage: Option<SalvageReport>,
 }
 
 impl<R: Read> ChunkReader<R> {
     /// Transactions decoded so far.
     pub fn transactions_seen(&self) -> u64 {
         self.txns_seen
+    }
+
+    /// The salvage record so far (`None` unless the reader was opened via
+    /// [`FbinReader::salvage`]). Complete once the iterator is drained.
+    pub fn salvage_report(&self) -> Option<&SalvageReport> {
+        self.salvage.as_ref()
+    }
+
+    /// Consume the reader and take the salvage record (`None` unless opened
+    /// in salvage mode).
+    pub fn into_salvage_report(self) -> Option<SalvageReport> {
+        self.salvage
     }
 
     fn next_chunk(&mut self) -> Option<Result<Vec<Vec<NodeId>>, StoreError>> {
@@ -158,25 +273,134 @@ impl<R: Read> ChunkReader<R> {
     }
 
     fn advance(&mut self) -> Result<Option<Vec<Vec<NodeId>>>, StoreError> {
-        let (tag, payload) = read_section(&mut self.r)?;
-        match tag {
-            SectionTag::Chunk => {
-                let rows = decode_chunk(&payload, &self.node_of)?;
-                self.txns_seen += rows.len() as u64;
-                self.chunks_seen += 1;
-                Ok(Some(rows))
-            }
-            SectionTag::End => {
-                let mut c = PayloadCursor::new(&payload, "end section");
-                let total_txns = c.read_varint()?;
-                let total_chunks = c.read_varint()?;
-                if !c.is_exhausted() {
-                    return Err(StoreError::Corrupt {
-                        context: "end section",
-                        message: format!("{} trailing bytes", c.remaining()),
-                    });
+        loop {
+            let frame = match read_frame(&mut self.r, &mut self.offset) {
+                Ok(f) => f,
+                // Real I/O failures are never salvaged away.
+                Err(e @ StoreError::Io(_)) => return Err(e),
+                // A broken frame (truncation, bad tag, absurd length) cannot
+                // be resynced past: salvage keeps what it has and notes why
+                // the stream ended early.
+                Err(e) => match &mut self.salvage {
+                    Some(report) => {
+                        report.notes.push(format!("stream ends early: {e}"));
+                        return Ok(None);
+                    }
+                    None => return Err(e),
+                },
+            };
+            if let Some(crc_err) = frame.crc_error {
+                match (&mut self.salvage, frame.tag) {
+                    (Some(report), SectionTag::Chunk) => {
+                        let index = self.chunks_seen + report.quarantined.len() as u64;
+                        report.quarantined.push(QuarantinedChunk {
+                            index,
+                            byte_offset: frame.start,
+                            reason: crc_err.to_string(),
+                        });
+                        continue;
+                    }
+                    (Some(report), tag) => {
+                        report
+                            .notes
+                            .push(format!("{} section failed its checksum", tag.name()));
+                        return Ok(None);
+                    }
+                    (None, _) => return Err(crc_err),
                 }
-                if total_txns != self.txns_seen || total_chunks != self.chunks_seen {
+            }
+            match frame.tag {
+                SectionTag::Chunk => match decode_chunk(&frame.payload, &self.node_of) {
+                    Ok(rows) => {
+                        self.txns_seen += rows.len() as u64;
+                        self.chunks_seen += 1;
+                        if let Some(report) = &mut self.salvage {
+                            report.chunks_kept = self.chunks_seen;
+                            report.txns_kept = self.txns_seen;
+                        }
+                        return Ok(Some(rows));
+                    }
+                    Err(e) => match &mut self.salvage {
+                        Some(report) => {
+                            let index = self.chunks_seen + report.quarantined.len() as u64;
+                            report.quarantined.push(QuarantinedChunk {
+                                index,
+                                byte_offset: frame.start,
+                                reason: e.to_string(),
+                            });
+                            continue;
+                        }
+                        None => return Err(e),
+                    },
+                },
+                SectionTag::End => return self.finish_end(&frame.payload),
+                SectionTag::Dict => match &mut self.salvage {
+                    Some(report) => {
+                        report
+                            .notes
+                            .push("duplicate dictionary section skipped".to_string());
+                        continue;
+                    }
+                    None => {
+                        return Err(StoreError::Corrupt {
+                            context: "chunk stream",
+                            message: "duplicate dictionary section".to_string(),
+                        })
+                    }
+                },
+            }
+        }
+    }
+
+    /// Verify the end-section totals and the absence of trailing data —
+    /// fatally in strict mode, as report notes in salvage mode (where a
+    /// totals shortfall explained by quarantined chunks is expected).
+    fn finish_end(&mut self, payload: &[u8]) -> Result<Option<Vec<Vec<NodeId>>>, StoreError> {
+        let mut c = PayloadCursor::new(payload, "end section");
+        let parsed = c.read_varint().and_then(|total_txns| {
+            let total_chunks = c.read_varint()?;
+            if !c.is_exhausted() {
+                return Err(StoreError::Corrupt {
+                    context: "end section",
+                    message: format!("{} trailing bytes", c.remaining()),
+                });
+            }
+            Ok((total_txns, total_chunks))
+        });
+        let (total_txns, total_chunks) = match parsed {
+            Ok(totals) => totals,
+            Err(e) => match &mut self.salvage {
+                Some(report) => {
+                    report.notes.push(format!("end section unreadable: {e}"));
+                    return Ok(None);
+                }
+                None => return Err(e),
+            },
+        };
+        if total_txns != self.txns_seen || total_chunks != self.chunks_seen {
+            let quarantined = self
+                .salvage
+                .as_ref()
+                .map_or(0, |r| r.quarantined.len() as u64);
+            match &mut self.salvage {
+                Some(report) => {
+                    if total_chunks == self.chunks_seen + quarantined
+                        && total_txns >= self.txns_seen
+                    {
+                        report.notes.push(format!(
+                            "{} of {total_txns} transactions lost to quarantined chunks",
+                            total_txns - self.txns_seen
+                        ));
+                    } else {
+                        report.notes.push(format!(
+                            "end section totals mismatch: file claims {total_txns} transactions \
+                             in {total_chunks} chunks, decoded {} in {} \
+                             (plus {quarantined} quarantined)",
+                            self.txns_seen, self.chunks_seen
+                        ));
+                    }
+                }
+                None => {
                     return Err(StoreError::Corrupt {
                         context: "end section",
                         message: format!(
@@ -184,22 +408,27 @@ impl<R: Read> ChunkReader<R> {
                              {total_chunks} chunks, decoded {} in {}",
                             self.txns_seen, self.chunks_seen
                         ),
-                    });
+                    })
                 }
-                let mut probe = [0u8; 1];
-                if self.r.read(&mut probe)? != 0 {
+            }
+        }
+        let mut probe = [0u8; 1];
+        if self.r.read(&mut probe)? != 0 {
+            match &mut self.salvage {
+                Some(report) => {
+                    report
+                        .notes
+                        .push("trailing data after the end section".to_string());
+                }
+                None => {
                     return Err(StoreError::Corrupt {
                         context: "end section",
                         message: "trailing data after the end section".to_string(),
-                    });
+                    })
                 }
-                Ok(None)
             }
-            SectionTag::Dict => Err(StoreError::Corrupt {
-                context: "chunk stream",
-                message: "duplicate dictionary section".to_string(),
-            }),
         }
+        Ok(None)
     }
 }
 
@@ -222,9 +451,34 @@ fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Resu
     })
 }
 
-/// Read one framed section: tag, length, payload, CRC-32 — verifying the
-/// checksum before the payload is handed to any decoder.
-fn read_section<R: Read>(r: &mut R) -> Result<(SectionTag, Vec<u8>), StoreError> {
+/// One framed section read off the stream, CRC verdict included. `start` is
+/// the byte offset of the section's tag byte; `crc_error` is `Some` when
+/// the payload does not match its stored checksum — salvage mode can then
+/// skip the section, because the frame itself was intact and the stream is
+/// still aligned on the next section.
+struct Frame {
+    tag: SectionTag,
+    payload: Vec<u8>,
+    crc_error: Option<StoreError>,
+    start: u64,
+}
+
+/// Read one framed section: tag, length, payload, CRC-32. Advances
+/// `offset` past the section. This is the `store.read.section` fault site.
+fn read_frame<R: Read>(r: &mut R, offset: &mut u64) -> Result<Frame, StoreError> {
+    let fault = flipper_guard::fault::injected(SITE_STORE_READ);
+    match fault {
+        // The storage layer must never panic, not even under injection:
+        // unhonoured kinds degrade to the synthetic I/O error.
+        Some(Fault::Io) | Some(Fault::Panic) => {
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected fault: read i/o error",
+            )))
+        }
+        Some(Fault::Latency { spins }) => flipper_guard::fault::spin(spins),
+        _ => {}
+    }
+    let start = *offset;
     let mut tag_byte = [0u8; 1];
     read_exact(r, &mut tag_byte, "section frame")?;
     let tag = SectionTag::from_byte(tag_byte[0]).ok_or_else(|| StoreError::Corrupt {
@@ -242,18 +496,44 @@ fn read_section<R: Read>(r: &mut R) -> Result<(SectionTag, Vec<u8>), StoreError>
     }
     let mut payload = vec![0u8; len];
     read_exact(r, &mut payload, tag.name())?;
+    // Injected payload corruption happens after the bytes left the stream,
+    // so framing stays aligned and the CRC check below must catch it.
+    match fault {
+        Some(Fault::BitFlip { byte, mask }) if !payload.is_empty() => {
+            let at = byte % payload.len();
+            payload[at] ^= mask;
+        }
+        Some(Fault::Truncate { keep }) if !payload.is_empty() => {
+            payload.truncate(keep % payload.len());
+        }
+        _ => {}
+    }
     let mut crc_bytes = [0u8; 4];
     read_exact(r, &mut crc_bytes, tag.name())?;
     let expected = u32::from_le_bytes(crc_bytes);
     let actual = crc32(&payload);
-    if expected != actual {
-        return Err(StoreError::ChecksumMismatch {
-            section: tag.name(),
-            expected,
-            actual,
-        });
+    *offset = start + 1 + 4 + len as u64 + 4;
+    let crc_error = (expected != actual).then(|| StoreError::ChecksumMismatch {
+        section: tag.name(),
+        expected,
+        actual,
+    });
+    Ok(Frame {
+        tag,
+        payload,
+        crc_error,
+        start,
+    })
+}
+
+/// Strict section read: a checksum mismatch is an error. Salvage callers
+/// use [`read_frame`] directly and decide per tag.
+fn read_section<R: Read>(r: &mut R, offset: &mut u64) -> Result<(SectionTag, Vec<u8>), StoreError> {
+    let frame = read_frame(r, offset)?;
+    match frame.crc_error {
+        Some(e) => Err(e),
+        None => Ok((frame.tag, frame.payload)),
     }
-    Ok((tag, payload))
 }
 
 /// Decode the dictionary payload and precompute the dictionary-index →

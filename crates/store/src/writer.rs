@@ -173,8 +173,21 @@ impl<W: Write> FbinWriter<W> {
 }
 
 /// Write one framed section: tag, little-endian payload length, payload,
-/// CRC-32 of the payload.
+/// CRC-32 of the payload. This is the `store.write.section` fault site
+/// ([`flipper_guard::fault::SITE_STORE_WRITE`]): an armed plan can fail a
+/// write with a synthetic I/O error or stall it; other fault kinds degrade
+/// to the I/O error, because the writer must never panic or emit corrupt
+/// frames — a write either completes or fails typed.
 fn write_section<W: Write>(w: &mut W, tag: SectionTag, payload: &[u8]) -> Result<(), StoreError> {
+    match flipper_guard::fault::injected(flipper_guard::fault::SITE_STORE_WRITE) {
+        None => {}
+        Some(flipper_guard::Fault::Latency { spins }) => flipper_guard::fault::spin(spins),
+        Some(_) => {
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected fault: write i/o error",
+            )))
+        }
+    }
     let len = u32::try_from(payload.len()).map_err(|_| StoreError::Corrupt {
         context: "writer",
         message: format!("section payload of {} bytes exceeds u32", payload.len()),

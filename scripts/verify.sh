@@ -21,11 +21,20 @@
 #     --trace` on a planted dataset must emit a `flipper-trace/v1` document
 #     that parses, nests per lane and covers the pipeline's span names
 #     (checked by the flipper-obs `validate_trace` example),
+#   * the fault-injection suite (crates/integration/tests/fault_injection.rs):
+#     seeded flipper-guard faults at every instrumented site across engines
+#     × threads must surface as typed errors or quarantine-flagged degraded
+#     results — never a panic, never silent corruption — and the inert
+#     guard must be byte-invisible in flipper-results/v1,
+#   * a cancelled-sweep-then-resume smoke: a checkpointed `flipper sweep`
+#     killed by a tiny `--timeout` must exit 3 (cancelled/timeout), leave a
+#     readable flipper-sweep-ckpt/v1 journal, and complete under `--resume`,
 #   * a few-second `quickbench --smoke` running the engine × threads grid,
 #     the counting-kernel rows, the observability-overhead rows, the
-#     support-cache probe rows and the storage IO rows, so a mis-wired
-#     engine, a perf cliff or a broken format fails loudly; `--json` writes
-#     the machine-readable BENCH_smoke.json baseline.
+#     guard-overhead rows, the support-cache probe rows and the storage IO
+#     rows, so a mis-wired engine, a perf cliff or a broken format fails
+#     loudly; `--json` writes the machine-readable BENCH_smoke.json
+#     baseline.
 #
 # Documentation is a gate too: `cargo doc --no-deps` must build with
 # RUSTDOCFLAGS="-D warnings" — a public API change that breaks its own
@@ -80,6 +89,28 @@ cargo run --release -q -p flipper-cli -- mine --input "$OBS_TMP/planted.fbin" \
 cargo run --release -q -p flipper-obs --example validate_trace -- \
     "$OBS_TMP/trace.json" \
     --expect session.ingest,view.build,mine.run,mine.cell,mine.count,cache.cell
+
+echo "== robustness: fault-injection suite under --release"
+cargo test --release -q -p flipper-integration --test fault_injection
+
+echo "== robustness: cancelled-sweep-then-resume smoke (checkpoint journal)"
+set +e
+cargo run --release -q -p flipper-cli -- sweep --input "$OBS_TMP/planted.fbin" \
+    --gammas 0.6,0.5,0.4 --epsilons 0.35,0.2 \
+    --checkpoint "$OBS_TMP/sweep.ckpt" --timeout 0.000000001 >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "cancelled sweep: expected the cancelled/timeout exit code 3, got $rc" >&2
+    exit 1
+fi
+head -1 "$OBS_TMP/sweep.ckpt" | grep -q '^flipper-sweep-ckpt/v1$' || {
+    echo "cancelled sweep left no readable flipper-sweep-ckpt/v1 journal" >&2
+    exit 1
+}
+cargo run --release -q -p flipper-cli -- sweep --input "$OBS_TMP/planted.fbin" \
+    --gammas 0.6,0.5,0.4 --epsilons 0.35,0.2 \
+    --checkpoint "$OBS_TMP/sweep.ckpt" --resume >/dev/null
 
 set +e
 echo "== advisory: bench_check vs committed BENCH_smoke.json (non-blocking)"
