@@ -46,7 +46,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// First line of every journal file.
-const JOURNAL_MAGIC: &str = "flipper-sweep-ckpt/v1";
+const JOURNAL_MAGIC: &str = flipper_wire::SWEEP_CKPT_V1;
 
 /// Summary of one completed sweep point, as persisted in the journal.
 #[derive(Debug, Clone, PartialEq, Eq)]

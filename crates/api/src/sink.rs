@@ -296,7 +296,7 @@ impl<W: Write> JsonWriter<W> {
     /// The document opener: schema line, then the `degraded` stamp when
     /// one is set, then the `runs` array.
     fn header(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"flipper-results/v1\",\n");
+        let mut out = format!("{{\n  \"schema\": \"{}\",\n", flipper_wire::RESULTS_V1);
         if let Some(note) = &self.degraded {
             out.push_str("  \"degraded\": ");
             push_json_string(&mut out, note);

@@ -612,13 +612,49 @@ fn storage_io_rows(n: usize, warmup: usize, samples: usize, report: &mut Vec<Ben
     }
 }
 
+/// Lint-runtime row: one full `flipper-lint` workspace analysis (lex,
+/// regions, per-file rules, plus the symbol-table/call-graph/crate-graph
+/// pass) timed end-to-end on this workspace's own sources. Advisory: the
+/// row warns above a 2 s median but never fails — the point is catching an
+/// accidental quadratic in the analyzer before it slows every verify run.
+fn lint_runtime_rows(warmup: usize, samples: usize, report: &mut Vec<BenchRow>) {
+    let cwd = std::env::current_dir().expect("cwd");
+    let Some(root) = flipper_lint::find_workspace_root(&cwd) else {
+        println!("\n== lint runtime: no workspace root above the cwd, skipped");
+        return;
+    };
+    let mut files = 0usize;
+    let t = time_fn("lint-workspace", warmup, samples, || {
+        let a = flipper_lint::analyze_workspace_full(&root).expect("workspace analyzes");
+        files = a.report.files_scanned;
+        a
+    });
+    report.push(BenchRow::new(
+        "lint",
+        "workspace",
+        files,
+        "analyze-full",
+        1,
+        t.clone(),
+    ));
+    print_table(
+        &format!("lint runtime (workspace sources, {files} files)"),
+        &["config", "median_ms", "min_ms", "mean_ms"],
+        &[t.cells()],
+    );
+    let med = t.median.as_secs_f64();
+    if med > 2.0 {
+        println!("  advisory: lint median {med:.2} s exceeds the 2 s budget");
+    }
+}
+
 /// Few-second CI smoke: the full engine × threads grid, the counting-kernel
 /// comparison (naive vs prefix-cached vs cell-cached, with a built-in
-/// bit-identity assertion), the sweep-seeding comparison and the
-/// storage/IO rows at toy scale. Any engine regressing
-/// by an order of magnitude shows up immediately in the printed medians;
-/// any mis-wired engine/thread combination, kernel divergence or broken
-/// format round-trip panics the run.
+/// bit-identity assertion), the sweep-seeding comparison, the
+/// storage/IO rows and the lint-runtime row at toy scale. Any engine
+/// regressing by an order of magnitude shows up immediately in the printed
+/// medians; any mis-wired engine/thread combination, kernel divergence or
+/// broken format round-trip panics the run.
 fn run_smoke(report: &mut Vec<BenchRow>) {
     exec_layer_grid(300, 0, 1, report);
     counting_kernel_rows(300, 0, 1, report);
@@ -629,6 +665,7 @@ fn run_smoke(report: &mut Vec<BenchRow>) {
     guard_overhead_rows(300, 0, 3, report);
     seeding_probe_rows(0, 1, report);
     storage_io_rows(300, 0, 1, report);
+    lint_runtime_rows(0, 1, report);
     println!("\nquickbench --smoke PASSED");
 }
 
@@ -741,6 +778,9 @@ fn main() {
 
     // Storage/IO: text parse vs FBIN load vs streamed ingestion, N = 1000.
     storage_io_rows(1000, warmup, samples, &mut report);
+
+    // Static analysis: one full flipper-lint workspace pass.
+    lint_runtime_rows(warmup, samples, &mut report);
 
     finish_report(json_path, &report);
 }

@@ -140,7 +140,10 @@ fn json_string(s: &str) -> String {
 
 /// Serialize rows as the `flipper-quickbench/v1` report document.
 pub fn render_report(rows: &[BenchRow]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"flipper-quickbench/v1\",\n  \"rows\": [\n");
+    let mut out = format!(
+        "{{\n  \"schema\": \"{}\",\n  \"rows\": [\n",
+        flipper_wire::QUICKBENCH_V1
+    );
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    ");
         out.push_str(&row.json());

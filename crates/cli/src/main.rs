@@ -33,7 +33,11 @@ use std::collections::HashMap;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
-const USAGE: &str = "\
+fn usage() -> String {
+    let results = flipper_wire::RESULTS_V1;
+    let trace = flipper_wire::TRACE_V1;
+    format!(
+        "\
 flipper — mining flipping correlations from datasets with taxonomies
 (Barsky, Kim, Weninger, Han — PVLDB 5(4), 2011)
 
@@ -68,7 +72,7 @@ ingest FBIN inputs chunk-by-chunk (streaming) and FBIN output format
 defaults from a `.fbin` extension. `sweep` ingests the dataset ONCE and runs
 the whole grid against the cached view; `--jobs` shards the runs themselves
 over workers. `--output-json` writes the machine-readable
-`flipper-results/v1` report.
+`{results}` report.
 
 `--cache-budget` caps the per-worker cross-cell prefix cache (suffixes K/M/G;
 0 disables it). `--seed-supports` (sweep, default on) answers supports
@@ -78,10 +82,10 @@ repeats are marked `= <label>` in the table. None of these switches can
 change any mined result; they only change how much counting costs.
 
 `--trace FILE` records the run with the flipper-obs recorder and writes a
-`flipper-trace/v1` Chrome trace-event JSON (open it in chrome://tracing or
+`{trace}` Chrome trace-event JSON (open it in chrome://tracing or
 Perfetto). `--timings` (mine) prints a per-phase timing table plus counter
 and cache statistics from the same recorder. Both are observability-only:
-mined results and `flipper-results/v1` bytes are identical with or without
+mined results and `{results}` bytes are identical with or without
 them, at every thread count.
 
 `--timeout SECS` bounds a run cooperatively: the deadline is checked at
@@ -92,7 +96,7 @@ rest is mined; the JSON report carries an additive \"degraded\" field. `sweep
 --checkpoint FILE` journals each completed point; after a kill or timeout,
 re-running with `--resume` skips the journaled points (restored as summary
 rows) and mines only the remainder. `results-diff` compares two
-`flipper-results/v1` reports: exit 0 when equivalent, 1 when they differ.
+`{results}` reports: exit 0 when equivalent, 1 when they differ.
 
 EXIT CODES:  0 success · 1 data/I-O/config error · 2 usage error
              · 3 cancelled or timed out
@@ -104,7 +108,9 @@ EXAMPLES:
                --minsup 0.001,0.0005,0.0002 --output-json results.json
   flipper sweep --input groceries.fbin --gammas 0.2,0.15 \\
                --epsilons 0.1,0.05 --variants all
-";
+"
+    )
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -134,7 +140,7 @@ fn run(args: &[String]) -> Result<u8, FlipperError> {
         Some("stats") => cmd_stats(&parse_flags(&args[1..])?).map(ok),
         Some("results-diff") => cmd_results_diff(&args[1..]),
         Some("help") | None => {
-            print!("{USAGE}");
+            print!("{}", usage());
             Ok(0)
         }
         Some(other) => Err(FlipperError::usage(format!("unknown subcommand {other:?}"))),
@@ -450,8 +456,9 @@ fn finish_recorder(
     if let Some(path) = trace_out {
         std::fs::write(path, capture.render_trace())
             .map_err(|e| FlipperError::io(format!("write {path}"), e))?;
+        let tag = flipper_wire::TRACE_V1;
         eprintln!(
-            "wrote flipper-trace/v1 trace ({} events) to {path}",
+            "wrote {tag} trace ({} events) to {path}",
             capture.events.len()
         );
     }
@@ -552,7 +559,8 @@ fn cmd_mine(flags: &Flags) -> Result<(), FlipperError> {
         };
         json.consume("mine", session.taxonomy(), &cfg, &result)?;
         json.finish()?;
-        eprintln!("wrote flipper-results/v1 report to {path}");
+        let tag = flipper_wire::RESULTS_V1;
+        eprintln!("wrote {tag} report to {path}");
     }
     Ok(())
 }
@@ -720,10 +728,8 @@ fn cmd_sweep(flags: &Flags) -> Result<(), FlipperError> {
 
     if let Some((mut json, path)) = json_out {
         emit_runs(&mut json, session.taxonomy(), &runs)?;
-        eprintln!(
-            "wrote flipper-results/v1 report ({} runs) to {path}",
-            runs.len()
-        );
+        let tag = flipper_wire::RESULTS_V1;
+        eprintln!("wrote {tag} report ({} runs) to {path}", runs.len());
     }
     Ok(())
 }
@@ -845,13 +851,14 @@ fn parse_results(path: &str, text: &str) -> Result<flipper_obs::Json, FlipperErr
         .map_err(|e| FlipperError::usage(format!("{path} is not valid JSON: {e}")))?;
     let schema_ok = match &doc {
         Json::Obj(map) => {
-            matches!(map.get("schema"), Some(Json::Str(s)) if s == "flipper-results/v1")
+            matches!(map.get("schema"), Some(Json::Str(s)) if s == flipper_wire::RESULTS_V1)
         }
         _ => false,
     };
     if !schema_ok {
+        let tag = flipper_wire::RESULTS_V1;
         return Err(FlipperError::usage(format!(
-            "{path} is not a flipper-results/v1 report (missing or wrong \"schema\" field)"
+            "{path} is not a {tag} report (missing or wrong \"schema\" field)"
         )));
     }
     Ok(doc)

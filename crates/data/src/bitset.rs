@@ -568,6 +568,7 @@ impl crate::counting::SupportCounter for BitsetCounter<'_> {
             };
             for i in group {
                 stats.intersections += 1;
+                // lint:allow(panic-hygiene) group members are k >= 2 itemsets by the prefix-split precondition
                 let last = *candidates[i].items().last().expect("k >= 2");
                 counts[i] = match (&prefix, maps.get(&last)) {
                     (Prefix::Bits(p), Some(m)) => Bitmap::and_count(&[p, m]),

@@ -579,6 +579,7 @@ impl SupportCounter for TidsetCounter<'_> {
             }
             for i in group {
                 stats.intersections += 1;
+                // lint:allow(panic-hygiene) group members are k >= 2 itemsets by the prefix-split precondition
                 let last = *candidates[i].items().last().expect("k >= 2");
                 counts[i] = intersect_size(prefix, lv.tidset(last));
             }
@@ -639,6 +640,7 @@ impl<'v> ScanCounter<'v> {
 pub(crate) fn group_by_first(candidates: &[Itemset]) -> HashMap<NodeId, Vec<usize>> {
     let mut by_first: HashMap<NodeId, Vec<usize>> = HashMap::new();
     for (i, c) in candidates.iter().enumerate() {
+        // lint:allow(panic-hygiene) candidate generation never emits an empty itemset
         let first = *c.items().first().expect("candidates must be non-empty");
         by_first.entry(first).or_default().push(i);
     }

@@ -21,7 +21,9 @@ pub enum TokKind {
     Punct,
     /// Lifetime such as `'a` (text without the quote).
     Lifetime,
-    /// String, raw-string, char or byte literal. Contents are discarded.
+    /// String, raw-string, char or byte literal. The raw contents (without
+    /// quotes/hashes, escapes unprocessed) are kept in [`Tok::text`] so
+    /// content rules (schema-tag detection) can inspect them.
     StrLit,
     /// Numeric literal. Contents are discarded.
     NumLit,
@@ -134,8 +136,8 @@ pub fn lex(src: &str) -> LexOutput {
             lex_block_comment(&mut cur, &mut out, line);
         } else if c == '"' {
             cur.bump();
-            consume_escaped_string(&mut cur);
-            push_lit(&mut out, TokKind::StrLit, line, col);
+            let text = consume_escaped_string(&mut cur);
+            push_str(&mut out, text, line, col);
         } else if c == '\'' {
             lex_quote(&mut cur, &mut out, line, col);
         } else if let Some(hashes) = raw_string_prefix(&cur, c) {
@@ -146,8 +148,8 @@ pub fn lex(src: &str) -> LexOutput {
                 cur.bump();
             }
             cur.bump();
-            consume_raw_string(&mut cur, hashes);
-            push_lit(&mut out, TokKind::StrLit, line, col);
+            let text = consume_raw_string(&mut cur, hashes);
+            push_str(&mut out, text, line, col);
         } else if c == 'b' && cur.peek(1) == Some('\'') {
             cur.bump(); // `b`
             let (l2, c2) = (cur.line, cur.col);
@@ -159,8 +161,8 @@ pub fn lex(src: &str) -> LexOutput {
         } else if c == 'b' && cur.peek(1) == Some('"') {
             cur.bump();
             cur.bump();
-            consume_escaped_string(&mut cur);
-            push_lit(&mut out, TokKind::StrLit, line, col);
+            let text = consume_escaped_string(&mut cur);
+            push_str(&mut out, text, line, col);
         } else if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
             // Raw identifier `r#fn`.
             cur.bump();
@@ -209,6 +211,19 @@ fn push_lit(out: &mut LexOutput, kind: TokKind, line: u32, col: u32) {
     });
 }
 
+/// Push a string-class literal keeping its raw contents (escapes are left
+/// unprocessed — good enough for substring rules, and never lossy for the
+/// escape-free schema tags they look for).
+fn push_str(out: &mut LexOutput, text: String, line: u32, col: u32) {
+    out.tokens.push(Tok {
+        kind: TokKind::StrLit,
+        text,
+        punct: '\0',
+        line,
+        col,
+    });
+}
+
 /// Hash count of a raw-string opener at the cursor, if one starts here.
 /// Recognized prefixes: `r`, `br`, `b`, `c`, `cr` — but only when followed
 /// by `#*"`; `r#ident` (raw identifier) is rejected by requiring a `"`
@@ -228,29 +243,40 @@ fn raw_string_prefix(cur: &Cursor, c: char) -> Option<usize> {
 }
 
 /// Consume a `"`-terminated string body with `\`-escapes; the opening quote
-/// is already consumed.
-fn consume_escaped_string(cur: &mut Cursor) {
+/// is already consumed. Returns the raw body (escapes unprocessed).
+fn consume_escaped_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
     while let Some(c) = cur.bump() {
         if c == '\\' {
-            cur.bump();
+            text.push(c);
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
         } else if c == '"' {
             break;
+        } else {
+            text.push(c);
         }
     }
+    text
 }
 
 /// Consume a raw-string body terminated by `"` + `hashes` hash marks; the
-/// opening quote is already consumed.
-fn consume_raw_string(cur: &mut Cursor, hashes: usize) {
+/// opening quote is already consumed. Returns the body text.
+fn consume_raw_string(cur: &mut Cursor, hashes: usize) -> String {
+    let mut text = String::new();
     while !cur.at_end() {
         if cur.peek(0) == Some('"') && (0..hashes).all(|k| cur.peek(1 + k) == Some('#')) {
             for _ in 0..=hashes {
                 cur.bump();
             }
-            return;
+            return text;
         }
-        cur.bump();
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
     }
+    text
 }
 
 /// Lex from a `'`: a char literal (`'x'`, `'\n'`, `'"'`, `'\u{1F600}'`) or

@@ -22,7 +22,9 @@
 //! cargo run -p flipper-lint --release -- --bless   # rewrite the baseline
 //! ```
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod regions;
 pub mod report;
 pub mod rules;
@@ -30,6 +32,15 @@ pub mod rules;
 use report::Report;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+/// Everything one analysis run produces: the findings report plus the
+/// observed crate dependency graph (for `--graph dot`).
+pub struct Analysis {
+    /// Aggregated findings, checked against the ratchet baseline.
+    pub report: Report,
+    /// The observed crate dependency graph.
+    pub crate_graph: graph::CrateGraph,
+}
 
 /// Errors from the analysis driver (I/O and baseline problems; rule
 /// findings are data, not errors).
@@ -86,6 +97,15 @@ fn io_err(context: impl Into<String>, source: std::io::Error) -> LintError {
 /// declared as `#[cfg(test)] mod <name>;` by a sibling are skipped as
 /// test-only in their entirety.
 pub fn analyze_workspace(root: &Path) -> Result<Report, LintError> {
+    analyze_workspace_full(root).map(|a| a.report)
+}
+
+/// Full analysis: per-file rules plus the workspace pass (symbol table,
+/// call graph, crate graph). Per-file findings at panic sites that are
+/// transitively reachable from a mining/serialization entry point are
+/// re-ruled to `panic-reachability` — the hard-zero variant — unless an
+/// explicit `lint:allow(panic-hygiene, …)` covers them.
+pub fn analyze_workspace_full(root: &Path) -> Result<Analysis, LintError> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs = read_dir_sorted(&crates_dir)?;
@@ -115,9 +135,11 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, LintError> {
         lexed.push((path.clone(), lx, rg));
     }
 
-    // Pass 2: run the rules on every live file.
+    // Pass 2: run the per-file rules on every live file, and hand the
+    // same lexed files to the workspace pass.
     let mut findings = Vec::new();
     let mut scanned = 0usize;
+    let mut live = Vec::new();
     for (path, lx, rg) in &lexed {
         if test_only.contains(path) {
             continue;
@@ -125,13 +147,33 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, LintError> {
         scanned += 1;
         let rel = relative_unix(root, path);
         findings.extend(rules::check_file(&rel, lx, rg));
+        live.push(graph::SourceFile { rel, lx, rg });
     }
+
+    // Pass 3: workspace analysis — crate graph, call graph, locks.
+    let wg = graph::analyze(root, &live);
+    for f in &mut findings {
+        if f.tok == rules::NO_TOK {
+            continue;
+        }
+        f.reachable = wg.reachable_at(&f.file, f.tok);
+        // A panic site on the hot result path is not ratchetable debt; an
+        // explicit allow (already folded into `allowed`) still stands.
+        if f.rule == "panic-hygiene" && f.reachable && !f.allowed {
+            f.rule = "panic-reachability";
+        }
+    }
+    findings.extend(wg.findings);
+
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
-    Ok(Report {
-        files_scanned: scanned,
-        findings,
+    Ok(Analysis {
+        report: Report {
+            files_scanned: scanned,
+            findings,
+        },
+        crate_graph: wg.crate_graph,
     })
 }
 

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! flipper-lint [--root DIR] [--baseline FILE] [--json[=FILE]] [--bless]
-//!              [--list-rules]
+//!              [--graph dot] [--list-rules]
 //! ```
 //!
 //! Exit codes: `0` every rule at or below baseline, `1` some rule exceeds
@@ -11,7 +11,7 @@
 
 use flipper_lint::report::Baseline;
 use flipper_lint::rules::RULES;
-use flipper_lint::{analyze_workspace, find_workspace_root};
+use flipper_lint::{analyze_workspace_full, find_workspace_root};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,19 +20,23 @@ struct Options {
     baseline: Option<PathBuf>,
     json: Option<Option<PathBuf>>,
     bless: bool,
+    graph_dot: bool,
     list_rules: bool,
 }
 
 fn usage() -> String {
-    "usage: flipper-lint [--root DIR] [--baseline FILE] [--json[=FILE]] [--bless] [--list-rules]\n\
-     \n\
-     Workspace static analysis with a ratcheting baseline (LINT_BASELINE.json).\n\
-     --root DIR        workspace root (default: nearest [workspace] ancestor)\n\
-     --baseline FILE   baseline path (default: <root>/LINT_BASELINE.json)\n\
-     --json[=FILE]     emit the flipper-lint/v1 JSON report (stdout or FILE)\n\
-     --bless           rewrite the baseline to match the current findings\n\
-     --list-rules      print the rule catalog and exit\n"
-        .to_string()
+    format!(
+        "usage: flipper-lint [--root DIR] [--baseline FILE] [--json[=FILE]] [--bless] [--graph dot] [--list-rules]\n\
+         \n\
+         Workspace static analysis with a ratcheting baseline (LINT_BASELINE.json).\n\
+         --root DIR        workspace root (default: nearest [workspace] ancestor)\n\
+         --baseline FILE   baseline path (default: <root>/LINT_BASELINE.json)\n\
+         --json[=FILE]     emit the {} JSON report (stdout or FILE)\n\
+         --bless           rewrite the baseline to match the current findings\n\
+         --graph dot       print the observed crate dependency graph as Graphviz DOT and exit\n\
+         --list-rules      print the rule catalog and exit\n",
+        flipper_wire::LINT_V1
+    )
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -41,6 +45,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline: None,
         json: None,
         bless: false,
+        graph_dot: false,
         list_rules: false,
     };
     let mut i = 0;
@@ -66,6 +71,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--bless" => {
                 opts.bless = true;
                 i += 1;
+            }
+            "--graph" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--graph needs a format\n\n{}", usage()))?;
+                if value != "dot" {
+                    return Err(format!(
+                        "unsupported graph format `{value}` (only `dot`)\n\n{}",
+                        usage()
+                    ));
+                }
+                opts.graph_dot = true;
+                i += 2;
             }
             "--list-rules" => {
                 opts.list_rules = true;
@@ -113,7 +131,13 @@ fn run() -> Result<ExitCode, String> {
         .baseline
         .unwrap_or_else(|| root.join("LINT_BASELINE.json"));
 
-    let report = analyze_workspace(&root).map_err(|e| e.to_string())?;
+    let analysis = analyze_workspace_full(&root).map_err(|e| e.to_string())?;
+    let report = analysis.report;
+
+    if opts.graph_dot {
+        print!("{}", analysis.crate_graph.to_dot());
+        return Ok(ExitCode::SUCCESS);
+    }
 
     if opts.bless {
         let blessed = Baseline::bless(&report);

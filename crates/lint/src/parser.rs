@@ -1,0 +1,515 @@
+//! A token-level item parser on top of [`crate::lexer`]: just enough
+//! structure recovery — `impl` blocks, `fn` items, call sites, lock
+//! acquisitions — for the workspace-graph rules (panic-reachability,
+//! lock-ordering) to resolve names across files.
+//!
+//! This is deliberately not a Rust parser. It never builds an expression
+//! tree; it walks the token stream once per concern, using brace matching
+//! for item extents. The recovered facts over-approximate (a tuple-struct
+//! construction looks like a call, a method name matches every inherent
+//! method with that name) — acceptable for reachability, where an extra
+//! edge can only make the analysis more conservative, never less.
+
+use crate::lexer::{Tok, TokKind};
+use crate::regions::Regions;
+
+/// How a call site is written, which decides how it resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(…)` — resolves against methods (`fn` with a `self`
+    /// receiver) anywhere in the workspace.
+    Method,
+    /// `Qual::name(…)` — resolves against the impl block / module / crate
+    /// named by the last qualifying segment.
+    Qualified,
+    /// `name(…)` — resolves same-file first, then same-crate, then
+    /// workspace-wide.
+    Bare,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Call shape.
+    pub kind: CallKind,
+    /// Callee name (the identifier before the argument list).
+    pub name: String,
+    /// Last qualifying path segment for [`CallKind::Qualified`] calls
+    /// (`Session` in `Session::open(…)`), when one is present.
+    pub qualifier: Option<String>,
+    /// Token index of the callee name.
+    pub tok: usize,
+}
+
+/// One lock acquisition: `receiver.lock()`, `receiver.read()`,
+/// `receiver.write()` or `receiver().lock()` with an empty argument list
+/// (the zero-arg shape separates `Mutex::lock`/`RwLock::read` from
+/// `io::Read::read(buf)` and friends).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock class: the receiver identifier (`supports`, `STORE`, …).
+    pub class: String,
+    /// Token index of the acquiring method name.
+    pub tok: usize,
+    /// 1-based source line of the acquisition.
+    pub line: u32,
+    /// 1-based source column of the acquisition.
+    pub col: u32,
+}
+
+/// One `fn` item recovered from a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block, when there is one
+    /// (`Session` for `impl Session { … }` and `impl Mineable for Session`).
+    pub impl_type: Option<String>,
+    /// Does the parameter list have a `self` receiver?
+    pub has_self: bool,
+    /// Is the item inside test-only code?
+    pub is_test: bool,
+    /// Token range of the body, `(open_brace, close_brace)` inclusive.
+    pub body: (usize, usize),
+    /// Token index of the name, for diagnostics.
+    pub tok: usize,
+    /// Call sites inside the body, in token order.
+    pub calls: Vec<CallSite>,
+    /// Lock acquisitions inside the body, in token order.
+    pub locks: Vec<LockSite>,
+}
+
+/// Keywords that look like `name(…)` call sites but never are.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "impl", "struct", "enum", "union", "trait", "mod", "use", "pub", "unsafe", "move", "ref",
+    "mut", "as", "in", "where", "dyn", "self", "Self", "super", "crate", "async", "await", "const",
+    "static", "type", "extern", "box", "yield",
+];
+
+/// An `impl` block's self-type and body extent.
+#[derive(Debug)]
+struct ImplSpan {
+    type_name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Parse one lexed file into its `fn` items with call and lock sites.
+pub fn parse_file(toks: &[Tok], rg: &Regions) -> Vec<FnItem> {
+    let impls = find_impls(toks);
+    let mut fns = find_fns(toks, rg, &impls);
+    attribute_sites(toks, &mut fns);
+    fns
+}
+
+/// Locate `impl … { … }` item blocks and their self-type names.
+fn find_impls(toks: &[Tok]) -> Vec<ImplSpan> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("impl") || !impl_is_item(toks, i) {
+            continue;
+        }
+        let Some((type_name, open)) = impl_header(toks, i) else {
+            continue;
+        };
+        let Some(close) = matching_brace(toks, open) else {
+            continue;
+        };
+        out.push(ImplSpan {
+            type_name,
+            start: open,
+            end: close,
+        });
+    }
+    out
+}
+
+/// Is the `impl` at index `i` an item (vs `-> impl Trait` in a return
+/// type)? Items start a line of their own: nothing, `}`/`;`/`]` (end of a
+/// previous item or attribute) or an `unsafe` qualifier precedes them.
+fn impl_is_item(toks: &[Tok], i: usize) -> bool {
+    match i.checked_sub(1).and_then(|p| toks.get(p)) {
+        None => true,
+        Some(p) => p.is_punct('}') || p.is_punct(';') || p.is_punct(']') || p.is_ident("unsafe"),
+    }
+}
+
+/// Extract the self-type name of the `impl` header starting at `i` and the
+/// index of its opening `{`. The self type is the last angle-depth-0 path
+/// identifier before the brace — after `for` when the block is a trait
+/// impl, and stopping at `where`.
+fn impl_header(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut name: Option<String> = None;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            TokKind::Punct => match t.punct {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                '{' if angle <= 0 => return name.map(|n| (n, j)),
+                ';' => return None, // `impl Trait for Type;` has no body
+                _ => {}
+            },
+            TokKind::Ident if angle <= 0 => {
+                if t.text == "for" {
+                    name = None; // the self type is on the right of `for`
+                } else if t.text == "where" {
+                    // Names in the where clause are bounds, not the type.
+                    let brace = (j..toks.len()).find(|&k| toks[k].is_punct('{'))?;
+                    return name.map(|n| (n, brace));
+                } else {
+                    name = Some(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Locate every `fn name … { body }` item (trait-method declarations that
+/// end in `;` carry no body and are skipped).
+fn find_fns(toks: &[Tok], rg: &Regions, impls: &[ImplSpan]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let name_tok = i + 1;
+        let Some(name) = toks.get(name_tok).filter(|t| t.kind == TokKind::Ident) else {
+            continue; // `fn(u32) -> u32` pointer type
+        };
+        // Parameter list: skip optional generics, then match the parens.
+        let mut j = name_tok + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut angle = 0i32;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let params_open = j;
+        let mut depth = 0usize;
+        let mut params_close = None;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    params_close = Some(j);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(params_close) = params_close else {
+            continue;
+        };
+        let has_self = toks[params_open..=params_close]
+            .iter()
+            .any(|t| t.is_ident("self"));
+        // Body: the first `{` after the signature; a `;` first means a
+        // trait-method declaration without a body.
+        let mut k = params_close + 1;
+        let mut body = None;
+        while let Some(t) = toks.get(k) {
+            if t.is_punct('{') {
+                body = matching_brace(toks, k).map(|close| (k, close));
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let Some(body) = body else { continue };
+        // Innermost impl block containing this fn names the self type.
+        let impl_type = impls
+            .iter()
+            .filter(|s| s.start < i && i < s.end)
+            .min_by_key(|s| s.end - s.start)
+            .map(|s| s.type_name.clone());
+        out.push(FnItem {
+            name: name.text.clone(),
+            impl_type,
+            has_self,
+            is_test: rg.is_test(name_tok),
+            body,
+            tok: name_tok,
+            calls: Vec::new(),
+            locks: Vec::new(),
+        });
+    }
+    out
+}
+
+/// After the identifier at `i`, is there an argument list — `(` directly,
+/// or through a turbofish `::<…>(`?
+fn call_paren_after(toks: &[Tok], i: usize) -> bool {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 2).is_some_and(|t| t.is_punct('<'))
+    {
+        let mut angle = 0i32;
+        j += 2;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    toks.get(j).is_some_and(|t| t.is_punct('('))
+}
+
+/// Scan the whole token stream for call and lock sites and attribute each
+/// to the innermost enclosing fn body. Sites outside any body (const
+/// initializers, statics) are dropped.
+fn attribute_sites(toks: &[Tok], fns: &mut [FnItem]) {
+    fn enclosing(fns: &[FnItem], tok: usize) -> Option<usize> {
+        fns.iter()
+            .enumerate()
+            .filter(|(_, f)| f.body.0 < tok && tok < f.body.1)
+            .min_by_key(|(_, f)| f.body.1 - f.body.0)
+            .map(|(idx, _)| idx)
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if let Some(site) = lock_site_at(toks, i) {
+            if let Some(f) = enclosing(fns, i) {
+                fns[f].locks.push(site);
+            }
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&t.text.as_str()) || !call_paren_after(toks, i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        let call = if prev.is_some_and(|p| p.is_punct('.')) {
+            CallSite {
+                kind: CallKind::Method,
+                name: t.text.clone(),
+                qualifier: None,
+                tok: i,
+            }
+        } else if prev.is_some_and(|p| p.is_punct(':')) && i >= 2 && toks[i - 2].is_punct(':') {
+            let qualifier = (i >= 3)
+                .then(|| &toks[i - 3])
+                .filter(|q| q.kind == TokKind::Ident)
+                .map(|q| q.text.clone());
+            CallSite {
+                kind: CallKind::Qualified,
+                name: t.text.clone(),
+                qualifier,
+                tok: i,
+            }
+        } else if prev.is_none_or(|p| !p.is_ident("fn")) {
+            CallSite {
+                kind: CallKind::Bare,
+                name: t.text.clone(),
+                qualifier: None,
+                tok: i,
+            }
+        } else {
+            continue;
+        };
+        if let Some(f) = enclosing(fns, i) {
+            fns[f].calls.push(call);
+        }
+    }
+}
+
+/// Recognize a lock acquisition ending at the method identifier `i`:
+/// `IDENT.lock()`, `IDENT.read()`, `IDENT.write()` or `IDENT().lock()`
+/// (and the `read`/`write` variants), always with an empty argument list.
+fn lock_site_at(toks: &[Tok], i: usize) -> Option<LockSite> {
+    let t = &toks[i];
+    if !matches!(t.text.as_str(), "lock" | "read" | "write") {
+        return None;
+    }
+    if !(toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && toks.get(i + 2).is_some_and(|n| n.is_punct(')')))
+    {
+        return None;
+    }
+    if !i
+        .checked_sub(1)
+        .and_then(|p| toks.get(p))
+        .is_some_and(|p| p.is_punct('.'))
+    {
+        return None;
+    }
+    // Receiver: the identifier before the `.`, looking through one
+    // zero-arg call (`state()`); a `self.` prefix is looked through by
+    // taking the field name (`self.supports.read()` → `supports`).
+    let mut r = i.checked_sub(2)?;
+    if toks[r].is_punct(')') && r >= 1 && toks[r - 1].is_punct('(') {
+        r = r.checked_sub(2)?;
+    }
+    let recv = toks.get(r)?;
+    if recv.kind != TokKind::Ident || recv.text == "self" {
+        return None;
+    }
+    Some(LockSite {
+        class: recv.text.clone(),
+        tok: i,
+        line: t.line,
+        col: t.col,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::regions::analyze;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let lx = lex(src);
+        let rg = analyze(&lx.tokens);
+        parse_file(&lx.tokens, &rg)
+    }
+
+    #[test]
+    fn fns_and_impl_types_are_recovered() {
+        let fns = parse(
+            "impl Session {\n  pub fn mine(&self) -> u32 { helper() }\n}\n\
+             impl Drop for Session { fn drop(&mut self) {} }\n\
+             fn helper() -> u32 { 7 }\n\
+             impl<T: Clone> Wrapper<T> { fn get(&self) -> &T { &self.0 } }",
+        );
+        let names: Vec<(&str, Option<&str>, bool)> = fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref(), f.has_self))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("mine", Some("Session"), true),
+                ("drop", Some("Session"), true),
+                ("helper", None, false),
+                ("get", Some("Wrapper"), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn return_position_impl_is_not_a_block() {
+        let fns = parse("fn gen() -> impl Iterator<Item = u32> { (0..3).map(step) }\nfn step(x: u32) -> u32 { x }");
+        assert_eq!(fns.len(), 2);
+        assert!(fns.iter().all(|f| f.impl_type.is_none()));
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let fns =
+            parse("fn f() { helper(); Session::open(x); cfg.run::<u32>(); let t = Point(1, 2); }");
+        let calls: Vec<(CallKind, &str, Option<&str>)> = fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.kind, c.name.as_str(), c.qualifier.as_deref()))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                (CallKind::Bare, "helper", None),
+                (CallKind::Qualified, "open", Some("Session")),
+                (CallKind::Method, "run", None),
+                (CallKind::Bare, "Point", None),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let fns = parse("fn f() { if (x) { return (1); } while (y) {} vec![1]; println!(\"t\"); }");
+        assert!(fns[0].calls.is_empty(), "{:?}", fns[0].calls);
+    }
+
+    #[test]
+    fn nested_fns_own_their_calls() {
+        let fns = parse("fn outer() { fn inner() { deep(); } shallow(); }");
+        let outer = fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = fns.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(
+            outer
+                .calls
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            ["shallow"]
+        );
+        assert_eq!(
+            inner
+                .calls
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            ["deep"]
+        );
+    }
+
+    #[test]
+    fn lock_sites_recover_receiver_classes() {
+        let fns = parse(
+            "fn f(&self) {\n  let g = self.supports.read();\n  let s = state().lock();\n  STORE.lock();\n  file.read(buf);\n}",
+        );
+        let classes: Vec<&str> = fns[0].locks.iter().map(|l| l.class.as_str()).collect();
+        assert_eq!(classes, ["supports", "state", "STORE"]);
+        assert_eq!(fns[0].locks[0].line, 2);
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let fns = parse("trait T { fn decl(&self) -> u32; fn with_default(&self) -> u32 { 1 } }");
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_default"]);
+    }
+
+    #[test]
+    fn test_regions_mark_fns() {
+        let fns = parse("fn live() {}\n#[cfg(test)]\nmod tests { fn t() {} }");
+        assert!(!fns.iter().find(|f| f.name == "live").unwrap().is_test);
+        assert!(fns.iter().find(|f| f.name == "t").unwrap().is_test);
+    }
+}

@@ -3,8 +3,9 @@
 //! `#[cfg(test)]`-gated items or a `mod tests { … }` block.
 //!
 //! The tracker is purely token-driven (no parse tree): an attribute
-//! `#[cfg(test)]` (or any `cfg` attribute mentioning `test` without a
-//! `not`) marks the item that follows it — through its matching closing
+//! `#[cfg(test)]` (or any `cfg`/`cfg_attr` predicate where a `test` atom
+//! appears outside of `not(…)`) marks the item that follows it — through
+//! its matching closing
 //! brace, or to the terminating `;` for brace-less items. A brace-less
 //! `#[cfg(test)] mod name;` additionally records `name` so the caller can
 //! skip the out-of-line file (`name.rs`) entirely. The conventional
@@ -82,11 +83,68 @@ fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<us
 }
 
 /// Does an attribute body (tokens between `[` and `]`) gate on `test`?
-/// `#[cfg(test)]`, `#[cfg(all(test, unix))]` and `#[cfg_attr(test, …)]`
-/// count; `#[cfg(not(test))]` is live library code and does not.
+///
+/// The predicate expression is walked structurally rather than by bag-of-
+/// idents: `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[cfg(any(test, …))]`
+/// and `#[cfg_attr(test, …)]` all gate — including with a *nested*
+/// `not(…)` alongside, as in `#[cfg(all(test, not(feature = "x")))]` —
+/// while anything under a `not(…)` never does, so `#[cfg(not(test))]`
+/// stays live library code.
 fn is_cfg_test_attr(body: &[Tok]) -> bool {
-    let has = |name: &str| body.iter().any(|t| t.is_ident(name));
-    (has("cfg") || has("cfg_attr")) && has("test") && !has("not")
+    if !body
+        .first()
+        .is_some_and(|t| t.is_ident("cfg") || t.is_ident("cfg_attr"))
+    {
+        return false;
+    }
+    // The predicate is the parenthesized expression after cfg/cfg_attr
+    // (for cfg_attr, `pred(...)` stops at the top-level comma on its own).
+    let mut i = 1;
+    if !body.get(i).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    i += 1;
+    pred_gates_on_test(body, &mut i)
+}
+
+/// Recursive descent over one cfg predicate starting at `*i`; consumes the
+/// predicate and reports whether it gates on `test`. `all(…)`/`any(…)`
+/// gate when any operand does; `not(…)` is consumed but never gates.
+fn pred_gates_on_test(toks: &[Tok], i: &mut usize) -> bool {
+    let Some(t) = toks.get(*i) else { return false };
+    if t.kind != crate::lexer::TokKind::Ident {
+        *i += 1;
+        return false;
+    }
+    let name = t.text.clone();
+    *i += 1;
+    match name.as_str() {
+        "all" | "any" | "not" if toks.get(*i).is_some_and(|t| t.is_punct('(')) => {
+            *i += 1; // consume `(`
+            let mut gates = false;
+            while *i < toks.len() && !toks[*i].is_punct(')') {
+                if toks[*i].is_punct(',') {
+                    *i += 1;
+                    continue;
+                }
+                gates |= pred_gates_on_test(toks, i);
+            }
+            *i += 1; // consume `)`
+            gates && name != "not"
+        }
+        "test" => {
+            // Bare `test` (it never takes a `= "value"`).
+            true
+        }
+        _ => {
+            // `unix`, `feature = "…"`, `target_os = "…"`, … — skip an
+            // optional `= <literal>` value.
+            if toks.get(*i).is_some_and(|t| t.is_punct('=')) {
+                *i += 2;
+            }
+            false
+        }
+    }
 }
 
 /// Mark the item following a cfg(test) attribute (which spans
@@ -218,6 +276,39 @@ mod tests {
         assert!(live.is_empty());
         let (test, _) = test_idents("#[cfg_attr(test, allow(dead_code))]\nfn gated() {}");
         assert!(test.contains(&"gated".to_string()));
+    }
+
+    #[test]
+    fn cfg_all_test_with_nested_not_is_test() {
+        // The nested not() applies to the feature, not to `test` — the
+        // old bag-of-idents check wrongly treated this as live code.
+        let (test, live) =
+            test_idents("#[cfg(all(test, not(feature = \"x\")))]\nfn gated() { x.unwrap() }");
+        assert!(test.contains(&"gated".to_string()));
+        assert!(!live.contains(&"gated".to_string()));
+    }
+
+    #[test]
+    fn cfg_any_test_is_test() {
+        let (test, live) = test_idents("#[cfg(any(test, feature = \"bench\"))]\nfn gated() {}");
+        assert!(test.contains(&"gated".to_string()));
+        assert!(!live.contains(&"gated".to_string()));
+    }
+
+    #[test]
+    fn cfg_not_all_test_is_live() {
+        // `test` under a not() never gates, however deeply nested.
+        let (test, live) = test_idents("#[cfg(not(all(test, unix)))]\nfn shipping() {}");
+        assert!(test.is_empty());
+        assert!(live.contains(&"shipping".to_string()));
+    }
+
+    #[test]
+    fn cfg_feature_named_test_value_is_live() {
+        // `feature = "test"` is a feature name, not the test cfg atom.
+        let (test, live) = test_idents("#[cfg(feature = \"test\")]\nfn shipping() {}");
+        assert!(test.is_empty());
+        assert!(live.contains(&"shipping".to_string()));
     }
 
     #[test]

@@ -2,11 +2,16 @@
 //! ratcheting baseline (`LINT_BASELINE.json`).
 //!
 //! Ratchet semantics: the committed baseline records, per rule, the number
-//! of un-allowed findings the workspace is *permitted* to have. A run
-//! fails as soon as any rule exceeds its baseline count; rules absent from
-//! the baseline are held at zero. Counts below baseline are reported as
-//! burn-down so the baseline can be re-blessed (`--bless`) and debt can
-//! only shrink.
+//! of un-allowed findings the workspace is *permitted* to have — split
+//! into entry-point-**reachable** and **unreachable** findings, each
+//! ratcheted independently so debt cannot migrate onto the hot path. A
+//! run fails as soon as any rule exceeds either permitted count; rules
+//! absent from the baseline are held at zero. Counts below baseline are
+//! reported as burn-down so the baseline can be re-blessed (`--bless`)
+//! and debt can only shrink.
+//!
+//! The baseline document is `flipper-lint-baseline/v2`; the retired v1
+//! shape parses to a descriptive migration error, never a panic.
 
 use crate::rules::{Finding, RULES};
 use std::collections::BTreeMap;
@@ -17,10 +22,29 @@ use std::fmt::Write as _;
 pub struct RuleCount {
     /// Rule name.
     pub rule: &'static str,
-    /// Un-allowed findings (the ratcheted number).
-    pub count: u64,
+    /// Un-allowed findings inside functions transitively reachable from a
+    /// mining/serialization entry point.
+    pub reachable: u64,
+    /// Un-allowed findings outside any entry-point-reachable function.
+    pub unreachable: u64,
     /// Findings suppressed by `lint:allow` comments.
     pub allowed: u64,
+}
+
+impl RuleCount {
+    /// Total un-allowed findings.
+    pub fn total(&self) -> u64 {
+        self.reachable + self.unreachable
+    }
+}
+
+/// The permitted (reachable, unreachable) counts for one rule.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Permit {
+    /// Permitted entry-point-reachable findings.
+    pub reachable: u64,
+    /// Permitted unreachable findings.
+    pub unreachable: u64,
 }
 
 /// The result of analyzing a workspace tree.
@@ -39,30 +63,34 @@ impl Report {
         RULES
             .iter()
             .map(|r| {
-                let (mut count, mut allowed) = (0, 0);
+                let (mut reachable, mut unreachable, mut allowed) = (0, 0, 0);
                 for f in self.findings.iter().filter(|f| f.rule == r.name) {
                     if f.allowed {
                         allowed += 1;
+                    } else if f.reachable {
+                        reachable += 1;
                     } else {
-                        count += 1;
+                        unreachable += 1;
                     }
                 }
                 RuleCount {
                     rule: r.name,
-                    count,
+                    reachable,
+                    unreachable,
                     allowed,
                 }
             })
             .collect()
     }
 
-    /// Rules whose un-allowed count exceeds the baseline.
-    pub fn violations(&self, baseline: &Baseline) -> Vec<(RuleCount, u64)> {
+    /// Rules whose un-allowed counts exceed the baseline on either side of
+    /// the reachable/unreachable split.
+    pub fn violations(&self, baseline: &Baseline) -> Vec<(RuleCount, Permit)> {
         self.counts()
             .into_iter()
             .filter_map(|c| {
-                let permitted = baseline.count(c.rule);
-                (c.count > permitted).then_some((c, permitted))
+                let p = baseline.permit(c.rule);
+                (c.reachable > p.reachable || c.unreachable > p.unreachable).then_some((c, p))
             })
             .collect()
     }
@@ -71,17 +99,23 @@ impl Report {
     pub fn to_json(&self, baseline: &Baseline) -> String {
         let counts = self.counts();
         let violations = self.violations(baseline);
-        let mut s = String::from("{\n  \"schema\": \"flipper-lint/v1\",\n");
+        let mut s = format!("{{\n  \"schema\": \"{}\",\n", flipper_wire::LINT_V1);
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
         s.push_str("  \"rules\": [\n");
         for (i, c) in counts.iter().enumerate() {
+            let p = baseline.permit(c.rule);
             let _ = write!(
                 s,
-                "    {{\"rule\": \"{}\", \"count\": {}, \"allowed\": {}, \"baseline\": {}}}",
+                "    {{\"rule\": \"{}\", \"count\": {}, \"reachable\": {}, \
+                 \"unreachable\": {}, \"allowed\": {}, \"baseline_reachable\": {}, \
+                 \"baseline_unreachable\": {}}}",
                 c.rule,
-                c.count,
+                c.total(),
+                c.reachable,
+                c.unreachable,
                 c.allowed,
-                baseline.count(c.rule)
+                p.reachable,
+                p.unreachable
             );
             s.push_str(if i + 1 < counts.len() { ",\n" } else { "\n" });
         }
@@ -90,12 +124,13 @@ impl Report {
             let _ = write!(
                 s,
                 "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
-                 \"allowed\": {}, \"message\": \"{}\"}}",
+                 \"allowed\": {}, \"reachable\": {}, \"message\": \"{}\"}}",
                 f.rule,
                 json_escape(&f.file),
                 f.line,
                 f.col,
                 f.allowed,
+                f.reachable,
                 json_escape(&f.message)
             );
             s.push_str(if i + 1 < self.findings.len() {
@@ -125,32 +160,33 @@ impl Report {
         let violations = self.violations(baseline);
         let _ = writeln!(s, "flipper-lint: {} files scanned", self.files_scanned);
         for c in self.counts() {
-            let permitted = baseline.count(c.rule);
-            let status = if c.count > permitted {
+            let p = baseline.permit(c.rule);
+            let status = if c.reachable > p.reachable || c.unreachable > p.unreachable {
                 "FAIL"
-            } else if c.count < permitted {
+            } else if c.reachable < p.reachable || c.unreachable < p.unreachable {
                 "ok (burn-down: re-bless to lock in)"
             } else {
                 "ok"
             };
             let _ = writeln!(
                 s,
-                "  {:<24} {:>5} findings (baseline {:>5}, allowed {:>3})  {}",
-                c.rule, c.count, permitted, c.allowed, status
+                "  {:<24} {:>4} reachable / {:>4} unreachable (baseline {:>4}/{:<4}, allowed {:>3})  {}",
+                c.rule, c.reachable, c.unreachable, p.reachable, p.unreachable, c.allowed, status
             );
         }
-        for (c, permitted) in &violations {
+        for (c, p) in &violations {
             let _ = writeln!(
                 s,
-                "\nrule {} exceeds baseline ({} > {}):",
-                c.rule, c.count, permitted
+                "\nrule {} exceeds baseline ({}/{} > {}/{} reachable/unreachable):",
+                c.rule, c.reachable, c.unreachable, p.reachable, p.unreachable
             );
             for f in self
                 .findings
                 .iter()
                 .filter(|f| f.rule == c.rule && !f.allowed)
             {
-                let _ = writeln!(s, "  {}:{}:{}: {}", f.file, f.line, f.col, f.message);
+                let tag = if f.reachable { " [reachable]" } else { "" };
+                let _ = writeln!(s, "  {}:{}:{}:{tag} {}", f.file, f.line, f.col, f.message);
             }
         }
         s
@@ -200,13 +236,13 @@ impl From<String> for BaselineError {
 /// The committed per-rule permitted counts.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
-    counts: BTreeMap<String, u64>,
+    counts: BTreeMap<String, Permit>,
 }
 
 impl Baseline {
-    /// Permitted count for `rule` (absent rules are held at zero).
-    pub fn count(&self, rule: &str) -> u64 {
-        self.counts.get(rule).copied().unwrap_or(0)
+    /// Permitted counts for `rule` (absent rules are held at zero/zero).
+    pub fn permit(&self, rule: &str) -> Permit {
+        self.counts.get(rule).copied().unwrap_or_default()
     }
 
     /// Baseline matching a report exactly (for `--bless`).
@@ -215,18 +251,34 @@ impl Baseline {
             counts: report
                 .counts()
                 .into_iter()
-                .map(|c| (c.rule.to_string(), c.count))
+                .map(|c| {
+                    (
+                        c.rule.to_string(),
+                        Permit {
+                            reachable: c.reachable,
+                            unreachable: c.unreachable,
+                        },
+                    )
+                })
                 .collect(),
         }
     }
 
-    /// Serialize as `flipper-lint-baseline/v1`.
+    /// Serialize as `flipper-lint-baseline/v2`.
     pub fn to_json(&self) -> String {
-        let mut s =
-            String::from("{\n  \"schema\": \"flipper-lint-baseline/v1\",\n  \"counts\": {\n");
+        let mut s = format!(
+            "{{\n  \"schema\": \"{}\",\n  \"counts\": {{\n",
+            flipper_wire::LINT_BASELINE_V2
+        );
         let n = self.counts.len();
-        for (i, (rule, count)) in self.counts.iter().enumerate() {
-            let _ = write!(s, "    \"{}\": {}", json_escape(rule), count);
+        for (i, (rule, p)) in self.counts.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    \"{}\": {{\"reachable\": {}, \"unreachable\": {}}}",
+                json_escape(rule),
+                p.reachable,
+                p.unreachable
+            );
             s.push_str(if i + 1 < n { ",\n" } else { "\n" });
         }
         s.push_str("  }\n}\n");
@@ -235,7 +287,8 @@ impl Baseline {
 
     /// Parse the baseline document. Accepts exactly the shape `to_json`
     /// writes (whitespace-insensitive); anything else is a descriptive
-    /// error, never a panic.
+    /// error, never a panic. The retired v1 shape gets a dedicated
+    /// migration message.
     pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
         let mut p = MiniJson::new(text);
         p.expect('{')?;
@@ -247,7 +300,15 @@ impl Baseline {
             match key.as_str() {
                 "schema" => {
                     let v = p.string()?;
-                    if v != "flipper-lint-baseline/v1" {
+                    if v == flipper_wire::LINT_BASELINE_V1 {
+                        return Err(format!(
+                            "baseline schema `{v}` predates the reachable/unreachable \
+                             split; run `flipper-lint --bless` to migrate to `{}`",
+                            flipper_wire::LINT_BASELINE_V2
+                        )
+                        .into());
+                    }
+                    if v != flipper_wire::LINT_BASELINE_V2 {
                         return Err(format!("unsupported baseline schema `{v}`").into());
                     }
                     saw_schema = true;
@@ -258,8 +319,8 @@ impl Baseline {
                         loop {
                             let rule = p.string()?;
                             p.expect(':')?;
-                            let n = p.number()?;
-                            counts.insert(rule, n);
+                            let permit = parse_permit(&mut p)?;
+                            counts.insert(rule, permit);
                             if !p.try_expect(',') {
                                 break;
                             }
@@ -280,6 +341,36 @@ impl Baseline {
             ));
         }
         Ok(Baseline { counts })
+    }
+}
+
+/// Parse one `{"reachable": N, "unreachable": N}` permit object (keys in
+/// either order; both required).
+fn parse_permit(p: &mut MiniJson<'_>) -> Result<Permit, BaselineError> {
+    p.expect('{')?;
+    let (mut reachable, mut unreachable) = (None, None);
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        let n = p.number()?;
+        match key.as_str() {
+            "reachable" => reachable = Some(n),
+            "unreachable" => unreachable = Some(n),
+            other => return Err(format!("unexpected permit key `{other}`").into()),
+        }
+        if !p.try_expect(',') {
+            break;
+        }
+    }
+    p.expect('}')?;
+    match (reachable, unreachable) {
+        (Some(reachable), Some(unreachable)) => Ok(Permit {
+            reachable,
+            unreachable,
+        }),
+        _ => Err(BaselineError::from(
+            "permit object needs both `reachable` and `unreachable`".to_string(),
+        )),
     }
 }
 
@@ -358,7 +449,7 @@ mod tests {
         }
     }
 
-    fn finding(rule: &'static str, allowed: bool) -> Finding {
+    fn finding(rule: &'static str, allowed: bool, reachable: bool) -> Finding {
         Finding {
             rule,
             file: "crates/x/src/lib.rs".to_string(),
@@ -366,57 +457,86 @@ mod tests {
             col: 1,
             message: "m \"quoted\"".to_string(),
             allowed,
+            tok: crate::rules::NO_TOK,
+            reachable,
         }
     }
 
     #[test]
-    fn counts_split_allowed_from_live() {
+    fn counts_split_allowed_and_reachability() {
         let r = report_with(vec![
-            finding("panic-hygiene", false),
-            finding("panic-hygiene", true),
+            finding("panic-hygiene", false, false),
+            finding("panic-hygiene", false, true),
+            finding("panic-hygiene", true, true),
         ]);
         let c = &r.counts()[0];
-        assert_eq!((c.rule, c.count, c.allowed), ("panic-hygiene", 1, 1));
+        assert_eq!(
+            (c.rule, c.reachable, c.unreachable, c.allowed),
+            ("panic-hygiene", 1, 1, 1)
+        );
+        assert_eq!(c.total(), 2);
     }
 
     #[test]
     fn baseline_roundtrip_and_ratchet() {
-        let r = report_with(vec![finding("panic-hygiene", false)]);
+        let r = report_with(vec![finding("panic-hygiene", false, false)]);
         let b = Baseline::bless(&r);
         let parsed = Baseline::parse(&b.to_json()).unwrap();
         assert_eq!(parsed, b);
         assert!(r.violations(&parsed).is_empty(), "blessed baseline passes");
         // One more finding than permitted: violation.
         let worse = report_with(vec![
-            finding("panic-hygiene", false),
-            finding("panic-hygiene", false),
+            finding("panic-hygiene", false, false),
+            finding("panic-hygiene", false, false),
         ]);
         let v = worse.violations(&parsed);
         assert_eq!(v.len(), 1);
-        assert_eq!(v[0].0.count, 2);
-        assert_eq!(v[0].1, 1);
+        assert_eq!(v[0].0.unreachable, 2);
+        assert_eq!(v[0].1.unreachable, 1);
         // Absent rules are held at zero.
         let zero = Baseline::default();
         assert_eq!(r.violations(&zero).len(), 1);
     }
 
     #[test]
-    fn baseline_parse_rejects_garbage() {
+    fn reachable_debt_cannot_hide_under_unreachable_headroom() {
+        // One unreachable finding blessed; the same finding moving onto
+        // the reachable side must fail even though the total is unchanged.
+        let blessed = Baseline::bless(&report_with(vec![finding("panic-hygiene", false, false)]));
+        let moved = report_with(vec![finding("panic-hygiene", false, true)]);
+        let v = moved.violations(&blessed);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].0.reachable, v[0].1.reachable), (1, 0));
+    }
+
+    #[test]
+    fn baseline_parse_rejects_garbage_and_migrates_v1() {
         assert!(Baseline::parse("").is_err());
         assert!(Baseline::parse("{}").is_err());
         assert!(Baseline::parse("{\"schema\": \"other/v9\", \"counts\": {}}").is_err());
         assert!(Baseline::parse(
-            "{\"schema\": \"flipper-lint-baseline/v1\", \"counts\": {\"x\": }}"
+            "{\"schema\": \"flipper-lint-baseline/v2\", \"counts\": {\"x\": }}"
+        )
+        .is_err());
+        // v1 gets a migration hint, not a generic rejection.
+        let err = Baseline::parse("{\"schema\": \"flipper-lint-baseline/v1\", \"counts\": {}}")
+            .unwrap_err();
+        assert!(err.message.contains("--bless"), "{err}");
+        assert!(err.message.contains("flipper-lint-baseline/v2"), "{err}");
+        // Permit objects need both sides of the split.
+        assert!(Baseline::parse(
+            "{\"schema\": \"flipper-lint-baseline/v2\", \"counts\": {\"x\": {\"reachable\": 1}}}"
         )
         .is_err());
     }
 
     #[test]
     fn json_report_is_escaped_and_versioned() {
-        let r = report_with(vec![finding("panic-hygiene", false)]);
+        let r = report_with(vec![finding("panic-hygiene", false, true)]);
         let json = r.to_json(&Baseline::default());
-        assert!(json.contains("\"schema\": \"flipper-lint/v1\""));
+        assert!(json.contains(&format!("\"schema\": \"{}\"", flipper_wire::LINT_V1)));
         assert!(json.contains("m \\\"quoted\\\""));
+        assert!(json.contains("\"reachable\": true"));
         assert!(json.contains("\"verdict\": \"fail\""));
         let blessed = Baseline::bless(&r);
         assert!(r.to_json(&blessed).contains("\"verdict\": \"pass\""));

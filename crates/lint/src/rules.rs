@@ -11,6 +11,14 @@
 //! | `concurrency-discipline` | raw `std::thread` only inside `flipper_data::exec`, where shard-invariance is proven |
 //! | `unsafe-audit` | every `unsafe` block/impl carries a `// SAFETY:` justification |
 //! | `allow-hygiene` | `lint:allow` comments name a real rule and give a reason |
+//! | `panic-reachability` | no un-allowed panic sites reachable from the mining/serialization entry points (workspace call graph) |
+//! | `layering-discipline` | crate dependencies follow the declared layer DAG and edge allowlist |
+//! | `wire-format-registry` | wire schema tags live in flipper-wire only; everyone else uses the constants |
+//! | `lock-ordering` | lock classes are acquired in one global order (no deadlock shapes) |
+//!
+//! The first six are per-file token rules; the last four come from the
+//! workspace pass ([`crate::parser`], [`crate::graph`]) that builds the
+//! symbol table, call graph and crate graph.
 //!
 //! Findings can be suppressed with `// lint:allow(<rule>) <reason>` on the
 //! same line or the line above — except for `determinism`,
@@ -44,7 +52,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "determinism",
         summary: "no HashMap/HashSet and no Instant/SystemTime reads in modules that \
-                  determine flipper-results/v1 bytes; use BTreeMap or an explicit sort",
+                  determine pinned result bytes; use BTreeMap or an explicit sort",
         allowable: false,
     },
     RuleInfo {
@@ -67,7 +75,36 @@ pub const RULES: &[RuleInfo] = &[
         summary: "lint:allow comments name a known, allowable rule and give a reason",
         allowable: false,
     },
+    RuleInfo {
+        name: "panic-reachability",
+        summary: "no un-allowed panic sites in functions transitively reachable from \
+                  Session::mine/mine_seeded, Sweep::run or JsonWriter; fix the site \
+                  or allow it as panic-hygiene with a reason",
+        allowable: false,
+    },
+    RuleInfo {
+        name: "layering-discipline",
+        summary: "crate dependencies follow the declared layer DAG and edge allowlist \
+                  (LAYERS/ALLOWED_EDGES in crates/lint/src/graph.rs)",
+        allowable: false,
+    },
+    RuleInfo {
+        name: "wire-format-registry",
+        summary: "wire schema tags are spelled as literals only in the flipper-wire \
+                  registry; everywhere else use its named constants",
+        allowable: false,
+    },
+    RuleInfo {
+        name: "lock-ordering",
+        summary: "lock classes are acquired in one global order; conflicting orders \
+                  anywhere in the workspace are flagged as deadlock shapes",
+        allowable: false,
+    },
 ];
+
+/// Sentinel token index for findings not anchored to a code token
+/// (comment-based findings and workspace-graph findings).
+pub const NO_TOK: usize = usize::MAX;
 
 /// Look a rule up by name.
 pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
@@ -89,6 +126,13 @@ pub struct Finding {
     pub message: String,
     /// Suppressed by a valid `lint:allow` comment?
     pub allowed: bool,
+    /// Index of the offending token in its file's token stream, or
+    /// [`NO_TOK`] for comment/graph findings. Used to locate the enclosing
+    /// function for reachability; not serialized.
+    pub tok: usize,
+    /// Is the finding inside a function transitively reachable from a
+    /// mining/serialization entry point? Set by the workspace pass.
+    pub reachable: bool,
 }
 
 /// A parsed `// lint:allow(<rule>) <reason>` comment.
@@ -136,6 +180,10 @@ const DETERMINISM_FILES: &[&str] = &[
 /// pool is proven by the equivalence suite.
 const EXEC_FILE: &str = "crates/data/src/exec.rs";
 
+/// The one module that may spell wire schema tags as string literals: the
+/// flipper-wire constant registry itself.
+const WIRE_REGISTRY_FILE: &str = "crates/wire/src/lib.rs";
+
 fn in_panic_scope(rel: &str) -> bool {
     PANIC_CRATES
         .iter()
@@ -180,6 +228,9 @@ pub fn check_file(rel: &str, lx: &LexOutput, rg: &Regions) -> Vec<Finding> {
         concurrency_discipline(rel, toks, rg, &mut findings);
     }
     unsafe_audit(rel, toks, &lx.comments, &mut findings);
+    if rel != WIRE_REGISTRY_FILE {
+        wire_format_registry(rel, toks, rg, &mut findings);
+    }
 
     // Apply allows: a finding is suppressed when a valid allow for its rule
     // sits on the same line or the line directly above.
@@ -196,7 +247,14 @@ pub fn check_file(rel: &str, lx: &LexOutput, rg: &Regions) -> Vec<Finding> {
     findings
 }
 
-fn push(findings: &mut Vec<Finding>, rule: &'static str, rel: &str, t: &Tok, message: String) {
+fn push(
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    rel: &str,
+    t: &Tok,
+    tok: usize,
+    message: String,
+) {
     findings.push(Finding {
         rule,
         file: rel.to_string(),
@@ -204,6 +262,8 @@ fn push(findings: &mut Vec<Finding>, rule: &'static str, rel: &str, t: &Tok, mes
         col: t.col,
         message,
         allowed: false,
+        tok,
+        reachable: false,
     });
 }
 
@@ -227,6 +287,7 @@ fn panic_hygiene(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut Vec<Findi
                     "panic-hygiene",
                     rel,
                     t,
+                    i,
                     format!("`.{name}()` in non-test library code; return a typed error"),
                 );
             }
@@ -238,6 +299,7 @@ fn panic_hygiene(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut Vec<Findi
                     "panic-hygiene",
                     rel,
                     t,
+                    i,
                     format!("`{name}!` in non-test library code; return a typed error"),
                 );
             }
@@ -256,6 +318,7 @@ fn determinism(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut Vec<Finding
                 "determinism",
                 rel,
                 t,
+                i,
                 format!(
                     "`{}` in a result-determining module: iteration order is \
                      nondeterministic; use BTreeMap/BTreeSet or an explicit sort",
@@ -267,11 +330,13 @@ fn determinism(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut Vec<Finding
                 "determinism",
                 rel,
                 t,
+                i,
                 format!(
                     "`{}` in a result-determining module: wall-clock reads cannot \
-                     feed flipper-results/v1 bytes; keep timing behind \
-                     flipper_core::RunStats (excluded from result bytes)",
-                    t.text
+                     feed {} bytes; keep timing behind flipper_core::RunStats \
+                     (excluded from result bytes)",
+                    t.text,
+                    flipper_wire::RESULTS_V1
                 ),
             ),
             _ => {}
@@ -328,6 +393,7 @@ fn error_hygiene(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut Vec<Findi
                     "error-hygiene",
                     rel,
                     &sig[k + 1],
+                    j + k + 1,
                     "`Result<_, String>` in a pub signature; use a typed error enum".to_string(),
                 );
             }
@@ -341,6 +407,7 @@ fn error_hygiene(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut Vec<Findi
                     "error-hygiene",
                     rel,
                     t,
+                    j + k,
                     "`Box<dyn Error>` in a pub signature; use a typed error enum".to_string(),
                 );
             }
@@ -368,6 +435,7 @@ fn concurrency_discipline(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut 
                 "concurrency-discipline",
                 rel,
                 t,
+                i,
                 "raw `thread::spawn`/`scope` outside flipper_data::exec — route \
                  parallelism through the exec pool so shard-invariance stays proven"
                     .to_string(),
@@ -378,6 +446,7 @@ fn concurrency_discipline(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut 
                 "concurrency-discipline",
                 rel,
                 t,
+                i,
                 "`std::thread` outside flipper_data::exec — route parallelism \
                  through the exec pool so shard-invariance stays proven"
                     .to_string(),
@@ -406,10 +475,61 @@ fn unsafe_audit(rel: &str, toks: &[Tok], comments: &[Comment], findings: &mut Ve
                 "unsafe-audit",
                 rel,
                 t,
+                i,
                 "`unsafe` without a `// SAFETY:` comment within the 3 lines above".to_string(),
             );
         }
     }
+}
+
+/// The wire-format-registry rule: every `flipper-*/vN` schema tag in a
+/// non-test string literal outside the flipper-wire registry is a finding —
+/// producers and consumers must reference the named constants so the tag
+/// inventory has exactly one home.
+fn wire_format_registry(rel: &str, toks: &[Tok], rg: &Regions, findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if rg.is_test(i) || t.kind != crate::lexer::TokKind::StrLit {
+            continue;
+        }
+        if let Some(tag) = find_schema_tag(&t.text) {
+            push(
+                findings,
+                "wire-format-registry",
+                rel,
+                t,
+                i,
+                format!(
+                    "schema tag `{tag}` spelled as a string literal; use the named \
+                     constant from the flipper-wire registry"
+                ),
+            );
+        }
+    }
+}
+
+/// First `flipper-<name>/v<digits>` schema tag inside `s`, if any.
+fn find_schema_tag(s: &str) -> Option<&str> {
+    let mut from = 0;
+    while let Some(pos) = s[from..].find("flipper-") {
+        let begin = from + pos;
+        let rest = &s[begin + "flipper-".len()..];
+        let name_len = rest
+            .find(|c: char| !(c.is_ascii_lowercase() || c == '-'))
+            .unwrap_or(rest.len());
+        let after = &rest[name_len..];
+        if name_len > 0 && after.starts_with("/v") {
+            let digits = after["/v".len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .count();
+            if digits > 0 {
+                let len = "flipper-".len() + name_len + "/v".len() + digits;
+                return Some(&s[begin..begin + len]);
+            }
+        }
+        from = begin + "flipper-".len();
+    }
+    None
 }
 
 /// Parse `lint:allow` comments; malformed ones become `allow-hygiene`
@@ -434,6 +554,8 @@ fn parse_allows(rel: &str, comments: &[Comment], findings: &mut Vec<Finding>) ->
                 col: 1,
                 message: msg,
                 allowed: false,
+                tok: NO_TOK,
+                reachable: false,
             });
         };
         let Some(rule_and_reason) = rest.strip_prefix('(') else {

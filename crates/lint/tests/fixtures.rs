@@ -1,13 +1,16 @@
 //! Fixture-tree acceptance tests for `flipper-lint`: a miniature workspace
-//! under `tests/fixtures/mini/` carries exactly one arranged violation per
-//! rule (plus an allowed finding, a `mod tests` block and an out-of-line
-//! `#[cfg(test)]` module that must stay silent), and the analysis must
-//! report precisely those diagnostics — same rule, file, line, column —
-//! with a byte-stable `flipper-lint/v1` JSON rendering and the documented
-//! CLI exit codes.
+//! under `tests/fixtures/mini/` carries arranged violations for every rule
+//! — including the workspace-pass rules (an entry-point-reachable panic, a
+//! layering back-edge, a duplicated schema tag and a lock-order inversion)
+//! — plus an allowed finding, a `mod tests` block and an out-of-line
+//! `#[cfg(test)]` module that must stay silent. The analysis must report
+//! precisely those diagnostics — same rule, file, line, column — with a
+//! byte-stable `flipper-lint/v1` JSON rendering and the documented CLI
+//! exit codes. A self-lint test then holds `crates/lint` itself
+//! finding-free against the real workspace.
 
-use flipper_lint::analyze_workspace;
 use flipper_lint::report::Baseline;
+use flipper_lint::{analyze_workspace, analyze_workspace_full};
 use std::path::Path;
 use std::process::Command;
 
@@ -19,26 +22,102 @@ fn fixture_root() -> &'static Path {
 fn fixture_findings_are_exact() {
     let report = analyze_workspace(fixture_root()).expect("fixture tree analyzes");
     assert_eq!(
-        report.files_scanned, 6,
+        report.files_scanned, 8,
         "proptests.rs is skipped as test-only"
     );
-    let got: Vec<(&str, &str, u32, u32, bool)> = report
+    let got: Vec<(&str, &str, u32, u32, bool, bool)> = report
         .findings
         .iter()
-        .map(|f| (f.rule, f.file.as_str(), f.line, f.col, f.allowed))
+        .map(|f| {
+            (
+                f.rule,
+                f.file.as_str(),
+                f.line,
+                f.col,
+                f.allowed,
+                f.reachable,
+            )
+        })
         .collect();
     let want = vec![
-        ("error-hygiene", "crates/api/src/lib.rs", 2, 43, false),
-        ("error-hygiene", "crates/api/src/lib.rs", 6, 28, false),
-        ("panic-hygiene", "crates/core/src/lib.rs", 8, 7, false),
-        ("panic-hygiene", "crates/core/src/lib.rs", 13, 7, true),
-        ("determinism", "crates/core/src/miner.rs", 2, 23, false),
-        ("determinism", "crates/core/src/miner.rs", 6, 20, false),
+        (
+            "error-hygiene",
+            "crates/api/src/lib.rs",
+            2,
+            43,
+            false,
+            false,
+        ),
+        (
+            "error-hygiene",
+            "crates/api/src/lib.rs",
+            6,
+            28,
+            false,
+            false,
+        ),
+        (
+            "wire-format-registry",
+            "crates/api/src/lib.rs",
+            13,
+            5,
+            false,
+            false,
+        ),
+        (
+            "panic-reachability",
+            "crates/api/src/session.rs",
+            13,
+            7,
+            false,
+            true,
+        ),
+        (
+            "panic-hygiene",
+            "crates/core/src/lib.rs",
+            8,
+            7,
+            false,
+            false,
+        ),
+        (
+            "panic-hygiene",
+            "crates/core/src/lib.rs",
+            13,
+            7,
+            true,
+            false,
+        ),
+        (
+            "lock-ordering",
+            "crates/core/src/locks.rs",
+            6,
+            16,
+            false,
+            false,
+        ),
+        (
+            "determinism",
+            "crates/core/src/miner.rs",
+            2,
+            23,
+            false,
+            false,
+        ),
+        (
+            "determinism",
+            "crates/core/src/miner.rs",
+            6,
+            20,
+            false,
+            false,
+        ),
         (
             "concurrency-discipline",
             "crates/data/src/lib.rs",
             3,
             5,
+            false,
             false,
         ),
         (
@@ -47,11 +126,48 @@ fn fixture_findings_are_exact() {
             3,
             10,
             false,
+            false,
         ),
-        ("allow-hygiene", "crates/measures/src/lib.rs", 2, 1, false),
-        ("allow-hygiene", "crates/measures/src/lib.rs", 4, 1, false),
-        ("allow-hygiene", "crates/measures/src/lib.rs", 6, 1, false),
-        ("unsafe-audit", "crates/store/src/lib.rs", 3, 5, false),
+        (
+            "layering-discipline",
+            "crates/data/src/lib.rs",
+            9,
+            5,
+            false,
+            false,
+        ),
+        (
+            "allow-hygiene",
+            "crates/measures/src/lib.rs",
+            2,
+            1,
+            false,
+            false,
+        ),
+        (
+            "allow-hygiene",
+            "crates/measures/src/lib.rs",
+            4,
+            1,
+            false,
+            false,
+        ),
+        (
+            "allow-hygiene",
+            "crates/measures/src/lib.rs",
+            6,
+            1,
+            false,
+            false,
+        ),
+        (
+            "unsafe-audit",
+            "crates/store/src/lib.rs",
+            3,
+            5,
+            false,
+            false,
+        ),
     ];
     assert_eq!(got, want);
 }
@@ -81,6 +197,34 @@ fn baseline_round_trips() {
     let reparsed = Baseline::parse(&blessed.to_json()).unwrap();
     assert_eq!(blessed, reparsed);
     assert!(report.violations(&reparsed).is_empty());
+}
+
+#[test]
+fn self_lint_is_finding_free() {
+    // The linter eats its own dogfood: analyzing the real workspace must
+    // produce no un-allowed findings inside crates/lint itself.
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let analysis = analyze_workspace_full(root).expect("workspace analyzes");
+    let own: Vec<String> = analysis
+        .report
+        .findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/lint/") && !f.allowed)
+        .map(|f| format!("{}:{}:{} {} {}", f.file, f.line, f.col, f.rule, f.message))
+        .collect();
+    assert!(own.is_empty(), "lint flags itself: {own:#?}");
+}
+
+#[test]
+fn crate_graph_covers_fixture_back_edge() {
+    let analysis = analyze_workspace_full(fixture_root()).expect("fixture tree analyzes");
+    let g = &analysis.crate_graph;
+    assert!(g
+        .edges
+        .contains_key(&("data".to_string(), "api".to_string())));
+    let dot = g.to_dot();
+    assert!(dot.starts_with("digraph flipper {"), "{dot}");
+    assert!(dot.contains("\"api\" -> \"data\";"), "{dot}");
 }
 
 fn lint_cmd() -> Command {
@@ -114,4 +258,31 @@ fn cli_exit_codes_follow_the_ratchet() {
         .output()
         .expect("spawn flipper-lint");
     assert_eq!(usage.status.code(), Some(2), "usage errors must exit 2");
+}
+
+#[test]
+fn cli_graph_dot_prints_and_exits_zero() {
+    let out = lint_cmd()
+        .arg("--root")
+        .arg(fixture_root())
+        .arg("--graph")
+        .arg("dot")
+        .output()
+        .expect("spawn flipper-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--graph dot ignores the ratchet"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph flipper {"), "{text}");
+    assert!(text.contains("\"api\" -> \"data\";"), "{text}");
+
+    // Unknown graph formats are usage errors.
+    let bad = lint_cmd()
+        .arg("--graph")
+        .arg("ascii")
+        .output()
+        .expect("spawn flipper-lint");
+    assert_eq!(bad.status.code(), Some(2));
 }

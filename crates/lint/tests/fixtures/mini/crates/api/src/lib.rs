@@ -6,3 +6,9 @@ pub fn load(path: &str) -> Result<String, String> {
 pub fn run() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
+
+/// Fixture: wire-format-registry — a schema tag spelled as a literal
+/// outside the flipper-wire registry module.
+pub fn header() -> &'static str {
+    "flipper-results/v1"
+}

@@ -1,0 +1,14 @@
+//! Fixture: panic-reachability — `Session::mine` is an entry point and
+//! reaches the panic site in `risky`, so that finding is re-ruled from
+//! panic-hygiene to the hard-zero panic-reachability.
+pub struct Session;
+
+impl Session {
+    pub fn mine(&self) -> u32 {
+        risky(None)
+    }
+}
+
+fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,15 @@
+//! Fixture: lock-ordering — `a` and `b` acquire the `m1`/`m2` lock
+//! classes in opposite orders, the classic deadlock shape.
+use std::sync::Mutex;
+
+pub fn a(m1: &Mutex<u32>, m2: &Mutex<u32>) -> u32 {
+    let x = m1.lock();
+    let y = m2.lock();
+    x.map(|g| *g).unwrap_or(0) + y.map(|g| *g).unwrap_or(0)
+}
+
+pub fn b(m1: &Mutex<u32>, m2: &Mutex<u32>) -> u32 {
+    let y = m2.lock();
+    let x = m1.lock();
+    x.map(|g| *g).unwrap_or(0) + y.map(|g| *g).unwrap_or(0)
+}

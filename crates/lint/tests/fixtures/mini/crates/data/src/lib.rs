@@ -2,3 +2,9 @@
 pub fn fanout() {
     std::thread::spawn(|| {});
 }
+
+/// Fixture: layering-discipline — `data` (layer 2) importing `api`
+/// (layer 4) is a back-edge.
+pub fn upward() {
+    flipper_api::nope();
+}

@@ -127,11 +127,11 @@ impl CorrelationMeasure for Measure {
         match self {
             Measure::AllConfidence => {
                 // min of sup(A)/sup(ai) = sup(A) / max(sup(ai))
-                let max = item_sups.iter().copied().max().expect("non-empty") as f64;
+                let max = item_sups.iter().copied().fold(0, u64::max) as f64;
                 sup_a / max
             }
             Measure::MaxConfidence => {
-                let min = item_sups.iter().copied().min().expect("non-empty") as f64;
+                let min = item_sups.iter().copied().fold(u64::MAX, u64::min) as f64;
                 sup_a / min
             }
             Measure::Kulczynski => item_sups.iter().map(|&s| sup_a / s as f64).sum::<f64>() / k,

@@ -157,7 +157,7 @@ impl MetricsRegistry {
     /// `_bucket{le="…"}`/`_sum`/`_count` lines per histogram. Buckets
     /// above the highest populated one are elided (besides `+Inf`).
     pub fn render(&self) -> String {
-        let mut out = String::from("# flipper-metrics/v1\n");
+        let mut out = format!("# {}\n", flipper_wire::METRICS_V1);
         for (name, v) in &self.counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
         }

@@ -17,8 +17,9 @@ use crate::span::SpanEvent;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// Schema tag written into (and required from) every trace document.
-pub const TRACE_SCHEMA: &str = "flipper-trace/v1";
+/// Schema tag written into (and required from) every trace document —
+/// re-exported from the flipper-wire registry so the tag is defined once.
+pub const TRACE_SCHEMA: &str = flipper_wire::TRACE_V1;
 
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

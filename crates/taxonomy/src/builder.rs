@@ -115,20 +115,21 @@ impl TaxonomyBuilder {
                 has_child[p] = true;
             }
         }
-        let height = depths.iter().copied().max().expect("non-empty");
+        let height = depths.iter().copied().max().ok_or(TaxonomyError::Empty)?;
         let min_leaf_depth = depths
             .iter()
             .zip(&has_child)
             .filter(|&(_, &hc)| !hc)
             .map(|(&d, _)| d)
             .min()
-            .expect("non-empty");
+            .ok_or(TaxonomyError::Empty)?;
 
         if min_leaf_depth != height {
             match policy {
                 RebalancePolicy::RequireBalanced => {
                     let leaf = (0..self.entries.len())
                         .find(|&i| !has_child[i] && depths[i] == min_leaf_depth)
+                        // lint:allow(panic-hygiene) min_leaf_depth was computed from an existing childless entry above
                         .expect("a shallow leaf exists");
                     return Err(TaxonomyError::Unbalanced {
                         leaf: self.entries[leaf].0.clone(),
@@ -198,7 +199,8 @@ impl TaxonomyBuilder {
             let mut anc = *parent;
             let mut d = depths[i] - 1;
             while d >= new_height {
-                anc = self.entries[anc.expect("depth>=1 has parent")].1;
+                let p = anc.ok_or_else(|| TaxonomyError::UnknownParent(name.clone()))?;
+                anc = self.entries[p].1;
                 d -= 1;
             }
             match anc {
@@ -214,7 +216,7 @@ impl TaxonomyBuilder {
     fn freeze(self) -> Result<Taxonomy, TaxonomyError> {
         let n = self.entries.len();
         let depths: Vec<usize> = (0..n).map(|i| self.depth(i)).collect();
-        let height = depths.iter().copied().max().expect("non-empty");
+        let height = depths.iter().copied().max().ok_or(TaxonomyError::Empty)?;
 
         // Order entries by (depth, insertion order) so ids are level-ordered.
         let mut order: Vec<usize> = (0..n).collect();
@@ -255,6 +257,7 @@ impl TaxonomyBuilder {
         levels[0].push(NodeId::ROOT);
         for idx in 1..nodes.len() {
             let id = NodeId(idx as u32);
+            // lint:allow(panic-hygiene) every non-root node was pushed with Some(parent) in the loop above
             let parent = nodes[idx].parent.expect("non-root");
             let level = nodes[idx].level;
             nodes[parent.index()].children.push(id);

@@ -133,7 +133,9 @@ impl Taxonomy {
         }
         let mut cur = node;
         for _ in h..lvl {
-            cur = self.parent(cur).expect("non-root node must have a parent");
+            cur = self
+                .parent(cur)
+                .ok_or(TaxonomyError::InvalidNode(cur.as_u32()))?;
         }
         Ok(cur)
     }
@@ -372,7 +374,7 @@ impl Taxonomy {
                 return Err(TaxonomyError::DuplicateName(name.to_string()));
             }
         }
-        let height = nodes.last().expect("non-empty").level;
+        let height = nodes.last().ok_or(TaxonomyError::Empty)?.level;
         let mut levels = vec![Vec::new(); height + 1];
         for idx in 0..nodes.len() {
             let id = NodeId(idx as u32);

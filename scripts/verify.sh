@@ -72,6 +72,25 @@ cargo test --release -q -p flipper-integration --test facade
 echo "== static analysis: flipper-lint against LINT_BASELINE.json"
 cargo run --release -q -p flipper-lint -- --json
 
+echo "== static analysis: crate dependency graph is acyclic (--graph dot)"
+DOT_OUT="$(cargo run --release -q -p flipper-lint -- --graph dot)"
+echo "$DOT_OUT" | grep -q '^digraph flipper {' || {
+    echo "flipper-lint --graph dot did not emit a DOT document" >&2
+    exit 1
+}
+if command -v tsort >/dev/null 2>&1; then
+    # Each DOT edge `"to" -> "from";` becomes a `to from` pair; tsort fails
+    # loudly on any cycle. The layering rule already forbids back-edges, so
+    # this is a belt-and-braces check on the observed graph itself.
+    echo "$DOT_OUT" | sed -n 's/^  "\([a-z]*\)" -> "\([a-z]*\)";$/\1 \2/p' \
+        | tsort >/dev/null || {
+        echo "crate dependency graph has a cycle" >&2
+        exit 1
+    }
+else
+    echo "tsort unavailable; acyclicity still enforced by the layering rule"
+fi
+
 echo "== docs: cargo doc --no-deps with -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
